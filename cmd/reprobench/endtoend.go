@@ -1,0 +1,144 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/pagerank"
+	"repro/internal/tpch"
+)
+
+// runTab4 — Table IV: CPU time of TPC-H Query 1 (DECIMAL columns
+// replaced by DOUBLE) for four SUM implementations, relative to the
+// total CPU time on built-in doubles: repro<double,4> without buffers
+// (~114% in the paper), with buffers (~102.7%), and sorted input
+// (~727%).
+func runTab4(cfg config) {
+	sf := cfg.sf
+	if cfg.quick {
+		sf = 0.005
+	}
+	fmt.Printf("\nGenerating TPC-H lineitem at SF=%.3f ...\n", sf)
+	tbl := tpch.GenLineitem(sf, cfg.seed)
+	fmt.Printf("lineitem: %d rows\n", tbl.NumRows())
+
+	kernels := []engine.GroupByConfig{
+		{Kind: engine.SumPlain},
+		{Kind: engine.SumRepro, Levels: 4},
+		{Kind: engine.SumReproBuffered, Levels: 4},
+		{Kind: engine.SumSorted},
+	}
+	reps := 3
+	type result struct {
+		agg, other, total time.Duration
+	}
+	results := make([]result, len(kernels))
+	for i, k := range kernels {
+		var best result
+		for r := 0; r < reps; r++ {
+			rows, prof, err := tpch.RunQ1(tbl, k)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tab4: %v\n", err)
+				os.Exit(1)
+			}
+			if len(rows) == 0 {
+				fmt.Fprintln(os.Stderr, "tab4: empty Q1 result")
+				os.Exit(1)
+			}
+			aggT := prof.Get("aggregation")
+			total := prof.Total()
+			if r == 0 || total < best.total {
+				best = result{agg: aggT, other: total - aggT, total: total}
+			}
+		}
+		results[i] = best
+	}
+
+	baseTotal := float64(results[0].total)
+	t := bench.NewTable("Table IV: TPC-H Q1 CPU time relative to doubles (%)",
+		"component", "double", "repro<d,4> unbuffered", "repro<d,4> buffered", "double (sorted)")
+	pct := func(d time.Duration) string {
+		return fmt.Sprintf("%.1f", 100*float64(d)/baseTotal)
+	}
+	t.AddRow("Aggregations", pct(results[0].agg), pct(results[1].agg), pct(results[2].agg), pct(results[3].agg))
+	t.AddRow("Other", pct(results[0].other), pct(results[1].other), pct(results[2].other), pct(results[3].other))
+	t.AddRow("Total", pct(results[0].total), pct(results[1].total), pct(results[2].total), pct(results[3].total))
+	t.Fprint(os.Stdout)
+
+	// Show the Q1 result rows once (validates the query itself).
+	rows, _, _ := tpch.RunQ1(tbl, engine.GroupByConfig{Kind: engine.SumReproBuffered, Levels: 4})
+	fmt.Println("\nQ1 result (repro<double,4> buffered):")
+	for _, g := range rows {
+		fmt.Println("  " + tpch.FormatQ1(g))
+	}
+}
+
+// runPageRank — the motivation experiment of Section I: PageRank over
+// permutations of a web graph. With float64 sums, pages swap ranks from
+// run to run; with reproducible sums the ranks are bit-identical.
+func runPageRank(cfg config) {
+	nodes, m, iters, perms := 100000, 4, 20, 5
+	if cfg.quick {
+		nodes, iters, perms = 10000, 10, 3
+	}
+	fmt.Printf("\nPageRank: %d nodes, scale-free (m=%d), %d iterations, %d permutations\n",
+		nodes, m, iters, perms)
+	g := pagerank.NewScaleFree(nodes, m, cfg.seed)
+	fmt.Printf("graph: %d edges\n", g.NumEdges())
+
+	t := bench.NewTable("PageRank rank stability across edge permutations",
+		"permutation", "float64: positions changed", "repro: positions changed", "repro bit-identical")
+	baseF := pagerank.Run(g, pagerank.Config{Iterations: iters})
+	baseR := pagerank.Run(g, pagerank.Config{Iterations: iters, Reproducible: true})
+	orderF := pagerank.RankOrder(baseF)
+	orderR := pagerank.RankOrder(baseR)
+	for p := 0; p < perms; p++ {
+		pg := g.Permute(cfg.seed + 1000 + uint64(p))
+		rf := pagerank.Run(pg, pagerank.Config{Iterations: iters})
+		rr := pagerank.Run(pg, pagerank.Config{Iterations: iters, Reproducible: true})
+		t.AddRow(p+1,
+			pagerank.CountOrderChanges(orderF, pagerank.RankOrder(rf)),
+			pagerank.CountOrderChanges(orderR, pagerank.RankOrder(rr)),
+			fmt.Sprintf("%v", pagerank.BitsEqual(baseR, rr)))
+	}
+	t.Fprint(os.Stdout)
+}
+
+// runQ6 — extension experiment: TPC-H Q6 (a single ungrouped SUM)
+// through the engine with each summation routine; the isolated-summation
+// counterpart of Table IV.
+func runQ6(cfg config) {
+	sf := cfg.sf
+	if cfg.quick {
+		sf = 0.005
+	}
+	tbl := tpch.GenLineitem(sf, cfg.seed)
+	t := bench.NewTable(fmt.Sprintf("TPC-H Q6 (SF=%.3f, %d rows): summation kernels", sf, tbl.NumRows()),
+		"kernel", "revenue", "aggregation us", "total us")
+	for _, k := range []struct {
+		name string
+		kind tpch.Q6SumKind
+	}{
+		{"double (plain)", tpch.Q6Plain},
+		{"RSUM scalar L=3", tpch.Q6Scalar},
+		{"RSUM SIMD L=3", tpch.Q6Vec},
+		{"Neumaier", tpch.Q6Neumaier},
+	} {
+		var rev float64
+		var prof *engine.Profiler
+		var err error
+		for r := 0; r < 3; r++ {
+			rev, prof, err = tpch.RunQ6(tbl, k.kind, 3)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "q6: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		t.AddRow(k.name, fmt.Sprintf("%.4f", rev),
+			prof.Get("aggregation").Microseconds(), prof.Total().Microseconds())
+	}
+	t.Fprint(os.Stdout)
+}

@@ -1,0 +1,84 @@
+// Command reprobench regenerates every table and figure of the paper's
+// evaluation (Section VI) on this machine. Each subcommand prints the
+// rows/series of one experiment; EXPERIMENTS.md records the mapping and
+// the expected shapes.
+//
+// Usage:
+//
+//	reprobench [flags] <experiment>
+//
+// Experiments: fig4, tab2, fig6, fig7, fig8, fig9, fig10, tab3, tab4,
+// fig11, fig12, pagerank, all.
+//
+// Flags:
+//
+//	-n       input size (default 1<<22; the paper uses 1<<30)
+//	-seed    workload seed (default 42)
+//	-sf      TPC-H scale factor for tab4 (default 0.05)
+//	-quick   reduced sweeps for smoke-testing the harness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+type config struct {
+	n     int
+	seed  uint64
+	sf    float64
+	quick bool
+}
+
+func main() {
+	n := flag.Int("n", 1<<22, "number of input rows")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	sf := flag.Float64("sf", 0.05, "TPC-H scale factor (tab4)")
+	quick := flag.Bool("quick", false, "reduced sweeps")
+	flag.Parse()
+
+	cfg := config{n: *n, seed: *seed, sf: *sf, quick: *quick}
+	if cfg.quick && cfg.n > 1<<18 {
+		cfg.n = 1 << 18
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: reprobench [flags] <fig4|tab2|fig6|fig7|fig8|fig9|fig10|tab3|tab4|fig11|fig12|pagerank|q6|all>")
+		os.Exit(2)
+	}
+
+	fmt.Printf("# reprobench: %s, n=%d, seed=%d\n", bench.MachineInfo(), cfg.n, cfg.seed)
+
+	run := map[string]func(config){
+		"fig4":     runFig4,
+		"tab2":     runTab2,
+		"fig6":     runFig6,
+		"fig7":     runFig7,
+		"fig8":     runFig8,
+		"fig9":     runFig9,
+		"fig10":    runFig10,
+		"tab3":     runTab3,
+		"tab4":     runTab4,
+		"fig11":    runFig11,
+		"fig12":    runFig12,
+		"pagerank": runPageRank,
+		"q6":       runQ6,
+	}
+	name := flag.Arg(0)
+	if name == "all" {
+		for _, k := range []string{"fig4", "tab2", "fig6", "fig7", "fig8", "fig9",
+			"fig10", "tab3", "tab4", "fig11", "fig12", "pagerank", "q6"} {
+			run[k](cfg)
+		}
+		return
+	}
+	fn, ok := run[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "reprobench: unknown experiment %q\n", name)
+		os.Exit(2)
+	}
+	fn(cfg)
+}

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/rsum"
+	"repro/internal/workload"
+)
+
+// runFig4 — Figure 4: HASHAGGREGATION with 16 groups on uint32, float,
+// double, and repro<ScalarT,L> for L = 1..4; the repro types are 4×–12×
+// slower than the built-in types.
+func runFig4(cfg config) {
+	const ngroups = 16
+	keys := workload.Keys(cfg.seed, cfg.n, ngroups)
+	f64 := workload.Values64(cfg.seed+1, cfg.n, workload.Uniform12)
+	f32 := make([]float32, cfg.n)
+	u32 := make([]uint32, cfg.n)
+	for i, v := range f64 {
+		f32[i] = float32(v)
+		u32[i] = uint32(v * 1e4)
+	}
+
+	t := bench.NewTable("Figure 4: HashAggregation, 16 groups",
+		"data type", "ns/elem", "slowdown vs uint32")
+	base := hashAggTime[uint32, U32fig](keys, u32, func() U32fig { return 0 }, ngroups)
+	baseNs := bench.NsPerElem(base, 1, cfg.n)
+	add := func(name string, d time.Duration) {
+		ns := bench.NsPerElem(d, 1, cfg.n)
+		t.AddRow(name, ns, bench.Ratio(ns/baseNs))
+	}
+	add("uint32", base)
+	add("float", hashAggTime[float32, F32fig](keys, f32, func() F32fig { return 0 }, ngroups))
+	add("double", hashAggTime[float64, F64fig](keys, f64, func() F64fig { return 0 }, ngroups))
+	for l := 1; l <= 4; l++ {
+		add(fmt.Sprintf("repro<float,%d>", l),
+			hashAggTime[float32, core.Sum32](keys, f32,
+				func() core.Sum32 { return core.NewSum32(l) }, ngroups))
+	}
+	for l := 1; l <= 4; l++ {
+		add(fmt.Sprintf("repro<double,%d>", l),
+			hashAggTime[float64, core.Sum64](keys, f64,
+				func() core.Sum64 { return core.NewSum64(l) }, ngroups))
+	}
+	t.Fprint(os.Stdout)
+}
+
+// Local scalar accumulators for Figure 4 (duplicated from internal/agg
+// to keep the runner generic instantiation local).
+type U32fig uint32
+
+func (u *U32fig) Add(v uint32) { *u += U32fig(v) }
+
+type F32fig float32
+
+func (f *F32fig) Add(v float32) { *f += F32fig(v) }
+
+type F64fig float64
+
+func (f *F64fig) Add(v float64) { *f += F64fig(v) }
+
+// runTab2 — Table II: maximum absolute error (bound and measured) of
+// conventional summation vs RSUM with L = 1..3 for n = 10^3 and 10^6
+// values from U[1,2) and Exp(1), double precision.
+func runTab2(cfg config) {
+	t := bench.NewTable("Table II: absolute error, double precision",
+		"algorithm", "n", "dist", "bound", "measured")
+	ns := []int{1000, 1000000}
+	if cfg.quick {
+		ns = []int{1000, 100000}
+	}
+	for _, n := range ns {
+		for _, dist := range []workload.ValueDist{workload.Uniform12, workload.Exp1} {
+			xs := workload.Values64(cfg.seed, n, dist)
+			maxAbs := 0.0
+			for _, x := range xs {
+				if a := math.Abs(x); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			ex := exact.Sum(xs)
+			conv := exact.Naive64(xs)
+			t.AddRow("conventional", n, dist.String(),
+				exact.ConvBound(xs), exact.AbsError(conv, ex))
+			for l := 1; l <= 3; l++ {
+				s := rsum.NewState64(l)
+				s.AddSlice(xs)
+				t.AddRow(fmt.Sprintf("RSUM (L=%d)", l), n, dist.String(),
+					exact.RSumBound(n, l, maxAbs), exact.AbsError(s.Value(), ex))
+			}
+		}
+	}
+	t.Fprint(os.Stdout)
+}
+
+// runFig6 — Figure 6: relative performance of RSUM SCALAR and RSUM SIMD
+// vs conventional summation (CONV) when the input is summed in chunks
+// of c values, mimicking the access pattern of GROUPBY. SIMD loses for
+// small chunks (V× larger per-call state) and approaches SIMD(c=∞) for
+// large ones.
+func runFig6(cfg config) {
+	n := cfg.n &^ 511 // multiple of all chunk sizes
+	f64 := workload.Values64(cfg.seed, n, workload.Uniform12)
+	f32 := workload.Values32(cfg.seed, n, workload.Uniform12)
+	chunks := []int{2, 4, 8, 12, 16, 24, 32, 48, 64, 128, 256, 512}
+	if cfg.quick {
+		chunks = []int{2, 16, 64, 512}
+	}
+	reps := 3
+
+	for _, levels := range []int{2, 3} {
+		// Double precision.
+		conv := bench.MeasureBest(reps, func() { sinkF64 += exact.Naive64(f64) })
+		convNs := bench.NsPerElem(conv, 1, n)
+		inf := bench.MeasureBest(reps, func() {
+			s := rsum.NewState64(levels)
+			s.AddSliceVec(f64)
+			sinkF64 += s.Value()
+		})
+		t := bench.NewTable(
+			fmt.Sprintf("Figure 6: double precision, %d levels (CONV = %.2f ns/elem, SIMD c=inf = %s)",
+				levels, convNs, bench.Ratio(bench.NsPerElem(inf, 1, n)/convNs)),
+			"chunk c", "scalar slowdown", "simd slowdown")
+		for _, c := range chunks {
+			sc := bench.MeasureBest(reps, func() {
+				s := rsum.NewState64(levels)
+				for i := 0; i < n; i += c {
+					s.AddSlice(f64[i:min(i+c, n)])
+				}
+				sinkF64 += s.Value()
+			})
+			sv := bench.MeasureBest(reps, func() {
+				s := rsum.NewState64(levels)
+				for i := 0; i < n; i += c {
+					s.AddSliceVec(f64[i:min(i+c, n)])
+				}
+				sinkF64 += s.Value()
+			})
+			t.AddRow(c,
+				bench.Ratio(bench.NsPerElem(sc, 1, n)/convNs),
+				bench.Ratio(bench.NsPerElem(sv, 1, n)/convNs))
+		}
+		t.Fprint(os.Stdout)
+
+		// Single precision.
+		conv32 := bench.MeasureBest(reps, func() { sinkF64 += float64(exact.Naive32(f32)) })
+		convNs32 := bench.NsPerElem(conv32, 1, n)
+		inf32 := bench.MeasureBest(reps, func() {
+			s := rsum.NewState32(levels)
+			s.AddSliceVec(f32)
+			sinkF64 += float64(s.Value())
+		})
+		t32 := bench.NewTable(
+			fmt.Sprintf("Figure 6: single precision, %d levels (CONV = %.2f ns/elem, SIMD c=inf = %s)",
+				levels, convNs32, bench.Ratio(bench.NsPerElem(inf32, 1, n)/convNs32)),
+			"chunk c", "scalar slowdown", "simd slowdown")
+		for _, c := range chunks {
+			sc := bench.MeasureBest(reps, func() {
+				s := rsum.NewState32(levels)
+				for i := 0; i < n; i += c {
+					s.AddSlice(f32[i:min(i+c, n)])
+				}
+				sinkF64 += float64(s.Value())
+			})
+			sv := bench.MeasureBest(reps, func() {
+				s := rsum.NewState32(levels)
+				for i := 0; i < n; i += c {
+					s.AddSliceVec(f32[i:min(i+c, n)])
+				}
+				sinkF64 += float64(s.Value())
+			})
+			t32.AddRow(c,
+				bench.Ratio(bench.NsPerElem(sc, 1, n)/convNs32),
+				bench.Ratio(bench.NsPerElem(sv, 1, n)/convNs32))
+		}
+		t32.Fprint(os.Stdout)
+	}
+}

@@ -1,0 +1,61 @@
+// Quickstart: the paper's Algorithm 1 — the same SQL-style SUM over the
+// same three rows returns different results after the storage layer
+// physically reorders them, unless the sum is reproducible.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	fmt.Println("The paper's Algorithm 1, as data:")
+	fmt.Println(`  CREATE TABLE R (i int, f float);`)
+	fmt.Println(`  rows: (1, 2.5e-16), (2, 0.999999999999999), (3, 2.5e-16)`)
+	fmt.Println()
+
+	// Physical order before the UPDATE.
+	before := []float64{2.5e-16, 0.999999999999999, 2.5e-16}
+	// After "UPDATE R SET i = i + 1 WHERE i = 2", PostgreSQL rewrites the
+	// updated row at the end of the heap file; the scan order changes.
+	after := []float64{2.5e-16, 2.5e-16, 0.999999999999999}
+
+	naive := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+
+	fmt.Println("Conventional float64 SUM:")
+	fmt.Printf("  before UPDATE: %.17g\n", naive(before))
+	fmt.Printf("  after  UPDATE: %.17g   <-- same rows, different result!\n", naive(after))
+	fmt.Println()
+
+	fmt.Println("repro.Sum (reproducible, L=2):")
+	fmt.Printf("  before UPDATE: %.17g\n", repro.Sum(before))
+	fmt.Printf("  after  UPDATE: %.17g   <-- identical in every bit\n", repro.Sum(after))
+	fmt.Println()
+
+	// The accumulator API: partial sums can be merged in any tree shape.
+	a := repro.NewAccumulator(repro.DefaultLevels)
+	a.Add(2.5e-16)
+	b := repro.NewAccumulator(repro.DefaultLevels)
+	b.Add(0.999999999999999)
+	b.Add(2.5e-16)
+	a.MergeFrom(&b)
+	fmt.Printf("Merged partial accumulators: %.17g (same bits again)\n", a.Value())
+
+	// GROUPBY with a HAVING-style threshold: the paper's warning is that
+	// tiny rounding differences flip predicates like SUM(f) >= 1.
+	keys := []uint32{7, 7, 7}
+	for name, vals := range map[string][]float64{"before": before, "after": after} {
+		g := repro.GroupBySum(keys, vals, nil)
+		fmt.Printf("GROUP BY (%s): key=%d sum=%.17g  HAVING sum>=1 is %v\n",
+			name, g[0].Key, g[0].Sum, g[0].Sum >= 1)
+	}
+}

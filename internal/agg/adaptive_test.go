@@ -1,0 +1,140 @@
+package agg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestAdaptiveMatchesReference(t *testing.T) {
+	keys := workload.Keys(31, 40000, 5000)
+	vals := workload.Values64(32, 40000, workload.Exp1)
+	ref := make(map[uint32]float64)
+	for i, k := range keys {
+		ref[k] += vals[i]
+	}
+	// Force the adaptive switch with a small table budget.
+	entries := AdaptiveAggregate[float64, core.Sum64](keys, vals,
+		func() core.Sum64 { return core.NewSum64(2) },
+		AdaptiveOptions{MaxTableGroups: 256})
+	if len(entries) != len(ref) {
+		t.Fatalf("groups = %d, want %d", len(entries), len(ref))
+	}
+	for i := range entries {
+		e := &entries[i]
+		if math.Abs(e.Agg.Value()-ref[e.Key]) > 1e-6 {
+			t.Fatalf("group %d: %v vs %v", e.Key, e.Agg.Value(), ref[e.Key])
+		}
+	}
+}
+
+func TestAdaptiveNoSwitchPath(t *testing.T) {
+	// Few groups: stays in the hash table, never partitions.
+	keys := workload.Keys(33, 10000, 16)
+	vals := workload.Values64(34, 10000, workload.Uniform12)
+	entries := AdaptiveAggregate[float64, F64](keys, vals,
+		func() F64 { return 0 }, AdaptiveOptions{})
+	if len(entries) != 16 {
+		t.Fatalf("groups = %d", len(entries))
+	}
+}
+
+func TestAdaptiveReproducibleAcrossBudgets(t *testing.T) {
+	// The switch point must not affect the bits.
+	keys := workload.Keys(35, 30000, 3000)
+	vals := workload.Values64(36, 30000, workload.MixedMag)
+	collectBits := func(entries []Entry[core.Sum64]) map[uint32]uint64 {
+		m := make(map[uint32]uint64, len(entries))
+		for i := range entries {
+			m[entries[i].Key] = math.Float64bits(entries[i].Agg.Value())
+		}
+		return m
+	}
+	newSum := func() core.Sum64 { return core.NewSum64(2) }
+	ref := collectBits(AdaptiveAggregate[float64, core.Sum64](keys, vals, newSum,
+		AdaptiveOptions{MaxTableGroups: 100}))
+	for _, budget := range []int{500, 2999, 1 << 20} {
+		got := collectBits(AdaptiveAggregate[float64, core.Sum64](keys, vals, newSum,
+			AdaptiveOptions{MaxTableGroups: budget}))
+		if len(got) != len(ref) {
+			t.Fatalf("budget %d: group count differs", budget)
+		}
+		for k, v := range ref {
+			if got[k] != v {
+				t.Fatalf("budget %d: group %d bits differ", budget, k)
+			}
+		}
+	}
+	// And vs the non-adaptive operator.
+	got := collectBits(PartitionAndAggregate[float64, core.Sum64](keys, vals, newSum,
+		Options{Depth: 1}))
+	for k, v := range ref {
+		if got[k] != v {
+			t.Fatalf("adaptive differs from PartitionAndAggregate at group %d", k)
+		}
+	}
+}
+
+func TestAdaptiveEmptyAndEdge(t *testing.T) {
+	if e := AdaptiveAggregate[float64, F64](nil, nil, func() F64 { return 0 }, AdaptiveOptions{}); e != nil {
+		t.Error("empty input should return nil")
+	}
+	// Adversarial: all keys identical (threshold never crossed).
+	keys := make([]uint32, 1000)
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = 1
+	}
+	e := AdaptiveAggregate[float64, F64](keys, vals, func() F64 { return 0 },
+		AdaptiveOptions{MaxTableGroups: 4})
+	if len(e) != 1 || float64(e[0].Agg) != 1000 {
+		t.Errorf("single group: %+v", e)
+	}
+}
+
+func TestSharedAggregateMatches(t *testing.T) {
+	keys := workload.Keys(37, 30000, 2000)
+	vals := workload.Values64(38, 30000, workload.Exp1)
+	ref := make(map[uint32]float64)
+	for i, k := range keys {
+		ref[k] += vals[i]
+	}
+	for _, workers := range []int{1, 4, 9} {
+		entries := SharedAggregate[float64, core.Sum64](keys, vals,
+			func() core.Sum64 { return core.NewSum64(2) },
+			Options{Workers: workers, GroupHint: 2000})
+		if len(entries) != len(ref) {
+			t.Fatalf("workers=%d: groups = %d want %d", workers, len(entries), len(ref))
+		}
+		for i := range entries {
+			e := &entries[i]
+			if math.Abs(e.Agg.Value()-ref[e.Key]) > 1e-6 {
+				t.Fatalf("workers=%d group %d: %v vs %v", workers, e.Key, e.Agg.Value(), ref[e.Key])
+			}
+		}
+	}
+}
+
+func TestSharedAggregateReproducibleAcrossWorkers(t *testing.T) {
+	keys := workload.Keys(39, 20000, 777)
+	vals := workload.Values64(40, 20000, workload.MixedMag)
+	newSum := func() core.Sum64 { return core.NewSum64(2) }
+	bits := func(entries []Entry[core.Sum64]) map[uint32]uint64 {
+		m := make(map[uint32]uint64)
+		for i := range entries {
+			m[entries[i].Key] = math.Float64bits(entries[i].Agg.Value())
+		}
+		return m
+	}
+	ref := bits(SharedAggregate[float64, core.Sum64](keys, vals, newSum, Options{Workers: 1}))
+	for _, w := range []int{2, 5, 8} {
+		got := bits(SharedAggregate[float64, core.Sum64](keys, vals, newSum, Options{Workers: w}))
+		for k, v := range ref {
+			if got[k] != v {
+				t.Fatalf("workers=%d: group %d bits differ", w, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package agg
+
+import "math/bits"
+
+// Tuning of buffer size and partitioning depth (Section V-C).
+
+// CacheBytesPerThread is the cache budget the working-set model assumes
+// per thread. The paper's machine has a 20 MiB LLC shared by 8 cores
+// and observes the performance cliff when the modeled working set
+// exceeds 1 MiB ≈ half the per-core share; we adopt the same budget.
+const CacheBytesPerThread = 1 << 20
+
+// MaxBufferSize is bszmax, the largest summation buffer used
+// (the paper sweeps up to 2^10).
+const MaxBufferSize = 1024
+
+// BufferSize evaluates Eq. 4: the summation buffers of the groups of
+// one partition should together fill the per-thread cache,
+//
+//	bsz = min{ ceil(|cache| / (ngroups/F · sizeof(ScalarT))), bszmax }.
+//
+// scalarBytes is sizeof(ScalarT) (8 for float64, 4 for float32); fanout
+// is the total partitioning fan-out F = f^d (1 for d = 0). The result
+// is rounded down to a power of two (buffers are allocated in cache-
+// line-friendly sizes) and clamped to ≥ 1.
+func BufferSize(ngroups, fanout, scalarBytes int) int {
+	if ngroups < 1 {
+		ngroups = 1
+	}
+	if fanout < 1 {
+		fanout = 1
+	}
+	perPart := ngroups / fanout
+	if perPart < 1 {
+		perPart = 1
+	}
+	bsz := CacheBytesPerThread / (perPart * scalarBytes)
+	if bsz > MaxBufferSize {
+		bsz = MaxBufferSize
+	}
+	if bsz < 1 {
+		return 1
+	}
+	// Round down to a power of two.
+	return 1 << (bits.Len(uint(bsz)) - 1)
+}
+
+// DepthThresholds holds the group-count thresholds at which one more
+// level of partitioning pays off, as determined by the micro-benchmarks
+// of Section VI (Figures 7 and 9): Thresholds[i] is the minimum group
+// count for depth i+1.
+type DepthThresholds []int
+
+// Depth returns the partitioning depth for a given number of groups.
+func (t DepthThresholds) Depth(ngroups int) int {
+	d := 0
+	for _, th := range t {
+		if ngroups >= th {
+			d++
+		}
+	}
+	return d
+}
+
+// Default depth thresholds per operator configuration, from the paper:
+//
+// The paper determines these offline per machine (Section V-C: "we
+// simply determine the optimal number of levels offline"); the paper's
+// own Haswell values were {2^16, 2^25} (built-ins), ≈{2^15, 2^22}
+// (unbuffered repro), and {2^10, 2^18} (buffered repro). The defaults
+// below were re-derived with `reprobench fig9` on the reference CI
+// machine of this reproduction (single core, smaller caches), where
+// radix partitioning is relatively more expensive and therefore pays
+// off later; rerun fig9 to retune for your hardware.
+var (
+	// ThresholdsBuiltin: depth crossovers for built-in scalar types.
+	ThresholdsBuiltin = DepthThresholds{1 << 18, 1 << 26}
+	// ThresholdsReproUnbuffered: crossovers for unbuffered repro types.
+	ThresholdsReproUnbuffered = DepthThresholds{1 << 17, 1 << 25}
+	// ThresholdsReproBuffered: crossovers for buffered repro types
+	// (larger cache footprint, but also a slower baseline to amortize
+	// against).
+	ThresholdsReproBuffered = DepthThresholds{1 << 17, 1 << 26}
+)

@@ -1,0 +1,169 @@
+// Package bench is the experiment harness shared by cmd/reprobench and
+// the testing.B benchmarks: wall-clock measurement normalized to the
+// paper's "CPU time per element" metric, parameter sweeps, aligned
+// table printing, and small statistics helpers (geometric mean, ratio
+// formatting).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Measure runs fn once and returns its wall time. A GC cycle runs first
+// so allocation debt from setup does not leak into the measurement.
+func Measure(fn func()) time.Duration {
+	runtime.GC()
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// MeasureBest runs fn reps times and returns the fastest run — the
+// standard way to suppress scheduling noise in micro-benchmarks.
+func MeasureBest(reps int, fn func()) time.Duration {
+	if reps < 1 {
+		reps = 1
+	}
+	best := time.Duration(math.MaxInt64)
+	for i := 0; i < reps; i++ {
+		if d := Measure(fn); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// NsPerElem converts a duration into the paper's "CPU time per element"
+// metric: T·P/n nanoseconds, with P the number of processing elements
+// (Section VI-A). For single-threaded runs pass procs = 1.
+func NsPerElem(d time.Duration, procs, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(d.Nanoseconds()) * float64(procs) / float64(n)
+}
+
+// Geomean returns the geometric mean of xs (ignoring non-positive
+// values, which would poison the logarithm).
+func Geomean(xs []float64) float64 {
+	sum, cnt := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(cnt))
+}
+
+// Pow2Sweep returns powers of two from 2^lo to 2^hi inclusive.
+func Pow2Sweep(lo, hi int) []int {
+	var out []int
+	for e := lo; e <= hi; e++ {
+		out = append(out, 1<<e)
+	}
+	return out
+}
+
+// Table accumulates rows and prints them with aligned columns — the
+// textual stand-in for the paper's figures.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are stringified with %v, floats with %g
+// unless they are already strings.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = FormatFloat(v)
+		case float32:
+			row[i] = FormatFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// FormatFloat renders a float compactly: 3 significant decimals for
+// ordinary magnitudes, scientific notation for extremes.
+func FormatFloat(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case a >= 0.01 && a < 100000:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.2e", v)
+	}
+}
+
+// Fprint writes the table to w.
+func (t *Table) Fprint(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, h := range t.headers {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], h)
+	}
+	fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	b.Reset()
+	for i := range t.headers {
+		b.WriteString(strings.Repeat("-", widths[i]) + "  ")
+	}
+	fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	for _, r := range t.rows {
+		b.Reset()
+		for i, c := range r {
+			width := 0
+			if i < len(widths) {
+				width = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s  ", width, c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+}
+
+// Ratio formats a slowdown/speedup factor like the paper's annotations
+// ("3.73x").
+func Ratio(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// MachineInfo returns a one-line description of the benchmark machine.
+func MachineInfo() string {
+	return fmt.Sprintf("GOMAXPROCS=%d GOOS=%s GOARCH=%s",
+		runtime.GOMAXPROCS(0), runtime.GOOS, runtime.GOARCH)
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNsPerElem(t *testing.T) {
+	if got := NsPerElem(time.Microsecond, 1, 1000); got != 1 {
+		t.Errorf("NsPerElem = %v", got)
+	}
+	if got := NsPerElem(time.Microsecond, 8, 1000); got != 8 {
+		t.Errorf("NsPerElem with P=8 = %v", got)
+	}
+	if got := NsPerElem(time.Second, 1, 0); got != 0 {
+		t.Errorf("NsPerElem n=0 = %v", got)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Geomean = %v", got)
+	}
+	if got := Geomean([]float64{3}); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Geomean single = %v", got)
+	}
+	if got := Geomean(nil); got != 0 {
+		t.Errorf("Geomean empty = %v", got)
+	}
+	// Non-positive values are ignored.
+	if got := Geomean([]float64{-1, 0, 4}); got != 4 {
+		t.Errorf("Geomean with junk = %v", got)
+	}
+}
+
+func TestPow2Sweep(t *testing.T) {
+	s := Pow2Sweep(2, 5)
+	want := []int{4, 8, 16, 32}
+	if len(s) != len(want) {
+		t.Fatalf("sweep = %v", s)
+	}
+	for i := range s {
+		if s[i] != want[i] {
+			t.Fatalf("sweep = %v", s)
+		}
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	d := Measure(func() { time.Sleep(2 * time.Millisecond) })
+	if d < 2*time.Millisecond {
+		t.Errorf("Measure = %v", d)
+	}
+	if MeasureBest(0, func() {}) < 0 {
+		t.Error("MeasureBest reps=0")
+	}
+	fast := MeasureBest(3, func() {})
+	if fast > time.Millisecond {
+		t.Errorf("MeasureBest of no-op = %v", fast)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := NewTable("My Title", "col1", "longer column")
+	tbl.AddRow("a", 1.5)
+	tbl.AddRow("bbbbbbbb", 2)
+	tbl.AddRow(float32(0.25), 1e-30)
+	var sb strings.Builder
+	tbl.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"My Title", "col1", "longer column", "bbbbbbbb", "1.500", "2", "1.00e-30", "0.250"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Header separator present.
+	if !strings.Contains(out, "----") {
+		t.Error("no separator line")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1.5:     "1.500",
+		-2.25:   "-2.250",
+		1e-9:    "1.00e-09",
+		1e12:    "1.00e+12",
+		99999.9: "99999.900",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRatioAndMachineInfo(t *testing.T) {
+	if Ratio(2.5) != "2.50x" {
+		t.Errorf("Ratio = %q", Ratio(2.5))
+	}
+	if !strings.Contains(MachineInfo(), "GOMAXPROCS=") {
+		t.Error("MachineInfo missing GOMAXPROCS")
+	}
+}

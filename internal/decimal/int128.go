@@ -1,0 +1,142 @@
+// Package decimal implements the fixed-point DECIMAL(p) data types the
+// paper uses as reference points (Section VI-A): DECIMAL(9), DECIMAL(18),
+// and DECIMAL(38), backed by 32-, 64-, and 128-bit integers respectively.
+// Go has no built-in 128-bit integer (the paper uses GCC's __int128), so
+// Int128 provides the two-word arithmetic.
+//
+// Integer summation is reproducible as long as overflow either cannot
+// occur or wraps (two's complement addition is associative). The paper
+// notes that *checked* overflow handling can cost up to 3×; both wrapping
+// and checked variants are provided.
+package decimal
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// Int128 is a signed 128-bit integer in two's complement, Hi carrying
+// the sign.
+type Int128 struct {
+	Hi int64
+	Lo uint64
+}
+
+// Int128FromInt64 sign-extends v to 128 bits.
+func Int128FromInt64(v int64) Int128 {
+	hi := int64(0)
+	if v < 0 {
+		hi = -1
+	}
+	return Int128{Hi: hi, Lo: uint64(v)}
+}
+
+// Add returns x + y with wrap-around (two's complement), which keeps
+// addition associative and therefore reproducible.
+func (x Int128) Add(y Int128) Int128 {
+	lo, carry := bits.Add64(x.Lo, y.Lo, 0)
+	hi := uint64(x.Hi) + uint64(y.Hi) + carry
+	return Int128{Hi: int64(hi), Lo: lo}
+}
+
+// AddChecked returns x + y and reports whether signed overflow occurred.
+func (x Int128) AddChecked(y Int128) (Int128, bool) {
+	r := x.Add(y)
+	// Overflow iff operands share a sign that differs from the result's.
+	overflow := (x.Hi < 0) == (y.Hi < 0) && (r.Hi < 0) != (x.Hi < 0)
+	return r, overflow
+}
+
+// Sub returns x − y with wrap-around.
+func (x Int128) Sub(y Int128) Int128 {
+	lo, borrow := bits.Sub64(x.Lo, y.Lo, 0)
+	hi := uint64(x.Hi) - uint64(y.Hi) - borrow
+	return Int128{Hi: int64(hi), Lo: lo}
+}
+
+// Neg returns −x with wrap-around.
+func (x Int128) Neg() Int128 {
+	return Int128{}.Sub(x)
+}
+
+// AddInt64 returns x + v for a sign-extended 64-bit addend; this is the
+// hot operation of DECIMAL(38) aggregation (wide accumulator, narrow
+// values).
+func (x Int128) AddInt64(v int64) Int128 {
+	hi := int64(0)
+	if v < 0 {
+		hi = -1
+	}
+	lo, carry := bits.Add64(x.Lo, uint64(v), 0)
+	return Int128{Hi: int64(uint64(x.Hi) + uint64(hi) + carry), Lo: lo}
+}
+
+// IsZero reports whether x is zero.
+func (x Int128) IsZero() bool { return x.Hi == 0 && x.Lo == 0 }
+
+// Sign returns −1, 0, or +1.
+func (x Int128) Sign() int {
+	if x.Hi < 0 {
+		return -1
+	}
+	if x.Hi == 0 && x.Lo == 0 {
+		return 0
+	}
+	return 1
+}
+
+// Cmp returns −1, 0, or +1 comparing x and y as signed integers.
+func (x Int128) Cmp(y Int128) int {
+	if x.Hi != y.Hi {
+		if x.Hi < y.Hi {
+			return -1
+		}
+		return 1
+	}
+	if x.Lo != y.Lo {
+		if x.Lo < y.Lo {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// Big returns x as a math/big integer (cold path: formatting, tests).
+func (x Int128) Big() *big.Int {
+	b := new(big.Int).SetInt64(x.Hi)
+	b.Lsh(b, 64)
+	return b.Add(b, new(big.Int).SetUint64(x.Lo))
+}
+
+// Int128FromBig converts b to an Int128, reporting false if it does not
+// fit in 128 bits.
+func Int128FromBig(b *big.Int) (Int128, bool) {
+	if b.BitLen() > 127 {
+		return Int128{}, false
+	}
+	abs := new(big.Int).Abs(b)
+	lo := new(big.Int).And(abs, new(big.Int).SetUint64(^uint64(0))).Uint64()
+	hi := new(big.Int).Rsh(abs, 64).Uint64()
+	v := Int128{Hi: int64(hi), Lo: lo}
+	if b.Sign() < 0 {
+		v = v.Neg()
+	}
+	return v, true
+}
+
+// Float64 returns the nearest float64 to x.
+func (x Int128) Float64() float64 {
+	f, _ := new(big.Float).SetInt(x.Big()).Float64()
+	return f
+}
+
+// String formats x in decimal.
+func (x Int128) String() string { return x.Big().String() }
+
+// Format implements fmt.Formatter-compatible default formatting via
+// String; provided so %v and %d work naturally in messages.
+func (x Int128) Format(f fmt.State, verb rune) {
+	fmt.Fprintf(f, "%"+string(verb), x.Big())
+}

@@ -1,0 +1,204 @@
+// Package engine is a small vectorized column-store execution engine —
+// the stand-in for MonetDB in the paper's end-to-end experiment
+// (Section VI-E, Table IV). It provides columnar tables, selection
+// vectors, vectorized filter/projection primitives, and a group-by
+// aggregation operator whose SUM kernel is pluggable: built-in doubles,
+// reproducible doubles (with or without summation buffers), or the
+// sort-first baseline. Every operator records its CPU time, so queries
+// can report the aggregation share versus the rest of the plan exactly
+// like Table IV.
+package engine
+
+import (
+	"fmt"
+	"time"
+)
+
+// Column is a typed column of a table.
+type Column interface {
+	// Len returns the number of rows.
+	Len() int
+	// kind returns a human-readable type name for catalogs and errors.
+	kind() string
+}
+
+// Float64Column holds DOUBLE values.
+type Float64Column []float64
+
+// Len returns the number of rows.
+func (c Float64Column) Len() int { return len(c) }
+
+func (c Float64Column) kind() string { return "DOUBLE" }
+
+// Int32Column holds 32-bit integers (also used for dates as day
+// numbers, MonetDB-style).
+type Int32Column []int32
+
+// Len returns the number of rows.
+func (c Int32Column) Len() int { return len(c) }
+
+func (c Int32Column) kind() string { return "INT" }
+
+// ByteColumn holds dictionary-encoded single-byte values (flags).
+type ByteColumn []byte
+
+// Len returns the number of rows.
+func (c ByteColumn) Len() int { return len(c) }
+
+func (c ByteColumn) kind() string { return "CHAR(1)" }
+
+// Table is a named collection of equal-length columns.
+type Table struct {
+	name  string
+	nrows int
+	names []string
+	cols  []Column
+	index map[string]int
+}
+
+// NewTable creates an empty table.
+func NewTable(name string) *Table {
+	return &Table{name: name, nrows: -1, index: make(map[string]int)}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// NumRows returns the row count (0 for a table without columns).
+func (t *Table) NumRows() int {
+	if t.nrows < 0 {
+		return 0
+	}
+	return t.nrows
+}
+
+// AddColumn appends a column; all columns must have the same length.
+func (t *Table) AddColumn(name string, c Column) error {
+	if _, dup := t.index[name]; dup {
+		return fmt.Errorf("engine: table %s already has column %s", t.name, name)
+	}
+	if t.nrows >= 0 && c.Len() != t.nrows {
+		return fmt.Errorf("engine: column %s has %d rows, table %s has %d",
+			name, c.Len(), t.name, t.nrows)
+	}
+	t.nrows = c.Len()
+	t.index[name] = len(t.cols)
+	t.names = append(t.names, name)
+	t.cols = append(t.cols, c)
+	return nil
+}
+
+// MustAddColumn is AddColumn for table construction code where a
+// failure is a programming error.
+func (t *Table) MustAddColumn(name string, c Column) {
+	if err := t.AddColumn(name, c); err != nil {
+		panic(err)
+	}
+}
+
+// Column returns a column by name.
+func (t *Table) Column(name string) (Column, error) {
+	i, ok := t.index[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: table %s has no column %s", t.name, name)
+	}
+	return t.cols[i], nil
+}
+
+// Float64 returns a DOUBLE column by name.
+func (t *Table) Float64(name string) (Float64Column, error) {
+	c, err := t.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	f, ok := c.(Float64Column)
+	if !ok {
+		return nil, fmt.Errorf("engine: column %s is %s, not DOUBLE", name, c.kind())
+	}
+	return f, nil
+}
+
+// Int32 returns an INT column by name.
+func (t *Table) Int32(name string) (Int32Column, error) {
+	c, err := t.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	f, ok := c.(Int32Column)
+	if !ok {
+		return nil, fmt.Errorf("engine: column %s is %s, not INT", name, c.kind())
+	}
+	return f, nil
+}
+
+// Byte returns a CHAR(1) column by name.
+func (t *Table) Byte(name string) (ByteColumn, error) {
+	c, err := t.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	f, ok := c.(ByteColumn)
+	if !ok {
+		return nil, fmt.Errorf("engine: column %s is %s, not CHAR(1)", name, c.kind())
+	}
+	return f, nil
+}
+
+// Columns returns the column names in declaration order.
+func (t *Table) Columns() []string {
+	return append([]string(nil), t.names...)
+}
+
+// Profiler accumulates per-operator CPU time. The paper's Table IV
+// splits query time into "Aggregations" and "Other"; operators report
+// under a label and the query harness groups them.
+type Profiler struct {
+	labels []string
+	times  []time.Duration
+	index  map[string]int
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{index: make(map[string]int)}
+}
+
+// Measure runs fn and charges its wall time to label. (Single-threaded
+// operators: wall time == CPU time.)
+func (p *Profiler) Measure(label string, fn func()) {
+	start := time.Now()
+	fn()
+	p.Addt(label, time.Since(start))
+}
+
+// Addt charges a duration to label.
+func (p *Profiler) Addt(label string, d time.Duration) {
+	i, ok := p.index[label]
+	if !ok {
+		i = len(p.labels)
+		p.index[label] = i
+		p.labels = append(p.labels, label)
+		p.times = append(p.times, 0)
+	}
+	p.times[i] += d
+}
+
+// Get returns the accumulated time for label.
+func (p *Profiler) Get(label string) time.Duration {
+	if i, ok := p.index[label]; ok {
+		return p.times[i]
+	}
+	return 0
+}
+
+// Total returns the total accumulated time.
+func (p *Profiler) Total() time.Duration {
+	var t time.Duration
+	for _, d := range p.times {
+		t += d
+	}
+	return t
+}
+
+// Labels returns the labels in first-use order.
+func (p *Profiler) Labels() []string { return append([]string(nil), p.labels...) }

@@ -1,0 +1,222 @@
+package hashagg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+type sumAcc float64
+
+func (s *sumAcc) Add(v float64)       { *s += sumAcc(v) }
+func (s *sumAcc) MergeFrom(o *sumAcc) { *s += *o }
+
+func newSum() sumAcc { return 0 }
+
+func TestUpsertGetBasics(t *testing.T) {
+	tb := New[sumAcc](4, Identity, newSum)
+	*tb.Upsert(1) += 10
+	*tb.Upsert(2) += 20
+	*tb.Upsert(1) += 1
+	if tb.Len() != 2 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+	if got := *tb.Get(1); got != 11 {
+		t.Errorf("Get(1) = %v", got)
+	}
+	if got := *tb.Get(2); got != 20 {
+		t.Errorf("Get(2) = %v", got)
+	}
+	if tb.Get(3) != nil {
+		t.Error("Get(3) should be nil")
+	}
+}
+
+func TestKeyZeroWorks(t *testing.T) {
+	// Key 0 must be a first-class key (no sentinel confusion).
+	tb := New[sumAcc](4, Identity, newSum)
+	*tb.Upsert(0) += 5
+	*tb.Upsert(0) += 5
+	if got := *tb.Get(0); got != 10 {
+		t.Errorf("key 0 aggregate = %v", got)
+	}
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestGrowthPreservesAggregates(t *testing.T) {
+	tb := New[sumAcc](4, Identity, newSum)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		*tb.Upsert(uint32(i % 1000)) += 1
+	}
+	if tb.Len() != 1000 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	for k := uint32(0); k < 1000; k++ {
+		if got := *tb.Get(k); got != n/1000 {
+			t.Fatalf("key %d = %v, want %d", k, got, n/1000)
+		}
+	}
+}
+
+func TestMatchesMapReference(t *testing.T) {
+	f := func(seed uint64, hashSel bool) bool {
+		h := Identity
+		if hashSel {
+			h = Multiplicative
+		}
+		keys := workload.Keys(seed, 2000, 97) // non-power-of-two group count
+		vals := workload.Values64(seed+1, 2000, workload.Exp1)
+		tb := New[sumAcc](8, h, newSum)
+		Aggregate[float64, sumAcc](tb, keys, vals)
+		ref := make(map[uint32]float64)
+		for i, k := range keys {
+			ref[k] += vals[i]
+		}
+		if tb.Len() != len(ref) {
+			return false
+		}
+		okAll := true
+		tb.ForEach(func(key uint32, a *sumAcc) {
+			if float64(*a) != ref[key] {
+				okAll = false
+			}
+		})
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdversarialClusteredKeys(t *testing.T) {
+	// Identity hashing with clustered keys forces long probe chains;
+	// correctness must not degrade.
+	tb := New[sumAcc](4, Identity, newSum)
+	for round := 0; round < 3; round++ {
+		for k := uint32(0); k < 512; k++ {
+			*tb.Upsert(k * 1024) += 1 // all collide to slot 0 in a small table
+		}
+	}
+	if tb.Len() != 512 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	for k := uint32(0); k < 512; k++ {
+		if got := *tb.Get(k * 1024); got != 3 {
+			t.Fatalf("key %d = %v", k*1024, got)
+		}
+	}
+}
+
+func TestMergeTables(t *testing.T) {
+	a := New[sumAcc](4, Identity, newSum)
+	b := New[sumAcc](4, Identity, newSum)
+	*a.Upsert(1) += 1
+	*a.Upsert(2) += 2
+	*b.Upsert(2) += 20
+	*b.Upsert(3) += 30
+	MergeTables[sumAcc](a, b)
+	if *a.Get(1) != 1 || *a.Get(2) != 22 || *a.Get(3) != 30 {
+		t.Errorf("merge result wrong: %v %v %v", *a.Get(1), *a.Get(2), *a.Get(3))
+	}
+}
+
+func TestAggregateLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	tb := New[sumAcc](4, Identity, newSum)
+	Aggregate[float64, sumAcc](tb, []uint32{1}, []float64{1, 2})
+}
+
+func TestSizeHint(t *testing.T) {
+	if SizeHint(0) != 8 || SizeHint(7) != 8 {
+		t.Error("small hints")
+	}
+	if SizeHint(100) < 100 {
+		t.Error("hint too small")
+	}
+}
+
+func TestHashFunctions(t *testing.T) {
+	// Multiplicative must spread consecutive keys; identity must not.
+	maskVal := uint32(255)
+	slots := make(map[uint32]bool)
+	for k := uint32(0); k < 100; k++ {
+		slots[Multiplicative.apply(k*256, maskVal)] = true
+	}
+	if len(slots) < 50 {
+		t.Errorf("multiplicative hashing collapsed: %d distinct slots", len(slots))
+	}
+	if Identity.apply(42, maskVal) != 42 {
+		t.Error("identity hash changed the key")
+	}
+}
+
+type resettableAcc struct {
+	sum   float64
+	buf   []float64 // stands in for a summation buffer
+	reset int
+}
+
+func (r *resettableAcc) Add(v float64) { r.sum += v }
+func (r *resettableAcc) Reset()        { r.sum = 0; r.reset++ }
+
+func TestClearRecyclesPayloads(t *testing.T) {
+	tb := New[resettableAcc](8, Identity, func() resettableAcc {
+		return resettableAcc{buf: make([]float64, 4)}
+	})
+	a := tb.Upsert(3)
+	a.Add(5)
+	bufBefore := &a.buf[0]
+	tb.Clear()
+	if tb.Len() != 0 {
+		t.Fatal("Clear did not empty the table")
+	}
+	// Reinserting the same key must recycle the payload (Reset, keep buf).
+	b := tb.Upsert(3)
+	if b.sum != 0 || b.reset != 1 {
+		t.Errorf("payload not reset: %+v", *b)
+	}
+	if &b.buf[0] != bufBefore {
+		t.Error("buffer was reallocated instead of recycled")
+	}
+	// A different key hitting a fresh slot gets a new payload.
+	c := tb.Upsert(4)
+	if c.reset != 0 || c.buf == nil {
+		t.Errorf("fresh payload wrong: %+v", *c)
+	}
+}
+
+func TestClearWithNonResettable(t *testing.T) {
+	tb := New[sumAcc](8, Identity, newSum)
+	*tb.Upsert(1) += 7
+	tb.Clear()
+	if got := *tb.Upsert(1); got != 0 {
+		t.Errorf("non-resettable payload not reinitialized: %v", got)
+	}
+}
+
+func TestClearRepeatedPartitions(t *testing.T) {
+	// Simulate the worker loop: many partitions through one table.
+	tb := New[sumAcc](8, Identity, newSum)
+	for part := 0; part < 50; part++ {
+		for k := uint32(0); k < 20; k++ {
+			*tb.Upsert(k) += 1
+		}
+		if tb.Len() != 20 {
+			t.Fatalf("partition %d: len %d", part, tb.Len())
+		}
+		tb.ForEach(func(key uint32, a *sumAcc) {
+			if *a != 1 {
+				t.Fatalf("partition %d key %d: %v", part, key, *a)
+			}
+		})
+		tb.Clear()
+	}
+}

@@ -1,0 +1,216 @@
+package partition
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func TestDoBasics(t *testing.T) {
+	keys := []uint32{0, 1, 2, 3, 256, 257, 0}
+	vals := []float64{10, 11, 12, 13, 14, 15, 16}
+	out := Do(keys, vals, 0, 256, 1)
+	if out.NumPartitions() != 256 {
+		t.Fatalf("partitions = %d", out.NumPartitions())
+	}
+	pk, pv := out.Partition(0)
+	// byte0 == 0: keys 0, 256, 0
+	if len(pk) != 3 {
+		t.Fatalf("partition 0 has %d keys", len(pk))
+	}
+	sum := 0.0
+	for _, v := range pv {
+		sum += v
+	}
+	if sum != 10+14+16 {
+		t.Errorf("partition 0 values wrong: %v", pv)
+	}
+	pk, _ = out.Partition(1)
+	if len(pk) != 2 { // 1 and 257
+		t.Errorf("partition 1 has %d keys", len(pk))
+	}
+}
+
+func TestPartitionIsPermutation(t *testing.T) {
+	f := func(seed uint64, workersRaw uint8) bool {
+		workers := int(workersRaw)%8 + 1
+		keys := workload.Keys(seed, 5000, 10000)
+		vals := make([]uint64, len(keys))
+		for i := range vals {
+			vals[i] = uint64(i) // unique tags to verify pairing
+		}
+		out := Do(keys, vals, 0, 256, workers)
+		if len(out.Keys) != len(keys) {
+			return false
+		}
+		seen := make([]bool, len(keys))
+		for i, k := range out.Keys {
+			tag := out.Vals[i]
+			if seen[tag] || keys[tag] != k {
+				return false // pair broken or duplicated
+			}
+			seen[tag] = true
+		}
+		// Every element within a partition has the right radix byte.
+		for p := 0; p < out.NumPartitions(); p++ {
+			pk, _ := out.Partition(p)
+			for _, k := range pk {
+				if int(k&255) != p {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicForFixedWorkers(t *testing.T) {
+	keys := workload.Keys(3, 10000, 4096)
+	vals := workload.Values64(4, 10000, workload.Exp1)
+	a := Do(keys, vals, 0, 256, 4)
+	b := Do(keys, vals, 0, 256, 4)
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] || a.Vals[i] != b.Vals[i] {
+			t.Fatal("partitioning not deterministic for fixed worker count")
+		}
+	}
+}
+
+func TestStableWithinWorkerChunks(t *testing.T) {
+	// With one worker, partitioning is fully stable: relative order of
+	// equal-byte keys is preserved.
+	keys := []uint32{256, 0, 512, 0, 256}
+	vals := []int{1, 2, 3, 4, 5}
+	out := Do(keys, vals, 0, 256, 1)
+	_, pv := out.Partition(0)
+	want := []int{1, 2, 3, 4, 5}
+	for i := range pv {
+		if pv[i] != want[i] {
+			t.Fatalf("order not stable: %v", pv)
+		}
+	}
+}
+
+func TestRecursiveDepths(t *testing.T) {
+	keys := workload.Keys(5, 20000, 1<<16)
+	vals := workload.Values64(6, 20000, workload.Uniform12)
+	for _, depth := range []int{0, 1, 2} {
+		out := Recursive(keys, vals, depth, 256, 2)
+		wantParts := 1
+		for i := 0; i < depth; i++ {
+			wantParts *= 256
+		}
+		if out.NumPartitions() != wantParts {
+			t.Fatalf("depth %d: partitions = %d, want %d", depth, out.NumPartitions(), wantParts)
+		}
+		if len(out.Keys) != len(keys) {
+			t.Fatalf("depth %d: lost rows", depth)
+		}
+		// Depth-2 property: within a partition all keys share their low
+		// 16 bits, and the partition index is byte0·256 + byte1.
+		if depth == 2 {
+			for p := 0; p < out.NumPartitions(); p++ {
+				pk, _ := out.Partition(p)
+				for _, k := range pk {
+					if int(k&255)*256+int((k>>8)&255) != p {
+						t.Fatalf("depth-2 partition %d contains key %d", p, k)
+					}
+				}
+			}
+		}
+		// Multiset preserved.
+		got := append([]uint32(nil), out.Keys...)
+		want := append([]uint32(nil), keys...)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("depth %d: key multiset changed", depth)
+			}
+		}
+	}
+}
+
+func TestEmptyAndSmallInputs(t *testing.T) {
+	out := Do([]uint32{}, []float64{}, 0, 256, 4)
+	if out.NumPartitions() != 256 || len(out.Keys) != 0 {
+		t.Error("empty input mishandled")
+	}
+	out = Do([]uint32{7}, []float64{1}, 0, 256, 8)
+	pk, pv := out.Partition(7)
+	if len(pk) != 1 || pv[0] != 1 {
+		t.Error("single element mishandled")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("length mismatch", func() { Do([]uint32{1}, []float64{1, 2}, 0, 256, 1) })
+	mustPanic("bad fanout", func() { Do([]uint32{1}, []float64{1}, 0, 100, 1) })
+	mustPanic("zero fanout", func() { Do([]uint32{1}, []float64{1}, 0, 0, 1) })
+}
+
+func TestDoBufferedMatchesDo(t *testing.T) {
+	f := func(seed uint64, workersRaw uint8) bool {
+		workers := int(workersRaw)%4 + 1
+		keys := workload.Keys(seed, 3000, 1<<14)
+		vals := workload.Values64(seed+1, 3000, workload.Exp1)
+		a := Do(keys, vals, 0, 256, workers)
+		b := DoBuffered(keys, vals, 0, 256, workers)
+		if len(a.Keys) != len(b.Keys) {
+			return false
+		}
+		for p := 0; p <= 256; p++ {
+			if a.Off[p] != b.Off[p] {
+				return false
+			}
+		}
+		// Same multiset per partition (order within a worker segment is
+		// stable for both, so outputs are in fact identical).
+		for i := range a.Keys {
+			if a.Keys[i] != b.Keys[i] || a.Vals[i] != b.Vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDoBufferedLargeFill(t *testing.T) {
+	// More than swwcbSize elements per partition forces mid-stream
+	// flushes.
+	n := 256 * 200
+	keys := make([]uint32, n)
+	vals := make([]int, n)
+	for i := range keys {
+		keys[i] = uint32(i % 256)
+		vals[i] = i
+	}
+	out := DoBuffered(keys, vals, 0, 256, 2)
+	for p := 0; p < 256; p++ {
+		pk, pv := out.Partition(p)
+		if len(pk) != 200 {
+			t.Fatalf("partition %d: %d elements", p, len(pk))
+		}
+		for i, k := range pk {
+			if int(k) != p || vals[pv[i]%n] != pv[i] {
+				t.Fatalf("partition %d corrupted", p)
+			}
+		}
+	}
+}

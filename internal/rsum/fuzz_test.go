@@ -1,0 +1,154 @@
+package rsum
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// Native fuzz targets. `go test` runs the seed corpus; `go test -fuzz`
+// explores further. Each target checks the core metamorphic properties
+// on arbitrary bit patterns, including NaNs, infinities, subnormals,
+// and near-overflow values.
+
+func bytesToFloats(data []byte) []float64 {
+	xs := make([]float64, 0, len(data)/8)
+	for len(data) >= 8 {
+		xs = append(xs, math.Float64frombits(binary.LittleEndian.Uint64(data)))
+		data = data[8:]
+	}
+	return xs
+}
+
+func addFuzzSeeds(f *testing.F) {
+	f.Helper()
+	seed := func(vals ...float64) {
+		buf := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+		}
+		f.Add(buf, uint8(3))
+	}
+	seed(1, 2, 3)
+	seed(2.5e-16, 0.999999999999999, 2.5e-16)
+	seed(math.NaN(), 1, math.Inf(1))
+	seed(math.Inf(1), math.Inf(-1))
+	seed(0x1p990, -0x1p990, 1)
+	seed(math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64)
+	seed(1e300, -1e300, 1e-300, 42)
+	seed(0, math.Copysign(0, -1), 0)
+}
+
+// FuzzPermutationInvariance: rotating the input must not change the
+// normalized state or the finalized bits.
+func FuzzPermutationInvariance(f *testing.F) {
+	addFuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte, rot uint8) {
+		xs := bytesToFloats(data)
+		if len(xs) == 0 {
+			return
+		}
+		k := int(rot) % len(xs)
+		a := NewState64(2)
+		for _, x := range xs {
+			a.Add(x)
+		}
+		b := NewState64(2)
+		for i := range xs {
+			b.Add(xs[(i+k)%len(xs)])
+		}
+		if !a.Equal(&b) {
+			t.Fatalf("rotation by %d changed the state for %v", k, xs)
+		}
+		va, vb := a.Value(), b.Value()
+		if math.Float64bits(va) != math.Float64bits(vb) {
+			t.Fatalf("rotation changed value: %v vs %v", va, vb)
+		}
+	})
+}
+
+// FuzzKernelConsistency: Add, AddEager, AddSlice, AddSliceVec, and a
+// split+Merge must all produce the same normalized state.
+func FuzzKernelConsistency(f *testing.F) {
+	addFuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte, cut uint8) {
+		xs := bytesToFloats(data)
+		if len(xs) == 0 {
+			return
+		}
+		ref := NewState64(2)
+		for _, x := range xs {
+			ref.Add(x)
+		}
+		eager := NewState64(2)
+		for _, x := range xs {
+			eager.AddEager(x)
+		}
+		if !ref.Equal(&eager) {
+			t.Fatal("AddEager differs")
+		}
+		sl := NewState64(2)
+		sl.AddSlice(xs)
+		if !ref.Equal(&sl) {
+			t.Fatal("AddSlice differs")
+		}
+		vec := NewState64(2)
+		vec.AddSliceVec(xs)
+		if !ref.Equal(&vec) {
+			t.Fatal("AddSliceVec differs")
+		}
+		k := int(cut) % len(xs)
+		left := NewState64(2)
+		left.AddSlice(xs[:k])
+		right := NewState64(2)
+		right.AddSliceVec(xs[k:])
+		left.Merge(&right)
+		if !ref.Equal(&left) {
+			t.Fatal("split+Merge differs")
+		}
+	})
+}
+
+// FuzzMarshalRoundtrip: marshal/unmarshal must preserve the state, and
+// the canonical encoding must be stable.
+func FuzzMarshalRoundtrip(f *testing.F) {
+	addFuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte, levels uint8) {
+		l := int(levels)%MaxLevels + 1
+		xs := bytesToFloats(data)
+		s := NewState64(l)
+		s.AddSlice(xs)
+		enc, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r State64
+		if err := r.UnmarshalBinary(enc); err != nil {
+			t.Fatal(err)
+		}
+		if !r.Equal(&s) {
+			t.Fatal("roundtrip state differs")
+		}
+		enc2, _ := r.MarshalBinary()
+		if string(enc) != string(enc2) {
+			t.Fatal("canonical encoding unstable")
+		}
+	})
+}
+
+// FuzzUnmarshalRobustness: arbitrary bytes must never panic the decoder.
+func FuzzUnmarshalRobustness(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 64, 2, 1, 0, 0, 0, 0})
+	good, _ := func() ([]byte, error) { s := NewState64(2); s.Add(1); return s.MarshalBinary() }()
+	f.Add(good)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s State64
+		if err := s.UnmarshalBinary(data); err != nil {
+			return // rejected, fine
+		}
+		// Accepted: state must be usable.
+		s.Add(1)
+		_ = s.Value()
+	})
+}

@@ -1,0 +1,217 @@
+package rsum
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/floatbits"
+)
+
+// Binary encodings of summation states. A database engine needs to ship
+// partial aggregates between operators, workers, and nodes; the encoding
+// is canonical (the state is normalized by carry propagation first), so
+// two states that represent the same multiset of inputs marshal to the
+// same bytes regardless of how the inputs were distributed.
+
+const (
+	stateVersion  = 1
+	kindState64   = 64
+	kindState32   = 32
+	headerSize    = 1 + 1 + 1 + 1 + 4 + 4 + 4 + 4 // version, kind, levels, flags, nan, posInf, negInf, eTop
+	flagInit      = 1
+	levelSize64   = 8 + 8
+	levelSize32   = 4 + 8
+	marshalSize64 = headerSize + MaxLevels*levelSize64
+)
+
+var errCorrupt = errors.New("rsum: corrupt state encoding")
+
+// MarshalBinary implements encoding.BinaryMarshaler. The encoding is
+// canonical: states that Equal() each other marshal identically.
+func (s *State64) MarshalBinary() ([]byte, error) {
+	t := *s
+	if t.init {
+		t.propagate()
+	}
+	buf := make([]byte, headerSize+int(t.levels)*levelSize64)
+	buf[0] = stateVersion
+	buf[1] = kindState64
+	buf[2] = byte(t.levels)
+	if t.init {
+		buf[3] = flagInit
+	}
+	binary.LittleEndian.PutUint32(buf[4:], t.nan)
+	binary.LittleEndian.PutUint32(buf[8:], t.posInf)
+	binary.LittleEndian.PutUint32(buf[12:], t.negInf)
+	binary.LittleEndian.PutUint32(buf[16:], uint32(t.eTop))
+	off := headerSize
+	for l := 0; l < int(t.levels); l++ {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(t.s[l]))
+		binary.LittleEndian.PutUint64(buf[off+8:], uint64(t.c[l]))
+		off += levelSize64
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *State64) UnmarshalBinary(data []byte) error {
+	if len(data) < headerSize {
+		return errCorrupt
+	}
+	if data[0] != stateVersion {
+		return fmt.Errorf("rsum: unsupported state version %d", data[0])
+	}
+	if data[1] != kindState64 {
+		return fmt.Errorf("rsum: expected State64 encoding, got kind %d", data[1])
+	}
+	levels := int(data[2])
+	if levels < 1 || levels > MaxLevels {
+		return errCorrupt
+	}
+	if len(data) != headerSize+levels*levelSize64 {
+		return errCorrupt
+	}
+	var t State64
+	t.levels = int8(levels)
+	t.init = data[3]&flagInit != 0
+	t.nan = binary.LittleEndian.Uint32(data[4:])
+	t.posInf = binary.LittleEndian.Uint32(data[8:])
+	t.negInf = binary.LittleEndian.Uint32(data[12:])
+	t.eTop = int32(binary.LittleEndian.Uint32(data[16:]))
+	off := headerSize
+	for l := 0; l < levels; l++ {
+		t.s[l] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		t.c[l] = int64(binary.LittleEndian.Uint64(data[off+8:]))
+		off += levelSize64
+	}
+	if err := t.validate(); err != nil {
+		return err
+	}
+	*s = t
+	return nil
+}
+
+// validate rejects decoded states that violate the structural
+// invariants; accepting them would let corrupt (or adversarial) bytes
+// break the exactness arguments or panic later operations.
+func (t *State64) validate() error {
+	if !t.init {
+		if t.eTop != 0 {
+			return errCorrupt
+		}
+		return nil
+	}
+	e := int(t.eTop)
+	if e%floatbits.W64 != 0 || e < floatbits.MinLevelExp64 || e > floatbits.MaxLevelExp64 {
+		return errCorrupt
+	}
+	for l := 0; l < int(t.levels); l++ {
+		le := t.levelExp(l)
+		if le < LowestLevelExp64 {
+			if t.s[l] != 0 || t.c[l] != 0 {
+				return errCorrupt // dead levels must be empty
+			}
+			continue
+		}
+		ufp := floatbits.Pow2_64(le)
+		// Live running sums stay within their binade: [1, 2)·ufp.
+		if !(t.s[l] >= ufp && t.s[l] < 2*ufp) {
+			return errCorrupt
+		}
+	}
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler; see State64.
+func (s *State32) MarshalBinary() ([]byte, error) {
+	t := *s
+	if t.init {
+		t.propagate()
+	}
+	buf := make([]byte, headerSize+int(t.levels)*levelSize32)
+	buf[0] = stateVersion
+	buf[1] = kindState32
+	buf[2] = byte(t.levels)
+	if t.init {
+		buf[3] = flagInit
+	}
+	binary.LittleEndian.PutUint32(buf[4:], t.nan)
+	binary.LittleEndian.PutUint32(buf[8:], t.posInf)
+	binary.LittleEndian.PutUint32(buf[12:], t.negInf)
+	binary.LittleEndian.PutUint32(buf[16:], uint32(t.eTop))
+	off := headerSize
+	for l := 0; l < int(t.levels); l++ {
+		binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(t.s[l]))
+		binary.LittleEndian.PutUint64(buf[off+4:], uint64(t.c[l]))
+		off += levelSize32
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *State32) UnmarshalBinary(data []byte) error {
+	if len(data) < headerSize {
+		return errCorrupt
+	}
+	if data[0] != stateVersion {
+		return fmt.Errorf("rsum: unsupported state version %d", data[0])
+	}
+	if data[1] != kindState32 {
+		return fmt.Errorf("rsum: expected State32 encoding, got kind %d", data[1])
+	}
+	levels := int(data[2])
+	if levels < 1 || levels > MaxLevels {
+		return errCorrupt
+	}
+	if len(data) != headerSize+levels*levelSize32 {
+		return errCorrupt
+	}
+	var t State32
+	t.levels = int8(levels)
+	t.init = data[3]&flagInit != 0
+	t.nan = binary.LittleEndian.Uint32(data[4:])
+	t.posInf = binary.LittleEndian.Uint32(data[8:])
+	t.negInf = binary.LittleEndian.Uint32(data[12:])
+	t.eTop = int32(binary.LittleEndian.Uint32(data[16:]))
+	off := headerSize
+	for l := 0; l < levels; l++ {
+		t.s[l] = math.Float32frombits(binary.LittleEndian.Uint32(data[off:]))
+		t.c[l] = int64(binary.LittleEndian.Uint64(data[off+4:]))
+		off += levelSize32
+	}
+	if err := t.validate(); err != nil {
+		return err
+	}
+	*s = t
+	return nil
+}
+
+// validate mirrors State64.validate for single precision.
+func (t *State32) validate() error {
+	if !t.init {
+		if t.eTop != 0 {
+			return errCorrupt
+		}
+		return nil
+	}
+	e := int(t.eTop)
+	if e%floatbits.W32 != 0 || e < floatbits.MinLevelExp32 || e > floatbits.MaxLevelExp32 {
+		return errCorrupt
+	}
+	for l := 0; l < int(t.levels); l++ {
+		le := t.levelExp(l)
+		if le < LowestLevelExp32 {
+			if t.s[l] != 0 || t.c[l] != 0 {
+				return errCorrupt
+			}
+			continue
+		}
+		ufp := floatbits.Pow2_32(le)
+		if !(t.s[l] >= ufp && t.s[l] < 2*ufp) {
+			return errCorrupt
+		}
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package rsum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVals32(rng *rand.Rand, n int, kind int) []float32 {
+	xs := make([]float32, n)
+	for i := range xs {
+		switch kind {
+		case 0:
+			xs[i] = 1 + rng.Float32()
+		case 1:
+			xs[i] = float32(rng.ExpFloat64())
+		default:
+			xs[i] = float32((rng.Float64() - 0.5) * math.Ldexp(1, rng.Intn(40)-20))
+		}
+	}
+	return xs
+}
+
+func TestEmptyState32(t *testing.T) {
+	s := NewState32(2)
+	if !s.IsEmpty() || s.Value() != 0 {
+		t.Error("new State32 not empty")
+	}
+}
+
+func TestPermutationInvariance32(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for kind := 0; kind < 3; kind++ {
+		for L := 1; L <= 4; L++ {
+			xs := randVals32(rng, 500, kind)
+			s1 := NewState32(L)
+			for _, x := range xs {
+				s1.Add(x)
+			}
+			for trial := 0; trial < 5; trial++ {
+				perm := rng.Perm(len(xs))
+				s2 := NewState32(L)
+				for _, i := range perm {
+					s2.Add(xs[i])
+				}
+				if !s1.Equal(&s2) {
+					t.Fatalf("kind=%d L=%d: permutation changed State32", kind, L)
+				}
+				if math.Float32bits(s1.Value()) != math.Float32bits(s2.Value()) {
+					t.Fatalf("kind=%d L=%d: permutation changed float32 value", kind, L)
+				}
+			}
+		}
+	}
+}
+
+func TestMergeMatchesSequential32(t *testing.T) {
+	f := func(seed int64, cut uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := randVals32(rng, 200, 2)
+		k := int(cut) % len(xs)
+		seq := NewState32(2)
+		for _, x := range xs {
+			seq.Add(x)
+		}
+		a := NewState32(2)
+		for _, x := range xs[:k] {
+			a.Add(x)
+		}
+		b := NewState32(2)
+		for _, x := range xs[k:] {
+			b.Add(x)
+		}
+		a.Merge(&b)
+		return a.Equal(&seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSliceMatchesAdd32(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	xs := randVals32(rng, 3000, 2)
+	a := NewState32(2)
+	for _, x := range xs {
+		a.Add(x)
+	}
+	b := NewState32(2)
+	rest := xs
+	for len(rest) > 0 {
+		n := 1 + rng.Intn(len(rest))
+		b.AddSlice(rest[:n])
+		rest = rest[n:]
+	}
+	if !a.Equal(&b) {
+		t.Error("State32 AddSlice differs from Add")
+	}
+}
+
+func TestSpecialValues32(t *testing.T) {
+	inf := float32(math.Inf(1))
+	nan := float32(math.NaN())
+	s := NewState32(2)
+	s.Add(1)
+	s.Add(nan)
+	if v := s.Value(); v == v {
+		t.Errorf("NaN lost: %v", v)
+	}
+	s = NewState32(2)
+	s.Add(inf)
+	s.Add(5)
+	if v := s.Value(); !math.IsInf(float64(v), 1) {
+		t.Errorf("+Inf lost: %v", v)
+	}
+	s = NewState32(2)
+	s.Add(inf)
+	s.Add(-inf)
+	if v := s.Value(); v == v {
+		t.Errorf("Inf−Inf should be NaN: %v", v)
+	}
+	// Overflow domain: |x| ≥ 2^120 saturates deterministically.
+	s = NewState32(2)
+	s.Add(0x1p121)
+	if v := s.Value(); !math.IsInf(float64(v), 1) {
+		t.Errorf("overflow input: %v", v)
+	}
+}
+
+func TestAccuracy32ComparableToConventional(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	xs := randVals32(rng, 50000, 0)
+	exact := 0.0
+	for _, x := range xs {
+		exact += float64(x)
+	}
+	conv := float32(0)
+	for _, x := range xs {
+		conv += x
+	}
+	s := NewState32(2)
+	s.AddSlice(xs)
+	convErr := math.Abs(float64(conv) - exact)
+	reproErr := math.Abs(float64(s.Value()) - exact)
+	// L=2 must be at least in the same ballpark as conventional single
+	// precision (it is usually much better).
+	if reproErr > 10*convErr+1e-3 {
+		t.Errorf("repro L=2 err %g vs conventional %g", reproErr, convErr)
+	}
+}
+
+func TestMarshalRoundtrip32(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for L := 1; L <= MaxLevels; L++ {
+		s := NewState32(L)
+		for i := 0; i < 500; i++ {
+			s.Add(randVals32(rng, 1, 2)[0])
+		}
+		data, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r State32
+		if err := r.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		if !r.Equal(&s) {
+			t.Fatalf("L=%d: State32 roundtrip differs", L)
+		}
+	}
+	// Kind mismatch across types must be rejected.
+	s64 := NewState64(2)
+	d64, _ := s64.MarshalBinary()
+	var s32 State32
+	if err := s32.UnmarshalBinary(d64); err == nil {
+		t.Error("State32 accepted a State64 encoding")
+	}
+}
+
+func TestVecMatchesScalar32(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for kind := 0; kind < 3; kind++ {
+		for L := 1; L <= 4; L++ {
+			for _, n := range []int{0, 1, 3, 5, 17, 63, 64, 65, 1000, 5000} {
+				xs := randVals32(rng, n, kind)
+				a := NewState32(L)
+				for _, x := range xs {
+					a.Add(x)
+				}
+				b := NewState32(L)
+				b.AddSliceVec(xs)
+				if !a.Equal(&b) {
+					t.Fatalf("kind=%d L=%d n=%d: float32 vec kernel state differs", kind, L, n)
+				}
+				if math.Float32bits(a.Value()) != math.Float32bits(b.Value()) {
+					t.Fatalf("kind=%d L=%d n=%d: float32 vec value differs", kind, L, n)
+				}
+			}
+		}
+	}
+}
+
+func TestVecChunked32(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	xs := randVals32(rng, 4000, 2)
+	ref := NewState32(2)
+	for _, x := range xs {
+		ref.Add(x)
+	}
+	for _, c := range []int{1, 5, 16, 61, 256} {
+		s := NewState32(2)
+		for i := 0; i < len(xs); i += c {
+			end := i + c
+			if end > len(xs) {
+				end = len(xs)
+			}
+			s.AddSliceVec(xs[i:end])
+		}
+		if !s.Equal(&ref) {
+			t.Fatalf("chunk %d: float32 vec chunked differs", c)
+		}
+	}
+}

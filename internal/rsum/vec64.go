@@ -1,0 +1,214 @@
+package rsum
+
+import (
+	"math"
+
+	"repro/internal/floatbits"
+)
+
+// V is the number of accumulator lanes of the vectorized kernel,
+// matching the paper's V = 4 (double-precision values on AVX).
+// Go has no stdlib SIMD intrinsics, so the lanes are realized as four
+// independent dependency chains that superscalar hardware executes in
+// parallel; the algorithmic structure (per-lane state, tiling, the
+// horizontal reduction of Eq. 2–3) is exactly Algorithm 3.
+const V = 4
+
+// AddSliceVec absorbs a slice of values using the vectorized summation
+// kernel (RSUM SIMD, Algorithm 3). It produces the same bits as Add and
+// AddSlice applied to any permutation of the same values.
+//
+// Per call, the kernel expands the state into V lanes and horizontally
+// reduces them back at the end — the V× larger per-call state the paper
+// measures as start-up overhead for small chunks (Figure 6).
+func (s *State64) AddSliceVec(bs []float64) {
+	if len(bs) == 0 {
+		return
+	}
+
+	var lanes [MaxLevels][V]float64
+	var carries [MaxLevels][V]int64
+	loaded := false
+	L := int(s.levels)
+
+	load := func() {
+		for l := 0; l < L; l++ {
+			fresh := s.freshLevel(l)
+			lanes[l][0] = s.s[l]
+			carries[l][0] = s.c[l]
+			for v := 1; v < V; v++ {
+				lanes[l][v] = fresh
+				carries[l][v] = 0
+			}
+		}
+		loaded = true
+	}
+
+	// propagateLanes renormalizes every live lane of every level.
+	propagateLanes := func() {
+		for l := 0; l < L; l++ {
+			e := s.levelExp(l)
+			if e < LowestLevelExp64 {
+				break
+			}
+			ufp := floatbits.Pow2_64(e)
+			anchor := 1.5 * ufp
+			quarter := 0.25 * ufp
+			for v := 0; v < V; v++ {
+				delta := lanes[l][v] - anchor
+				d := math.Floor(delta / quarter)
+				if d != 0 {
+					lanes[l][v] -= d * quarter
+					carries[l][v] += int64(d)
+				}
+			}
+		}
+	}
+
+	// raiseLanes shifts the lane arrays when the top level rises,
+	// mirroring State64.raise for the expanded representation.
+	raiseLanes := func(eNeed int) {
+		shift := (eNeed - int(s.eTop)) / floatbits.W64
+		s.eTop = int32(eNeed)
+		for l := L - 1; l >= 0; l-- {
+			if l >= shift {
+				lanes[l] = lanes[l-shift]
+				carries[l] = carries[l-shift]
+			} else {
+				fresh := s.freshLevel(l)
+				for v := 0; v < V; v++ {
+					lanes[l][v] = fresh
+					carries[l][v] = 0
+				}
+			}
+		}
+	}
+
+	steps := int32(0) // per-lane extractions since the last propagation
+
+	input := bs
+	for len(input) > 0 {
+		n := len(input)
+		if n > V*(floatbits.NB64-1) {
+			n = V * (floatbits.NB64 - 1)
+		}
+		tile := input[:n]
+		input = input[n:]
+
+		maxExp, ok := chunkMaxExp64(tile)
+		if !ok {
+			// Specials in the tile: collapse lanes and take the slow path.
+			if loaded {
+				s.storeLanes(&lanes, &carries)
+				loaded = false
+			}
+			for _, b := range tile {
+				s.Add(b)
+			}
+			continue
+		}
+		if maxExp == minInt {
+			continue // all zeros
+		}
+		if !s.init {
+			s.raise(maxExp)
+		}
+		if !loaded {
+			load()
+		}
+		if maxExp >= int(s.eTop)-floatbits.MantBits64+floatbits.W64-1 {
+			raiseLanes(floatbits.TopLevelExp64(maxExp))
+		}
+		// +1 covers the ≤ V−1 tail values of the final tile, which are
+		// spread round-robin over the lanes (≤ 1 extra extraction each).
+		if steps+int32((n+V-1)/V)+1 > floatbits.NB64 {
+			propagateLanes()
+			steps = 0
+		}
+
+		i := 0
+		for ; i+V <= n; i += V {
+			r0, r1, r2, r3 := tile[i], tile[i+1], tile[i+2], tile[i+3]
+			for l := 0; l < L; l++ {
+				e := s.levelExp(l)
+				if e < LowestLevelExp64 {
+					break
+				}
+				ext := floatbits.Extractor64(e)
+				q0 := (r0 + ext) - ext
+				q1 := (r1 + ext) - ext
+				q2 := (r2 + ext) - ext
+				q3 := (r3 + ext) - ext
+				lanes[l][0] += q0
+				lanes[l][1] += q1
+				lanes[l][2] += q2
+				lanes[l][3] += q3
+				r0 -= q0
+				r1 -= q1
+				r2 -= q2
+				r3 -= q3
+			}
+		}
+		// Tail of the tile: scalar extraction, spread round-robin over
+		// the lanes so no lane exceeds its carry-propagation budget.
+		for lane := 0; i < n; i, lane = i+1, lane+1 {
+			b := tile[i]
+			if b == 0 {
+				continue
+			}
+			r := b
+			for l := 0; l < L; l++ {
+				e := s.levelExp(l)
+				if e < LowestLevelExp64 {
+					break
+				}
+				ext := floatbits.Extractor64(e)
+				q := (r + ext) - ext
+				lanes[l][lane%V] += q
+				r -= q
+				if r == 0 {
+					break
+				}
+			}
+		}
+		steps += int32((n + V - 1) / V)
+	}
+
+	if loaded {
+		propagateLanes()
+		s.storeLanes(&lanes, &carries)
+	}
+}
+
+// storeLanes performs the horizontal summation of Eq. 2–3: the per-lane
+// net values (all in [0, 0.25)·ufp after propagation) are folded into
+// lane 0 with exact arithmetic, spilling quarters into the carry
+// counter, and the result becomes the state's running sums.
+func (s *State64) storeLanes(lanes *[MaxLevels][V]float64, carries *[MaxLevels][V]int64) {
+	L := int(s.levels)
+	for l := 0; l < L; l++ {
+		e := s.levelExp(l)
+		if e < LowestLevelExp64 {
+			s.s[l] = 0
+			s.c[l] = 0
+			continue
+		}
+		ufp := floatbits.Pow2_64(e)
+		anchor := 1.5 * ufp
+		quarter := 0.25 * ufp
+		sum := lanes[l][0]
+		carry := carries[l][0]
+		for v := 1; v < V; v++ {
+			net := lanes[l][v] - anchor // exact, ∈ [0, 0.25)·ufp after propagation
+			sum += net                  // exact: sum < 2·ufp
+			if sum-anchor >= quarter {  // renormalize to [1.5, 1.75)·ufp
+				sum -= quarter
+				carry++
+			}
+			carry += carries[l][v]
+		}
+		s.s[l] = sum
+		s.c[l] = carry
+	}
+	s.nAdds = 0
+}

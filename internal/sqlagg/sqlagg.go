@@ -1,0 +1,263 @@
+// Package sqlagg implements the SQL aggregate-function library on top of
+// reproducible summation. The paper's introduction (footnote 2) observes
+// that with a reproducible floating-point SUM, every SQL aggregate that
+// needs floating-point arithmetic can be made reproducible, because they
+// are all computable from SUMs: AVG, VARIANCE, STDDEV, COVAR, CORR, and
+// the regression aggregates. The paper's future work names "operators
+// for machine learning and vector manipulation"; DotProduct and Norm2
+// cover the corresponding kernels.
+//
+// Each aggregate keeps one or more reproducible accumulators plus an
+// exact row counter, so any permutation of the input and any merge tree
+// of partial aggregates yields bit-identical results. Finalization uses
+// a fixed sequence of floating-point operations, preserving bit
+// reproducibility end to end.
+//
+// Population/sample variants follow the SQL standard: VAR_POP divides
+// by n, VAR_SAMP by n−1 (NULL — here NaN — for n < 2).
+package sqlagg
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// Avg is the reproducible AVG(x) aggregate.
+type Avg struct {
+	sum core.Sum64
+	n   int64
+}
+
+// NewAvg returns an empty AVG accumulator with the given level count.
+func NewAvg(levels int) Avg { return Avg{sum: core.NewSum64(levels)} }
+
+// Add folds one row in.
+func (a *Avg) Add(x float64) {
+	a.sum.Add(x)
+	a.n++
+}
+
+// MergeFrom combines partial aggregates.
+func (a *Avg) MergeFrom(o *Avg) {
+	a.sum.MergeFrom(&o.sum)
+	a.n += o.n
+}
+
+// Count returns the row count.
+func (a *Avg) Count() int64 { return a.n }
+
+// Value finalizes: SUM(x)/COUNT(x); NaN for an empty input (SQL NULL).
+func (a *Avg) Value() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.sum.Value() / float64(a.n)
+}
+
+// Variance is the reproducible VARIANCE/STDDEV aggregate, computed from
+// SUM(x) and SUM(x²) — the textbook decomposition the paper alludes to.
+// The squaring x·x is a single deterministic rounding per row, so the
+// whole aggregate is a function of the input multiset.
+type Variance struct {
+	sum   core.Sum64
+	sumSq core.Sum64
+	n     int64
+}
+
+// NewVariance returns an empty variance accumulator.
+func NewVariance(levels int) Variance {
+	return Variance{sum: core.NewSum64(levels), sumSq: core.NewSum64(levels)}
+}
+
+// Add folds one row in.
+func (v *Variance) Add(x float64) {
+	v.sum.Add(x)
+	v.sumSq.Add(x * x)
+	v.n++
+}
+
+// MergeFrom combines partial aggregates.
+func (v *Variance) MergeFrom(o *Variance) {
+	v.sum.MergeFrom(&o.sum)
+	v.sumSq.MergeFrom(&o.sumSq)
+	v.n += o.n
+}
+
+// Count returns the row count.
+func (v *Variance) Count() int64 { return v.n }
+
+// VarPop finalizes VAR_POP = (Σx² − (Σx)²/n) / n, clamped at 0 against
+// tiny negative results from the final (deterministic) roundings.
+func (v *Variance) VarPop() float64 {
+	if v.n == 0 {
+		return math.NaN()
+	}
+	return v.finalize(float64(v.n))
+}
+
+// VarSamp finalizes VAR_SAMP = (Σx² − (Σx)²/n) / (n−1); NaN for n < 2.
+func (v *Variance) VarSamp() float64 {
+	if v.n < 2 {
+		return math.NaN()
+	}
+	return v.finalize(float64(v.n - 1))
+}
+
+func (v *Variance) finalize(den float64) float64 {
+	s := v.sum.Value()
+	sq := v.sumSq.Value()
+	r := (sq - s*s/float64(v.n)) / den
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// StddevPop finalizes STDDEV_POP.
+func (v *Variance) StddevPop() float64 { return math.Sqrt(v.VarPop()) }
+
+// StddevSamp finalizes STDDEV_SAMP.
+func (v *Variance) StddevSamp() float64 { return math.Sqrt(v.VarSamp()) }
+
+// Covariance is the reproducible COVAR_POP/COVAR_SAMP/CORR aggregate
+// over pairs (x, y), from SUM(x), SUM(y), SUM(x·y), SUM(x²), SUM(y²).
+type Covariance struct {
+	sumX, sumY, sumXY, sumXX, sumYY core.Sum64
+	n                               int64
+}
+
+// NewCovariance returns an empty covariance accumulator.
+func NewCovariance(levels int) Covariance {
+	return Covariance{
+		sumX:  core.NewSum64(levels),
+		sumY:  core.NewSum64(levels),
+		sumXY: core.NewSum64(levels),
+		sumXX: core.NewSum64(levels),
+		sumYY: core.NewSum64(levels),
+	}
+}
+
+// Add folds one row in.
+func (c *Covariance) Add(x, y float64) {
+	c.sumX.Add(x)
+	c.sumY.Add(y)
+	c.sumXY.Add(x * y)
+	c.sumXX.Add(x * x)
+	c.sumYY.Add(y * y)
+	c.n++
+}
+
+// MergeFrom combines partial aggregates.
+func (c *Covariance) MergeFrom(o *Covariance) {
+	c.sumX.MergeFrom(&o.sumX)
+	c.sumY.MergeFrom(&o.sumY)
+	c.sumXY.MergeFrom(&o.sumXY)
+	c.sumXX.MergeFrom(&o.sumXX)
+	c.sumYY.MergeFrom(&o.sumYY)
+	c.n += o.n
+}
+
+// Count returns the row count.
+func (c *Covariance) Count() int64 { return c.n }
+
+// CovarPop finalizes COVAR_POP = (Σxy − ΣxΣy/n) / n.
+func (c *Covariance) CovarPop() float64 {
+	if c.n == 0 {
+		return math.NaN()
+	}
+	return c.cov() / float64(c.n)
+}
+
+// CovarSamp finalizes COVAR_SAMP = (Σxy − ΣxΣy/n) / (n−1).
+func (c *Covariance) CovarSamp() float64 {
+	if c.n < 2 {
+		return math.NaN()
+	}
+	return c.cov() / float64(c.n-1)
+}
+
+func (c *Covariance) cov() float64 {
+	return c.sumXY.Value() - c.sumX.Value()*c.sumY.Value()/float64(c.n)
+}
+
+// Corr finalizes the Pearson correlation CORR(x, y); NaN when either
+// variance is zero.
+func (c *Covariance) Corr() float64 {
+	if c.n == 0 {
+		return math.NaN()
+	}
+	nf := float64(c.n)
+	sx := c.sumXX.Value() - c.sumX.Value()*c.sumX.Value()/nf
+	sy := c.sumYY.Value() - c.sumY.Value()*c.sumY.Value()/nf
+	if sx <= 0 || sy <= 0 {
+		return math.NaN()
+	}
+	return c.cov() / math.Sqrt(sx*sy)
+}
+
+// RegrSlope finalizes REGR_SLOPE(y over x) = covar_pop(x,y)/var_pop(x).
+func (c *Covariance) RegrSlope() float64 {
+	if c.n == 0 {
+		return math.NaN()
+	}
+	nf := float64(c.n)
+	sx := c.sumXX.Value() - c.sumX.Value()*c.sumX.Value()/nf
+	if sx == 0 {
+		return math.NaN()
+	}
+	return c.cov() / sx
+}
+
+// RegrIntercept finalizes REGR_INTERCEPT(y over x).
+func (c *Covariance) RegrIntercept() float64 {
+	slope := c.RegrSlope()
+	if math.IsNaN(slope) {
+		return math.NaN()
+	}
+	nf := float64(c.n)
+	return c.sumY.Value()/nf - slope*c.sumX.Value()/nf
+}
+
+// DotProduct returns the reproducible dot product Σ x_i·y_i — the basic
+// kernel of the "machine learning and vector manipulation" operators the
+// paper's future work names. Each product rounds once deterministically;
+// the sum is reproducible, so the result is a function of the value
+// multiset (and is bit-identical for chunked/parallel execution via
+// DotProductMerge).
+func DotProduct(x, y []float64, levels int) float64 {
+	if len(x) != len(y) {
+		panic("sqlagg: dot product of different-length vectors")
+	}
+	s := core.NewSum64(levels)
+	for i := range x {
+		s.Add(x[i] * y[i])
+	}
+	return s.Value()
+}
+
+// Norm2 returns the reproducible squared Euclidean norm Σ x_i².
+func Norm2(x []float64, levels int) float64 {
+	return DotProduct(x, x, levels)
+}
+
+// DotProductExact returns the reproducible dot product with error-free
+// products: each product x·y is split into its rounded head p = fl(x·y)
+// and exact tail e = fma(x, y, −p) (the TwoProduct transformation of
+// Ogita, Rump & Oishi), and BOTH parts are folded into the reproducible
+// sum. The result is therefore as accurate as summing the exact
+// products — the quality target of reproducible BLAS-1 kernels — and
+// bit-reproducible for any order.
+func DotProductExact(x, y []float64, levels int) float64 {
+	if len(x) != len(y) {
+		panic("sqlagg: dot product of different-length vectors")
+	}
+	s := core.NewSum64(levels)
+	for i := range x {
+		p := x[i] * y[i]
+		e := math.FMA(x[i], y[i], -p) // exact: x·y − fl(x·y)
+		s.Add(p)
+		s.Add(e)
+	}
+	return s.Value()
+}

@@ -1,0 +1,304 @@
+package sqlagg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func TestAvg(t *testing.T) {
+	a := NewAvg(2)
+	for _, x := range []float64{1, 2, 3, 4} {
+		a.Add(x)
+	}
+	if v := a.Value(); v != 2.5 {
+		t.Errorf("AVG = %v", v)
+	}
+	if a.Count() != 4 {
+		t.Errorf("COUNT = %d", a.Count())
+	}
+	empty := NewAvg(2)
+	if !math.IsNaN(empty.Value()) {
+		t.Error("AVG of empty should be NaN (SQL NULL)")
+	}
+}
+
+func TestAvgMerge(t *testing.T) {
+	xs := workload.Values64(1, 1000, workload.Exp1)
+	whole := NewAvg(2)
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	a, b := NewAvg(2), NewAvg(2)
+	for i, x := range xs {
+		if i%3 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.MergeFrom(&b)
+	if math.Float64bits(a.Value()) != math.Float64bits(whole.Value()) {
+		t.Error("merged AVG differs from sequential")
+	}
+}
+
+func TestVarianceKnownValues(t *testing.T) {
+	v := NewVariance(3)
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		v.Add(x)
+	}
+	if got := v.VarPop(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("VAR_POP = %v, want 4", got)
+	}
+	if got := v.StddevPop(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("STDDEV_POP = %v, want 2", got)
+	}
+	if got := v.VarSamp(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("VAR_SAMP = %v, want 32/7", got)
+	}
+	one := NewVariance(2)
+	one.Add(5)
+	if !math.IsNaN(one.VarSamp()) {
+		t.Error("VAR_SAMP of one row should be NaN")
+	}
+	if one.VarPop() != 0 {
+		t.Error("VAR_POP of one row should be 0")
+	}
+}
+
+func TestVariancePermutationStable(t *testing.T) {
+	xs := workload.Values64(3, 2000, workload.MixedMag)
+	ref := NewVariance(2)
+	for _, x := range xs {
+		ref.Add(x)
+	}
+	want := math.Float64bits(ref.VarPop())
+	for seed := uint64(10); seed < 14; seed++ {
+		p := append([]float64(nil), xs...)
+		workload.Shuffle(seed, p)
+		v := NewVariance(2)
+		for _, x := range p {
+			v.Add(x)
+		}
+		if math.Float64bits(v.VarPop()) != want {
+			t.Fatalf("VAR_POP changed under permutation %d", seed)
+		}
+	}
+}
+
+func TestVarianceNonNegativeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		xs := workload.Values64(seed, 200, workload.MixedMag)
+		v := NewVariance(2)
+		for _, x := range xs {
+			v.Add(x)
+		}
+		return v.VarPop() >= 0 && v.VarSamp() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarianceMergeMatches(t *testing.T) {
+	f := func(seed uint64, cut uint8) bool {
+		xs := workload.Values64(seed, 300, workload.Exp1)
+		k := int(cut) % len(xs)
+		whole := NewVariance(2)
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		a, b := NewVariance(2), NewVariance(2)
+		for _, x := range xs[:k] {
+			a.Add(x)
+		}
+		for _, x := range xs[k:] {
+			b.Add(x)
+		}
+		a.MergeFrom(&b)
+		return math.Float64bits(a.VarSamp()) == math.Float64bits(whole.VarSamp())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCovarianceAndCorr(t *testing.T) {
+	c := NewCovariance(2)
+	// Perfectly correlated: y = 2x + 1.
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		c.Add(x, 2*x+1)
+	}
+	if got := c.Corr(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("CORR = %v, want 1", got)
+	}
+	if got := c.RegrSlope(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("REGR_SLOPE = %v, want 2", got)
+	}
+	if got := c.RegrIntercept(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("REGR_INTERCEPT = %v, want 1", got)
+	}
+	// COVAR_POP of x with x equals VAR_POP of x.
+	v := NewVariance(2)
+	c2 := NewCovariance(2)
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		v.Add(x)
+		c2.Add(x, x)
+	}
+	if math.Abs(c2.CovarPop()-v.VarPop()) > 1e-9 {
+		t.Errorf("COVAR_POP(x,x) = %v, VAR_POP = %v", c2.CovarPop(), v.VarPop())
+	}
+	empty := NewCovariance(2)
+	if !math.IsNaN(empty.CovarPop()) || !math.IsNaN(empty.Corr()) {
+		t.Error("empty covariance should be NaN")
+	}
+	constant := NewCovariance(2)
+	constant.Add(1, 5)
+	constant.Add(1, 7)
+	if !math.IsNaN(constant.Corr()) {
+		t.Error("CORR with zero x-variance should be NaN")
+	}
+	if !math.IsNaN(constant.RegrSlope()) {
+		t.Error("REGR_SLOPE with zero x-variance should be NaN")
+	}
+}
+
+func TestCovarianceMergeStable(t *testing.T) {
+	xs := workload.Values64(5, 500, workload.Uniform12)
+	ys := workload.Values64(6, 500, workload.Exp1)
+	whole := NewCovariance(2)
+	for i := range xs {
+		whole.Add(xs[i], ys[i])
+	}
+	a, b := NewCovariance(2), NewCovariance(2)
+	for i := range xs {
+		if i < 200 {
+			a.Add(xs[i], ys[i])
+		} else {
+			b.Add(xs[i], ys[i])
+		}
+	}
+	a.MergeFrom(&b)
+	if math.Float64bits(a.Corr()) != math.Float64bits(whole.Corr()) {
+		t.Error("merged CORR differs")
+	}
+	if a.Count() != whole.Count() {
+		t.Error("merged count differs")
+	}
+}
+
+func TestDotProduct(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if got := DotProduct(x, y, 2); got != 32 {
+		t.Errorf("DotProduct = %v", got)
+	}
+	if got := Norm2([]float64{3, 4}, 2); got != 25 {
+		t.Errorf("Norm2 = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	DotProduct([]float64{1}, []float64{1, 2}, 2)
+}
+
+func TestDotProductPermutationStable(t *testing.T) {
+	xs := workload.Values64(7, 3000, workload.MixedMag)
+	ys := workload.Values64(8, 3000, workload.MixedMag)
+	want := math.Float64bits(DotProduct(xs, ys, 2))
+	px := append([]float64(nil), xs...)
+	py := append([]float64(nil), ys...)
+	workload.ShufflePairs(9, px, py)
+	if math.Float64bits(DotProduct(px, py, 2)) != want {
+		t.Error("dot product changed under permutation of pairs")
+	}
+}
+
+func TestDotProductExactBeatsPlain(t *testing.T) {
+	// Ill-conditioned dot product: large terms that cancel, leaving a
+	// tiny residual carried entirely by the product tails.
+	n := 2000
+	x := make([]float64, 2*n)
+	y := make([]float64, 2*n)
+	r := workload.NewRNG(21)
+	for i := 0; i < n; i++ {
+		a := 1 + r.Float64()
+		b := 1e8 * (1 + r.Float64())
+		x[2*i], y[2*i] = a, b
+		x[2*i+1], y[2*i+1] = -a, b // exact cancellation of the heads
+	}
+	// Exact result is 0; the error of each method is its |result|.
+	plain := math.Abs(DotProduct(x, y, 3))
+	exactDP := math.Abs(DotProductExact(x, y, 3))
+	if exactDP > plain {
+		t.Errorf("DotProductExact error %g worse than plain %g", exactDP, plain)
+	}
+	if exactDP != 0 {
+		t.Errorf("DotProductExact = %g, want exactly 0 (tails cancel too)", exactDP)
+	}
+}
+
+func TestDotProductExactPermutationStable(t *testing.T) {
+	xs := workload.Values64(22, 2000, workload.MixedMag)
+	ys := workload.Values64(23, 2000, workload.MixedMag)
+	want := math.Float64bits(DotProductExact(xs, ys, 2))
+	px := append([]float64(nil), xs...)
+	py := append([]float64(nil), ys...)
+	workload.ShufflePairs(24, px, py)
+	if math.Float64bits(DotProductExact(px, py, 2)) != want {
+		t.Error("exact dot product changed under permutation")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	DotProductExact([]float64{1}, []float64{1, 2}, 2)
+}
+
+func TestWindowTotals(t *testing.T) {
+	keys := []uint32{1, 2, 1, 2, 3}
+	vals := []float64{10, 20, 30, 40, 50}
+	out := WindowTotals(keys, vals, 2)
+	want := []float64{40, 60, 40, 60, 50}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("WindowTotals = %v, want %v", out, want)
+		}
+	}
+	// Reproducible across row permutations (per-row totals follow keys).
+	keys2 := []uint32{3, 2, 1, 2, 1}
+	vals2 := []float64{50, 40, 30, 20, 10}
+	out2 := WindowTotals(keys2, vals2, 2)
+	if math.Float64bits(out2[2]) != math.Float64bits(out[0]) {
+		t.Error("partition total changed under permutation")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	WindowTotals([]uint32{1}, []float64{1, 2}, 2)
+}
+
+func TestRunningSums(t *testing.T) {
+	out := RunningSum([]float64{1, 2, 3})
+	if out[0] != 1 || out[1] != 3 || out[2] != 6 {
+		t.Errorf("RunningSum = %v", out)
+	}
+	pk := RunningSumByKey([]uint32{1, 2, 1, 2}, []float64{1, 10, 2, 20})
+	want := []float64{1, 10, 3, 30}
+	for i := range want {
+		if pk[i] != want[i] {
+			t.Fatalf("RunningSumByKey = %v", pk)
+		}
+	}
+	if len(RunningSum(nil)) != 0 {
+		t.Error("empty running sum")
+	}
+}

@@ -1,0 +1,104 @@
+package tpch
+
+import (
+	"repro/internal/engine"
+	"repro/internal/exact"
+	"repro/internal/rsum"
+)
+
+// TPC-H Query 6 — the forecasting-revenue-change query:
+//
+//	SELECT sum(l_extendedprice * l_discount) AS revenue
+//	FROM lineitem
+//	WHERE l_shipdate >= date '1994-01-01'
+//	  AND l_shipdate <  date '1995-01-01'
+//	  AND l_discount BETWEEN 0.05 AND 0.07
+//	  AND l_quantity < 24;
+//
+// Q6 is a single ungrouped floating-point SUM — the simplest query that
+// is non-reproducible under physical reordering in conventional engines,
+// and the natural demonstration of the isolated summation routines of
+// the paper's Section III.
+
+// Q6 date range (day numbers; day 0 = 1992-01-01).
+const (
+	q6DateLo = 731  // 1994-01-01
+	q6DateHi = 1096 // 1995-01-01 (exclusive)
+)
+
+// Q6SumKind selects the summation routine for Q6.
+type Q6SumKind int
+
+// Summation routine choices for RunQ6.
+const (
+	// Q6Plain uses a conventional float64 loop (order-dependent).
+	Q6Plain Q6SumKind = iota
+	// Q6Scalar uses RSUM SCALAR (Algorithm 2).
+	Q6Scalar
+	// Q6Vec uses RSUM SIMD (Algorithm 3).
+	Q6Vec
+	// Q6Neumaier uses compensated summation (accurate, not reproducible).
+	Q6Neumaier
+)
+
+// RunQ6 executes Query 6 with the given summation routine and level
+// count (ignored for Q6Plain/Q6Neumaier) and returns the revenue plus
+// the per-operator profile.
+func RunQ6(t *engine.Table, kind Q6SumKind, levels int) (float64, *engine.Profiler, error) {
+	prof := engine.NewProfiler()
+	shipdate, err := t.Int32("l_shipdate")
+	if err != nil {
+		return 0, nil, err
+	}
+	quantity, err := t.Float64("l_quantity")
+	if err != nil {
+		return 0, nil, err
+	}
+	price, err := t.Float64("l_extendedprice")
+	if err != nil {
+		return 0, nil, err
+	}
+	discount, err := t.Float64("l_discount")
+	if err != nil {
+		return 0, nil, err
+	}
+
+	// Selection: conjunctive predicate over three columns.
+	var sel []int32
+	prof.Measure("select", func() {
+		for i, d := range shipdate {
+			if d >= q6DateLo && d < q6DateHi &&
+				discount[i] >= 0.05-1e-9 && discount[i] <= 0.07+1e-9 &&
+				quantity[i] < 24 {
+				sel = append(sel, int32(i))
+			}
+		}
+	})
+
+	// Projection: revenue terms.
+	terms := make([]float64, len(sel))
+	prof.Measure("project", func() {
+		for i, r := range sel {
+			terms[i] = price[r] * discount[r]
+		}
+	})
+
+	var revenue float64
+	prof.Measure("aggregation", func() {
+		switch kind {
+		case Q6Plain:
+			revenue = exact.Naive64(terms)
+		case Q6Scalar:
+			s := rsum.NewState64(levels)
+			s.AddSlice(terms)
+			revenue = s.Value()
+		case Q6Vec:
+			s := rsum.NewState64(levels)
+			s.AddSliceVec(terms)
+			revenue = s.Value()
+		case Q6Neumaier:
+			revenue = exact.Neumaier64(terms)
+		}
+	})
+	return revenue, prof, nil
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collide %d/1000 times", same)
+	}
+}
+
+func TestUint32nRange(t *testing.T) {
+	f := func(seed uint64, nRaw uint32) bool {
+		n := nRaw%1000 + 1
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			if r.Uint32n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeysUniform(t *testing.T) {
+	const n, g = 100000, 16
+	ks := Keys(7, n, g)
+	var counts [g]int
+	for _, k := range ks {
+		if k >= g {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	for i, c := range counts {
+		if c < n/g*8/10 || c > n/g*12/10 {
+			t.Errorf("group %d has %d keys, expected ≈ %d", i, c, n/g)
+		}
+	}
+}
+
+func TestValuesDistributions(t *testing.T) {
+	vs := Values64(1, 100000, Uniform12)
+	sum := 0.0
+	for _, v := range vs {
+		if v < 1 || v >= 2 {
+			t.Fatalf("U[1,2) value %v out of range", v)
+		}
+		sum += v
+	}
+	if mean := sum / float64(len(vs)); math.Abs(mean-1.5) > 0.01 {
+		t.Errorf("U[1,2) mean = %v", mean)
+	}
+
+	vs = Values64(2, 100000, Exp1)
+	sum = 0
+	for _, v := range vs {
+		if v < 0 {
+			t.Fatalf("Exp(1) value %v negative", v)
+		}
+		sum += v
+	}
+	if mean := sum / float64(len(vs)); math.Abs(mean-1.0) > 0.02 {
+		t.Errorf("Exp(1) mean = %v", mean)
+	}
+
+	for _, v := range Values64(3, 1000, MixedMag) {
+		if math.Abs(v) > math.Ldexp(1, 12) {
+			t.Errorf("MixedMag value %v out of range", v)
+		}
+	}
+}
+
+func TestValues32(t *testing.T) {
+	for _, v := range Values32(4, 1000, Uniform12) {
+		if v < 1 || v >= 2 {
+			t.Fatalf("float32 U[1,2) value %v out of range", v)
+		}
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	xs := make([]int, 1000)
+	for i := range xs {
+		xs[i] = i
+	}
+	Shuffle(9, xs)
+	seen := make([]bool, len(xs))
+	moved := 0
+	for i, x := range xs {
+		if seen[x] {
+			t.Fatal("duplicate after shuffle")
+		}
+		seen[x] = true
+		if x != i {
+			moved++
+		}
+	}
+	if moved < len(xs)/2 {
+		t.Errorf("shuffle barely moved anything (%d)", moved)
+	}
+}
+
+func TestShufflePairsKeepsPairs(t *testing.T) {
+	ks := []uint32{1, 2, 3, 4, 5}
+	vs := []float64{10, 20, 30, 40, 50}
+	ShufflePairs(11, ks, vs)
+	for i := range ks {
+		if float64(ks[i])*10 != vs[i] {
+			t.Fatalf("pair broken at %d: %d/%v", i, ks[i], vs[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	ShufflePairs(1, []uint32{1}, []float64{1, 2})
+}
+
+func TestZipfSkewed(t *testing.T) {
+	ks := ZipfKeys(13, 100000, 1024, 1.2)
+	var count0 int
+	for _, k := range ks {
+		if k >= 1024 {
+			t.Fatalf("zipf key %d out of range", k)
+		}
+		if k == 0 {
+			count0++
+		}
+	}
+	// The hottest key must be far above uniform share (≈ 98).
+	if count0 < 1000 {
+		t.Errorf("zipf key 0 count %d not skewed", count0)
+	}
+}
+
+func TestDistinctGroups(t *testing.T) {
+	if g := DistinctGroups([]uint32{1, 1, 2, 9, 2}); g != 3 {
+		t.Errorf("DistinctGroups = %d", g)
+	}
+	if g := DistinctGroups(nil); g != 0 {
+		t.Errorf("DistinctGroups(nil) = %d", g)
+	}
+}
+
+func TestIntValues(t *testing.T) {
+	for _, v := range IntValues(5, 1000, 100) {
+		if v < 1 || v > 100 {
+			t.Fatalf("IntValues out of range: %d", v)
+		}
+	}
+}
