@@ -1,0 +1,87 @@
+package repro_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// TestDistributedSumMatchesSum: the simulated-cluster reduction carries
+// exactly the bits of the single-machine Sum, for every topology and
+// cluster size.
+func TestDistributedSumMatchesSum(t *testing.T) {
+	const n = 30000
+	vals := workload.Values64(21, n, workload.MixedMag)
+	want := math.Float64bits(repro.Sum(vals))
+
+	for _, nodes := range []int{1, 3, 16} {
+		shards := make([][]float64, nodes)
+		for i, v := range vals {
+			shards[i%nodes] = append(shards[i%nodes], v)
+		}
+		for _, topo := range []repro.Topology{repro.Binomial, repro.Chain, repro.Star} {
+			got, err := repro.DistributedSum(shards, 2, topo)
+			if err != nil {
+				t.Fatalf("DistributedSum(%d nodes, %v): %v", nodes, topo, err)
+			}
+			if math.Float64bits(got) != want {
+				t.Fatalf("DistributedSum(%d nodes, %v) = %016x, want %016x",
+					nodes, topo, math.Float64bits(got), want)
+			}
+		}
+	}
+}
+
+// TestDistributedGroupBySumMatchesGroupBySum: the distributed GROUP BY
+// agrees bit-for-bit with the single-machine operator.
+func TestDistributedGroupBySumMatchesGroupBySum(t *testing.T) {
+	const n = 30000
+	keys := workload.Keys(22, n, 500)
+	vals := workload.Values64(23, n, workload.MixedMag)
+	want := repro.GroupBySum(keys, vals, &repro.GroupByOptions{Groups: 500})
+
+	for _, nodes := range []int{1, 5} {
+		lk := make([][]uint32, nodes)
+		lv := make([][]float64, nodes)
+		for i := range keys {
+			d := i % nodes
+			lk[d] = append(lk[d], keys[i])
+			lv[d] = append(lv[d], vals[i])
+		}
+		got, err := repro.DistributedGroupBySum(lk, lv, 2)
+		if err != nil {
+			t.Fatalf("DistributedGroupBySum(%d nodes): %v", nodes, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%d nodes: %d groups, want %d", nodes, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Key != want[i].Key ||
+				math.Float64bits(got[i].Sum) != math.Float64bits(want[i].Sum) {
+				t.Fatalf("%d nodes: group[%d] = {%d, %016x}, want {%d, %016x}",
+					nodes, i, got[i].Key, math.Float64bits(got[i].Sum),
+					want[i].Key, math.Float64bits(want[i].Sum))
+			}
+		}
+	}
+}
+
+// TestDistributedSumErrors: the facade surfaces the dist error paths
+// as matchable re-exported sentinels.
+func TestDistributedSumErrors(t *testing.T) {
+	if _, err := repro.DistributedSum(nil, 1, repro.Binomial); !errors.Is(err, repro.ErrNoShards) {
+		t.Errorf("empty cluster: got %v, want ErrNoShards", err)
+	}
+	if _, err := repro.DistributedSum([][]float64{{1}}, 0, repro.Star); !errors.Is(err, repro.ErrWorkers) {
+		t.Errorf("zero workers: got %v, want ErrWorkers", err)
+	}
+	if _, err := repro.DistributedSum([][]float64{{1}}, 1, repro.Topology(7)); !errors.Is(err, repro.ErrTopology) {
+		t.Errorf("bad topology: got %v, want ErrTopology", err)
+	}
+	if _, err := repro.DistributedGroupBySum([][]uint32{{1}}, [][]float64{{1}, {2}}, 1); !errors.Is(err, repro.ErrShardMismatch) {
+		t.Errorf("mismatched shards: got %v, want ErrShardMismatch", err)
+	}
+}

@@ -23,6 +23,7 @@ func main() {
 	fmt.Printf("global SUM of %d mixed-magnitude values across simulated clusters:\n\n", n)
 	fmt.Println("nodes  topology  result (hex bits)          result")
 	var ref uint64
+	haveRef := false
 	for _, nodes := range []int{1, 4, 16, 61} {
 		shards := make([][]float64, nodes)
 		for i, v := range vals {
@@ -35,8 +36,8 @@ func main() {
 			}
 			bits := math.Float64bits(sum)
 			mark := ""
-			if ref == 0 {
-				ref = bits
+			if !haveRef {
+				ref, haveRef = bits, true
 			} else if bits != ref {
 				mark = "  <-- MISMATCH"
 			}
@@ -50,6 +51,7 @@ func main() {
 	keys := workload.Keys(8, n, 1000)
 	fmt.Printf("\ndistributed GROUP BY SUM (%d rows, 1000 groups):\n", n)
 	var refSum float64
+	haveRefSum := false
 	for _, nodes := range []int{2, 7} {
 		lk := make([][]uint32, nodes)
 		lv := make([][]float64, nodes)
@@ -64,8 +66,8 @@ func main() {
 		}
 		for _, g := range out {
 			if g.Key == 0 {
-				if refSum == 0 {
-					refSum = g.Sum
+				if !haveRefSum {
+					refSum, haveRefSum = g.Sum, true
 				}
 				fmt.Printf("  %d nodes: group 0 = %.17g (bits equal across cluster sizes: %v)\n",
 					nodes, g.Sum, math.Float64bits(g.Sum) == math.Float64bits(refSum))

@@ -1,0 +1,33 @@
+package repro_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesBuild compiles every package under examples/. Example
+// binaries are main packages, so nothing else imports them and a broken
+// import (like the once-missing repro/internal/dist) would not fail any
+// unit test on its own — this smoke test makes such a gap a test
+// failure, not just a `go build ./...` failure someone has to remember
+// to run.
+func TestExamplesBuild(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go tool not in PATH: %v", err)
+	}
+	list := exec.Command("go", "list", "./examples/...")
+	out, err := list.Output()
+	if err != nil {
+		t.Fatalf("go list ./examples/...: %v", err)
+	}
+	pkgs := strings.Fields(string(out))
+	if len(pkgs) == 0 {
+		t.Fatal("no packages found under examples/")
+	}
+	// -o to a temp dir so example binaries never land in the repo.
+	build := exec.Command("go", append([]string{"build", "-o", t.TempDir()}, pkgs...)...)
+	if msg, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s failed: %v\n%s", strings.Join(pkgs, " "), err, msg)
+	}
+}

@@ -1,0 +1,266 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rsum"
+	"repro/internal/workload"
+)
+
+var (
+	clusterSizes = []int{1, 2, 4, 16, 61}
+	workerCounts = []int{1, 2, 8}
+	topologies   = []Topology{Binomial, Chain, Star}
+)
+
+// shard deals values round-robin across nodes shards.
+func shard(vals []float64, nodes int) [][]float64 {
+	out := make([][]float64, nodes)
+	for i, v := range vals {
+		out[i%nodes] = append(out[i%nodes], v)
+	}
+	return out
+}
+
+// senderOrder returns a random linear extension of the reduction
+// tree's send dependencies: every non-root node appears exactly once,
+// and no node before any of its children. Feeding it to a sendGate
+// forces that exact global message order.
+func senderOrder(topo Topology, n int, rng *workload.RNG) []int {
+	pending := make([]int, n) // children still to hear from
+	childOf := make([][]int, n)
+	for id := 1; id < n; id++ {
+		p := topo.parent(id, n)
+		childOf[p] = append(childOf[p], id)
+	}
+	var ready []int
+	for id := 1; id < n; id++ {
+		pending[id] = topo.children(id, n)
+		if pending[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	order := make([]int, 0, n-1)
+	for len(ready) > 0 {
+		i := rng.Intn(len(ready))
+		id := ready[i]
+		ready[i] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, id)
+		if p := topo.parent(id, n); p > 0 {
+			pending[p]--
+			if pending[p] == 0 {
+				ready = append(ready, p)
+			}
+		}
+	}
+	if len(order) != n-1 {
+		panic("senderOrder: not a full linear extension")
+	}
+	return order
+}
+
+// TestReduceBitReproducible is the headline property: the same multiset
+// of values produces the same bits for every topology, cluster size,
+// worker count, and forced message arrival order.
+func TestReduceBitReproducible(t *testing.T) {
+	const n = 50000
+	vals := workload.Values64(7, n, workload.MixedMag)
+
+	// Ground truth: a single sequential state over all values.
+	ref := rsum.NewState64(levels)
+	ref.AddSliceVec(vals)
+	want := math.Float64bits(ref.Value())
+
+	rng := workload.NewRNG(42)
+	for _, nodes := range clusterSizes {
+		shards := shard(vals, nodes)
+		for _, topo := range topologies {
+			for _, workers := range workerCounts {
+				// Free-running (scheduler-ordered) arrival.
+				sum, err := Reduce(shards, workers, topo)
+				if err != nil {
+					t.Fatalf("Reduce(%d nodes, %d workers, %v): %v", nodes, workers, topo, err)
+				}
+				if got := math.Float64bits(sum); got != want {
+					t.Fatalf("Reduce(%d nodes, %d workers, %v) = %016x, want %016x",
+						nodes, workers, topo, got, want)
+				}
+				// Three forced random arrival orders.
+				for trial := 0; trial < 3; trial++ {
+					gate := newSendGate(senderOrder(topo, nodes, rng))
+					sum, err := reduce(shards, workers, topo, gate)
+					if err != nil {
+						t.Fatalf("reduce gated (%d nodes, %v): %v", nodes, topo, err)
+					}
+					if got := math.Float64bits(sum); got != want {
+						t.Fatalf("gated reduce(%d nodes, %d workers, %v) trial %d = %016x, want %016x",
+							nodes, workers, topo, trial, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReduceShardingInvariance checks that how rows are dealt to nodes
+// (round-robin vs contiguous blocks) does not change the bits.
+func TestReduceShardingInvariance(t *testing.T) {
+	const n = 20000
+	vals := workload.Values64(11, n, workload.Exp1)
+
+	rr, _ := Reduce(shard(vals, 16), 2, Binomial)
+	blocks := make([][]float64, 16)
+	chunk := (n + 15) / 16
+	for i := range blocks {
+		lo, hi := i*chunk, min((i+1)*chunk, n)
+		if lo < hi {
+			blocks[i] = vals[lo:hi]
+		}
+	}
+	bl, _ := Reduce(blocks, 8, Star)
+	if math.Float64bits(rr) != math.Float64bits(bl) {
+		t.Fatalf("round-robin %016x != block %016x", math.Float64bits(rr), math.Float64bits(bl))
+	}
+}
+
+// TestReduceSpecials checks that NaN and ±Inf inputs resolve
+// deterministically through the distributed reduction.
+func TestReduceSpecials(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []float64
+		want float64
+	}{
+		{"posinf", []float64{1, math.Inf(1), 2}, math.Inf(1)},
+		{"neginf", []float64{1, math.Inf(-1), 2}, math.Inf(-1)},
+		{"nan", []float64{1, math.NaN(), 2}, math.NaN()},
+		{"infclash", []float64{math.Inf(1), math.Inf(-1)}, math.NaN()},
+	}
+	for _, tc := range cases {
+		for _, topo := range topologies {
+			got, err := Reduce(shard(tc.vals, 3), 1, topo)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", tc.name, topo, err)
+			}
+			if math.Float64bits(got) != math.Float64bits(tc.want) &&
+				!(math.IsNaN(got) && math.IsNaN(tc.want)) {
+				t.Errorf("%s/%v = %v, want %v", tc.name, topo, got, tc.want)
+			}
+		}
+	}
+}
+
+// TestReduceEmptyShards: nodes with no rows participate in the
+// reduction with empty states.
+func TestReduceEmptyShards(t *testing.T) {
+	shards := make([][]float64, 8)
+	shards[3] = []float64{1.5, 2.5}
+	for _, topo := range topologies {
+		got, err := Reduce(shards, 2, topo)
+		if err != nil {
+			t.Fatalf("%v: %v", topo, err)
+		}
+		if got != 4.0 {
+			t.Errorf("%v = %v, want 4", topo, got)
+		}
+	}
+	got, err := Reduce([][]float64{nil}, 1, Binomial)
+	if err != nil || got != 0 {
+		t.Errorf("all-empty cluster = (%v, %v), want (0, nil)", got, err)
+	}
+}
+
+// TestReduceErrors covers the validated error paths.
+func TestReduceErrors(t *testing.T) {
+	if _, err := Reduce(nil, 1, Binomial); !errors.Is(err, ErrNoShards) {
+		t.Errorf("no shards: got %v, want ErrNoShards", err)
+	}
+	for _, w := range []int{0, -3} {
+		if _, err := Reduce([][]float64{{1}}, w, Chain); !errors.Is(err, ErrWorkers) {
+			t.Errorf("workers=%d: got %v, want ErrWorkers", w, err)
+		}
+	}
+	if _, err := Reduce([][]float64{{1}}, 1, Topology(99)); !errors.Is(err, ErrTopology) {
+		t.Errorf("bad topology: got %v, want ErrTopology", err)
+	}
+}
+
+// TestTopologyString pins the names used in example output.
+func TestTopologyString(t *testing.T) {
+	for topo, want := range map[Topology]string{
+		Binomial: "binomial", Chain: "chain", Star: "star", Topology(9): "Topology(9)",
+	} {
+		if got := topo.String(); got != want {
+			t.Errorf("Topology(%d).String() = %q, want %q", int(topo), got, want)
+		}
+	}
+}
+
+// TestTopologyShape sanity-checks the parent/children contract every
+// node loop relies on: each non-root node has a valid parent, and
+// fan-in counts match the number of nodes claiming each parent.
+func TestTopologyShape(t *testing.T) {
+	for _, topo := range topologies {
+		for _, n := range clusterSizes {
+			fanIn := make([]int, n)
+			for id := 1; id < n; id++ {
+				p := topo.parent(id, n)
+				if p < 0 || p >= n || p == id {
+					t.Fatalf("%v n=%d: parent(%d) = %d out of range", topo, n, id, p)
+				}
+				fanIn[p]++
+			}
+			if topo.parent(0, n) != -1 {
+				t.Fatalf("%v n=%d: root must have no parent", topo, n)
+			}
+			for id := 0; id < n; id++ {
+				if got := topo.children(id, n); got != fanIn[id] {
+					t.Fatalf("%v n=%d: children(%d) = %d, but %d nodes claim it as parent",
+						topo, n, id, got, fanIn[id])
+				}
+			}
+		}
+	}
+}
+
+// TestPartialStateRoundTrip exercises the wire format the cluster
+// ships: marshal on one "node", MergeBinary on another, against a
+// directly merged reference.
+func TestPartialStateRoundTrip(t *testing.T) {
+	a := workload.Values64(3, 5000, workload.MixedMag)
+	b := workload.Values64(4, 5000, workload.MixedMag)
+
+	sa := rsum.NewState64(levels)
+	sa.AddSliceVec(a)
+
+	wire, err := sa.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := rsum.NewState64(levels)
+	merged.AddSliceVec(b)
+	if err := merged.MergeBinary(wire); err != nil {
+		t.Fatalf("MergeBinary: %v", err)
+	}
+
+	direct := rsum.NewState64(levels)
+	direct.AddSliceVec(b)
+	direct.Merge(&sa)
+	if !merged.Equal(&direct) {
+		t.Fatal("wire-merged state differs from directly merged state")
+	}
+
+	// Level mismatch must error, not panic.
+	other := rsum.NewState64(levels + 1)
+	enc, _ := other.MarshalBinary()
+	if err := merged.MergeBinary(enc); err == nil {
+		t.Fatal("MergeBinary accepted mismatched level count")
+	}
+	// Corrupt bytes must error.
+	if err := merged.MergeBinary(wire[:len(wire)-1]); err == nil {
+		t.Fatal("MergeBinary accepted truncated encoding")
+	}
+}

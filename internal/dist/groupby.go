@@ -1,0 +1,230 @@
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/hashagg"
+	"repro/internal/partition"
+	"repro/internal/rsum"
+)
+
+// newPartial initializes the per-key payload of the aggregation tables.
+func newPartial() rsum.State64 { return rsum.NewState64(levels) }
+
+// shuffleFanout is the radix fan-out of the hash shuffle. Keys are
+// routed by partition.Do on their low byte; partition p is owned by
+// node p mod n, so every key has exactly one owner for a given cluster
+// size and GROUP BY needs no cross-node post-merge per key.
+const shuffleFanout = 256
+
+var errFrame = errors.New("dist: corrupt shuffle frame")
+
+// appendPair appends one ⟨key, partial state⟩ pair to a shuffle frame:
+// 4-byte little-endian key, 4-byte length, then the canonical state
+// encoding.
+func appendPair(frame []byte, key uint32, state []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], key)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(state)))
+	return append(append(frame, hdr[:]...), state...)
+}
+
+// walkFrame decodes a shuffle frame, invoking fn for every pair.
+func walkFrame(frame []byte, fn func(key uint32, state []byte) error) error {
+	for len(frame) > 0 {
+		if len(frame) < 8 {
+			return errFrame
+		}
+		key := binary.LittleEndian.Uint32(frame[0:])
+		sz := int(binary.LittleEndian.Uint32(frame[4:]))
+		frame = frame[8:]
+		if sz < 0 || sz > len(frame) { // sz < 0: uint32 overflowed 32-bit int
+			return errFrame
+		}
+		if err := fn(key, frame[:sz]); err != nil {
+			return err
+		}
+		frame = frame[sz:]
+	}
+	return nil
+}
+
+// AggregateByKey computes a reproducible distributed GROUP BY SUM.
+// Node i holds the rows ⟨localKeys[i][j], localVals[i][j]⟩. Each node
+// radix-partitions its rows by key (the hash shuffle), pre-aggregates
+// every partition into per-key partial states (a combiner), and ships
+// the serialized states to the partition's owner node. Owners merge
+// incoming partials in (nondeterministic) arrival order, finalize, and
+// the root gathers all groups, sorted by key.
+//
+// The result is bit-identical for every distribution of the same
+// multiset of rows across any number of nodes, every worker count, and
+// every message arrival order.
+func AggregateByKey(localKeys [][]uint32, localVals [][]float64, workers int) ([]Group, error) {
+	return aggregateByKey(localKeys, localVals, workers, nil)
+}
+
+// aggregateByKey is AggregateByKey with an optional test gate forcing
+// shuffle send order.
+func aggregateByKey(localKeys [][]uint32, localVals [][]float64, workers int, gate *sendGate) ([]Group, error) {
+	n := len(localKeys)
+	if n == 0 {
+		return nil, ErrNoShards
+	}
+	if len(localVals) != n {
+		return nil, fmt.Errorf("%w: %d key shards vs %d value shards",
+			ErrShardMismatch, n, len(localVals))
+	}
+	for i := range localKeys {
+		if len(localKeys[i]) != len(localVals[i]) {
+			return nil, fmt.Errorf("%w: shard %d has %d keys but %d values",
+				ErrShardMismatch, i, len(localKeys[i]), len(localVals[i]))
+		}
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("%w (got %d)", ErrWorkers, workers)
+	}
+
+	// Every sender ships exactly one frame (possibly empty) to every
+	// owner, so owners know their fan-in and sends never block.
+	inboxes := make([]chan message, n)
+	for i := range inboxes {
+		inboxes[i] = make(chan message, n)
+	}
+	gathered := make(chan message, n)
+
+	for id := 0; id < n; id++ {
+		go func(id int) {
+			frames, err := combineShard(localKeys[id], localVals[id], n, workers)
+			gate.wait(id)
+			for d := 0; d < n; d++ {
+				m := message{from: id, err: err}
+				if err == nil {
+					m.payload = frames[d]
+				}
+				inboxes[d] <- m
+			}
+			gate.done()
+
+			// Owner role: merge incoming per-key partials in arrival
+			// order, then finalize and hand the groups to the root.
+			states := hashagg.New(64, hashagg.Identity, newPartial)
+			var ownErr error
+			for i := 0; i < n; i++ {
+				m := <-inboxes[id]
+				if ownErr != nil {
+					continue
+				}
+				if m.err != nil {
+					ownErr = m.err
+					continue
+				}
+				ownErr = walkFrame(m.payload, func(key uint32, enc []byte) error {
+					if e := states.Upsert(key).MergeBinary(enc); e != nil {
+						return fmt.Errorf("dist: node %d merging group %d from node %d: %w", id, key, m.from, e)
+					}
+					return nil
+				})
+			}
+			out := message{from: id, err: ownErr}
+			if ownErr == nil {
+				groups := make([]Group, 0, states.Len())
+				states.ForEach(func(key uint32, st *rsum.State64) {
+					groups = append(groups, Group{Key: key, Sum: st.Value()})
+				})
+				sort.Slice(groups, func(i, j int) bool { return groups[i].Key < groups[j].Key })
+				out.payload = encodeGroups(groups)
+			}
+			gathered <- out
+		}(id)
+	}
+
+	// Root gather: owners hold disjoint key sets, so the global result
+	// is the sorted concatenation of the per-owner group lists.
+	var all []Group
+	for i := 0; i < n; i++ {
+		m := <-gathered
+		if m.err != nil {
+			// Drain remaining owners before reporting.
+			for j := i + 1; j < n; j++ {
+				<-gathered
+			}
+			return nil, m.err
+		}
+		all = append(all, decodeGroups(m.payload)...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	return all, nil
+}
+
+// combineShard partitions one node's rows by key and pre-aggregates
+// each partition into per-key partial states, returning one encoded
+// frame per destination node.
+func combineShard(keys []uint32, vals []float64, n, workers int) ([][]byte, error) {
+	out := partition.Do(keys, vals, 0, shuffleFanout, workers)
+	frames := make([][]byte, n)
+	for p := 0; p < out.NumPartitions(); p++ {
+		pk, pv := out.Partition(p)
+		if len(pk) == 0 {
+			continue
+		}
+		// Pre-aggregate the partition: one partial state per distinct
+		// key, in the repo's standard aggregation table. Slot order
+		// fixes the frame layout, but the owner's per-key merges
+		// commute, so layout is immaterial to the final bits.
+		// Modest size hint: the table grows itself if the partition has
+		// more distinct keys (State64 payloads are ~100 B each, so
+		// hinting the full row count would overshoot badly).
+		table := hashagg.New(len(pk)/8+8, hashagg.Identity, newPartial)
+		for i, k := range pk {
+			table.Upsert(k).Add(pv[i])
+		}
+		d := p % n
+		var encErr error
+		table.ForEach(func(key uint32, st *rsum.State64) {
+			if encErr != nil {
+				return
+			}
+			enc, err := st.MarshalBinary()
+			if err != nil {
+				encErr = err
+				return
+			}
+			frames[d] = appendPair(frames[d], key, enc)
+		})
+		if encErr != nil {
+			return nil, encErr
+		}
+	}
+	return frames, nil
+}
+
+// encodeGroups flattens finalized groups for the gather message:
+// 4-byte key, 8-byte float64 bits per group.
+func encodeGroups(gs []Group) []byte {
+	buf := make([]byte, 0, len(gs)*12)
+	for _, g := range gs {
+		var rec [12]byte
+		binary.LittleEndian.PutUint32(rec[0:], g.Key)
+		binary.LittleEndian.PutUint64(rec[4:], math.Float64bits(g.Sum))
+		buf = append(buf, rec[:]...)
+	}
+	return buf
+}
+
+// decodeGroups inverts encodeGroups.
+func decodeGroups(buf []byte) []Group {
+	gs := make([]Group, 0, len(buf)/12)
+	for len(buf) >= 12 {
+		gs = append(gs, Group{
+			Key: binary.LittleEndian.Uint32(buf[0:]),
+			Sum: math.Float64frombits(binary.LittleEndian.Uint64(buf[4:])),
+		})
+		buf = buf[12:]
+	}
+	return gs
+}

@@ -1,0 +1,171 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rsum"
+)
+
+// levels is the summation accuracy level used by the distributed
+// operators. All nodes must agree on L for partial states to merge;
+// the canonical encoding carries L, and MergeBinary rejects mismatches.
+const levels = core.DefaultLevels
+
+// message is one hop of the simulated interconnect: a serialized
+// partial state (or, for the GROUP BY shuffle, a frame of per-key
+// states) traveling from one node to another. err propagates a node
+// failure downstream so the reduction aborts instead of deadlocking.
+type message struct {
+	from    int
+	payload []byte
+	err     error
+}
+
+// sendGate serializes sends into a prescribed global order. Tests use
+// it to force specific message arrival orders; a nil gate lets senders
+// race freely (the production configuration). Each node occupies one
+// slot in order and may perform all of its sends during that slot.
+type sendGate struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	order []int
+	next  int
+}
+
+func newSendGate(order []int) *sendGate {
+	g := &sendGate{order: order}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// wait blocks until it is id's turn to send.
+func (g *sendGate) wait(id int) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	for g.next < len(g.order) && g.order[g.next] != id {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// done releases the next sender in the prescribed order.
+func (g *sendGate) done() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.next++
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// Reduce computes the reproducible global SUM over a sharded input:
+// shards[i] is the slice of values held by cluster node i. Each node
+// sums its shard locally with the given number of parallel workers,
+// then the partials are reduced over the given topology, traveling
+// between nodes as canonical binary encodings. The result is
+// bit-identical for every shard assignment of the same multiset of
+// values, every cluster size, every topology, every worker count, and
+// every message arrival order.
+func Reduce(shards [][]float64, workers int, topo Topology) (float64, error) {
+	return reduce(shards, workers, topo, nil)
+}
+
+// reduce is Reduce with an optional test gate forcing send order.
+func reduce(shards [][]float64, workers int, topo Topology, gate *sendGate) (float64, error) {
+	n := len(shards)
+	if n == 0 {
+		return 0, ErrNoShards
+	}
+	if workers < 1 {
+		return 0, fmt.Errorf("%w (got %d)", ErrWorkers, workers)
+	}
+	if !topo.valid() {
+		return 0, fmt.Errorf("%w (got %d)", ErrTopology, int(topo))
+	}
+
+	// Inboxes are buffered to each node's expected fan-in, so a send
+	// never blocks and any topological send order is admissible.
+	inboxes := make([]chan message, n)
+	for id := range inboxes {
+		inboxes[id] = make(chan message, topo.children(id, n))
+	}
+	root := make(chan message, 1)
+
+	for id := 0; id < n; id++ {
+		go func(id int) {
+			acc := localPartial(shards[id], workers)
+			var err error
+			for i := 0; i < topo.children(id, n); i++ {
+				m := <-inboxes[id]
+				if err != nil {
+					continue // already failed; drain remaining fan-in
+				}
+				if m.err != nil {
+					err = m.err
+					continue
+				}
+				if e := acc.MergeBinary(m.payload); e != nil {
+					err = fmt.Errorf("dist: node %d merging partial from node %d: %w", id, m.from, e)
+				}
+			}
+			out := message{from: id, err: err}
+			if err == nil {
+				out.payload, out.err = acc.MarshalBinary()
+			}
+			if p := topo.parent(id, n); p >= 0 {
+				gate.wait(id)
+				inboxes[p] <- out
+				gate.done()
+			} else {
+				root <- out
+			}
+		}(id)
+	}
+
+	m := <-root
+	if m.err != nil {
+		return 0, m.err
+	}
+	var final rsum.State64
+	if err := final.UnmarshalBinary(m.payload); err != nil {
+		return 0, err
+	}
+	return final.Value(), nil
+}
+
+// localPartial sums one shard into a partial state using workers
+// parallel goroutines. The result is bit-identical for every worker
+// count: each worker sums a contiguous chunk (the state is independent
+// of chunking) and the per-worker states merge order-independently.
+func localPartial(shard []float64, workers int) rsum.State64 {
+	acc := rsum.NewState64(levels)
+	if workers == 1 || len(shard) < 2*workers {
+		acc.AddSliceVec(shard)
+		return acc
+	}
+	parts := make([]rsum.State64, workers)
+	var wg sync.WaitGroup
+	chunk := (len(shard) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		parts[w] = rsum.NewState64(levels)
+		lo, hi := w*chunk, min((w+1)*chunk, len(shard))
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts[w].AddSliceVec(shard[lo:hi])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for w := range parts {
+		acc.Merge(&parts[w])
+	}
+	return acc
+}

@@ -93,6 +93,24 @@ func (s *State64) UnmarshalBinary(data []byte) error {
 	return nil
 }
 
+// MergeBinary decodes a canonical State64 encoding and merges it into s.
+// It is the wire-facing counterpart of Merge for systems that ship
+// partial aggregates between processes: the sender marshals its state,
+// the receiver folds the bytes straight into its own accumulator.
+// Unlike Merge, a level-count mismatch is reported as an error rather
+// than a panic, since the encoding crosses a trust boundary.
+func (s *State64) MergeBinary(data []byte) error {
+	var o State64
+	if err := o.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	if o.levels != s.levels {
+		return fmt.Errorf("rsum: cannot merge L=%d encoding into L=%d state", o.levels, s.levels)
+	}
+	s.Merge(&o)
+	return nil
+}
+
 // validate rejects decoded states that violate the structural
 // invariants; accepting them would let corrupt (or adversarial) bytes
 // break the exactness arguments or panic later operations.

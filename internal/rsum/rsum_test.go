@@ -553,6 +553,40 @@ func TestMarshalCanonical(t *testing.T) {
 	}
 }
 
+func TestMergeBinary(t *testing.T) {
+	// Merging from the wire is equivalent to merging the state directly.
+	rng := rand.New(rand.NewSource(53))
+	a := NewState64(2)
+	b := NewState64(2)
+	for i := 0; i < 2000; i++ {
+		a.Add((rng.Float64() - 0.4) * math.Ldexp(1, rng.Intn(30)))
+		b.Add((rng.Float64() - 0.6) * math.Ldexp(1, rng.Intn(30)))
+	}
+	wire, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromWire := a
+	if err := fromWire.MergeBinary(wire); err != nil {
+		t.Fatal(err)
+	}
+	direct := a
+	direct.Merge(&b)
+	if !fromWire.Equal(&direct) {
+		t.Fatal("MergeBinary result differs from direct Merge")
+	}
+
+	// Level mismatch and corrupt bytes error out without panicking.
+	other := NewState64(3)
+	enc, _ := other.MarshalBinary()
+	if err := fromWire.MergeBinary(enc); err == nil {
+		t.Error("level mismatch accepted")
+	}
+	if err := fromWire.MergeBinary(wire[:len(wire)-2]); err == nil {
+		t.Error("truncated encoding accepted")
+	}
+}
+
 func TestUnmarshalErrors(t *testing.T) {
 	var s State64
 	if err := s.UnmarshalBinary(nil); err == nil {

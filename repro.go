@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/agg"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/exact"
 	"repro/internal/hashagg"
 	"repro/internal/rsum"
@@ -197,6 +198,63 @@ func BufferSizeFor(groups int) int {
 // sum of n values with the given levels and maximum magnitude (Eq. 6).
 func ErrorBound(n, levels int, maxAbs float64) float64 {
 	return exact.RSumBound(n, levels, maxAbs)
+}
+
+// Topology selects the reduction-tree shape for DistributedSum. All
+// topologies yield bit-identical results; they differ only in the
+// communication pattern of the simulated cluster.
+type Topology = dist.Topology
+
+// Reduction topologies for DistributedSum.
+const (
+	Binomial = dist.Binomial // MPI-style binomial tree, ⌈log2 n⌉ rounds
+	Chain    = dist.Chain    // linear pipeline n−1 → … → 0
+	Star     = dist.Star     // all partials straight to the root
+)
+
+// Sentinel errors of the distributed operators, matchable with
+// errors.Is on the (possibly wrapped) errors DistributedSum and
+// DistributedGroupBySum return.
+var (
+	// ErrNoShards: the cluster has zero nodes.
+	ErrNoShards = dist.ErrNoShards
+	// ErrWorkers: non-positive per-node worker count.
+	ErrWorkers = dist.ErrWorkers
+	// ErrTopology: unknown Topology value.
+	ErrTopology = dist.ErrTopology
+	// ErrShardMismatch: key and value shards disagree in shape.
+	ErrShardMismatch = dist.ErrShardMismatch
+)
+
+// DistributedSum computes the reproducible SUM of a sharded input on a
+// simulated cluster with one node per shard: every node sums its shard
+// locally (with the given per-node worker count), and the partial
+// states are reduced over the given topology, traveling between nodes
+// as canonical binary encodings (§III-D of the paper: local summation
+// per process, then a global reduce). The result carries the same bits
+// as Sum over the concatenated shards — for every cluster size,
+// topology, worker count, and message arrival order.
+func DistributedSum(shards [][]float64, workers int, topo Topology) (float64, error) {
+	return dist.Reduce(shards, workers, topo)
+}
+
+// DistributedGroupBySum computes a reproducible GROUP BY SUM over rows
+// sharded across a simulated cluster: shardKeys[i] and shardVals[i]
+// are node i's rows. A hash shuffle routes each key to a unique owner
+// node, senders pre-aggregate into per-key partial states, and owners
+// merge the shipped states in arrival order. The returned groups are
+// sorted by key and bit-identical to GroupBySum over the concatenated
+// rows, for every sharding, cluster size, and worker count.
+func DistributedGroupBySum(shardKeys [][]uint32, shardVals [][]float64, workers int) ([]Group, error) {
+	gs, err := dist.AggregateByKey(shardKeys, shardVals, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Group, len(gs))
+	for i, g := range gs {
+		out[i] = Group{Key: g.Key, Sum: g.Sum}
+	}
+	return out, nil
 }
 
 // DotProduct returns the bit-reproducible dot product Σ x[i]·y[i] with
