@@ -1,0 +1,119 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/dist"
+	"repro/internal/workload"
+)
+
+// runDist — transport sweep (extension; not a paper figure): the
+// distributed reduction and GROUP BY shuffle over the in-process
+// channel transport vs real TCP sockets on loopback, across cluster
+// sizes and topologies. Reports throughput per transport and verifies
+// that every cell lands on the same bits — including one cell with a
+// hostile fault plan injected into the TCP link.
+func runDist(cfg config) {
+	vals := workload.Values64(cfg.seed, cfg.n, workload.MixedMag)
+	nodesSweep := []int{2, 4, 8, 16}
+	if cfg.quick {
+		nodesSweep = []int{2, 8}
+	}
+
+	transports := []struct {
+		name    string
+		factory dist.TransportFactory
+	}{
+		{"chan", dist.ChanTransportFactory},
+		{"tcp", dist.TCPTransportFactory},
+	}
+
+	var ref uint64
+	haveRef := false
+	mismatches := 0
+
+	t := bench.NewTable("Transport sweep: Reduce, ns/elem (bits identical across all cells)",
+		"nodes", "topology", "chan", "tcp", "tcp/chan")
+	for _, nodes := range nodesSweep {
+		shards := make([][]float64, nodes)
+		for i, v := range vals {
+			shards[i%nodes] = append(shards[i%nodes], v)
+		}
+		for _, topo := range []dist.Topology{dist.Binomial, dist.Chain, dist.Star} {
+			var ns [2]float64
+			for ti, tr := range transports {
+				var sum float64
+				dur := bench.Measure(func() {
+					var err error
+					sum, err = dist.ReduceConfig(shards, 2, topo, dist.Config{NewTransport: tr.factory})
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "reprobench dist: %v\n", err)
+						os.Exit(1)
+					}
+				})
+				ns[ti] = bench.NsPerElem(dur, 1, cfg.n)
+				bits := math.Float64bits(sum)
+				if !haveRef {
+					ref, haveRef = bits, true
+				} else if bits != ref {
+					mismatches++
+				}
+			}
+			t.AddRow(nodes, topo.String(), ns[0], ns[1], bench.Ratio(ns[1]/ns[0]))
+		}
+	}
+	t.Fprint(os.Stdout)
+
+	// One hostile cell: TCP with drops, dups, reordering, and delays.
+	plan := &dist.FaultPlan{Seed: cfg.seed, DropProb: 0.2, DupProb: 0.2, Reorder: true,
+		MaxDelay: 200 * time.Microsecond, RetryDelay: 100 * time.Microsecond}
+	shards := make([][]float64, 8)
+	for i, v := range vals {
+		shards[i%8] = append(shards[i%8], v)
+	}
+	sum, err := dist.ReduceConfig(shards, 2, dist.Binomial, dist.Config{
+		NewTransport: dist.TCPTransportFactory, Faults: plan, ChildDeadline: 5 * time.Millisecond})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprobench dist (faults): %v\n", err)
+		os.Exit(1)
+	}
+	if bits := math.Float64bits(sum); bits != ref {
+		mismatches++
+	}
+	fmt.Printf("tcp+faults (8 nodes, binomial, drop/dup/reorder/delay): %016x\n", math.Float64bits(sum))
+	fmt.Printf("bit mismatches across all transport cells: %d\n\n", mismatches)
+	if mismatches != 0 {
+		fmt.Fprintf(os.Stderr, "reprobench dist: %d transport cells broke bit-reproducibility\n", mismatches)
+		os.Exit(1)
+	}
+
+	// GROUP BY shuffle across the same transports.
+	keys := workload.Keys(cfg.seed+1, cfg.n, 1024)
+	tg := bench.NewTable("Transport sweep: AggregateByKey, ns/elem",
+		"nodes", "chan", "tcp", "tcp/chan")
+	for _, nodes := range nodesSweep {
+		lk := make([][]uint32, nodes)
+		lv := make([][]float64, nodes)
+		for i := range keys {
+			d := i % nodes
+			lk[d] = append(lk[d], keys[i])
+			lv[d] = append(lv[d], vals[i])
+		}
+		var ns [2]float64
+		for ti, tr := range transports {
+			dur := bench.Measure(func() {
+				if _, err := dist.AggregateByKeyConfig(lk, lv, 2, dist.Config{NewTransport: tr.factory}); err != nil {
+					fmt.Fprintf(os.Stderr, "reprobench dist groupby: %v\n", err)
+					os.Exit(1)
+				}
+			})
+			ns[ti] = bench.NsPerElem(dur, 1, cfg.n)
+		}
+		tg.AddRow(nodes, ns[0], ns[1], bench.Ratio(ns[1]/ns[0]))
+	}
+	tg.Fprint(os.Stdout)
+}

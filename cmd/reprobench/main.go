@@ -8,7 +8,7 @@
 //	reprobench [flags] <experiment>
 //
 // Experiments: fig4, tab2, fig6, fig7, fig8, fig9, fig10, tab3, tab4,
-// fig11, fig12, pagerank, all.
+// fig11, fig12, pagerank, q6, dist (transport sweep), all.
 //
 // Flags:
 //
@@ -46,7 +46,7 @@ func main() {
 	}
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: reprobench [flags] <fig4|tab2|fig6|fig7|fig8|fig9|fig10|tab3|tab4|fig11|fig12|pagerank|q6|all>")
+		fmt.Fprintln(os.Stderr, "usage: reprobench [flags] <fig4|tab2|fig6|fig7|fig8|fig9|fig10|tab3|tab4|fig11|fig12|pagerank|q6|dist|all>")
 		os.Exit(2)
 	}
 
@@ -66,11 +66,12 @@ func main() {
 		"fig12":    runFig12,
 		"pagerank": runPageRank,
 		"q6":       runQ6,
+		"dist":     runDist,
 	}
 	name := flag.Arg(0)
 	if name == "all" {
 		for _, k := range []string{"fig4", "tab2", "fig6", "fig7", "fig8", "fig9",
-			"fig10", "tab3", "tab4", "fig11", "fig12", "pagerank", "q6"} {
+			"fig10", "tab3", "tab4", "fig11", "fig12", "pagerank", "q6", "dist"} {
 			run[k](cfg)
 		}
 		return

@@ -19,6 +19,7 @@ func TestExperimentsSmoke(t *testing.T) {
 		"fig11": runFig11,
 		"fig12": runFig12,
 		"q6":    runQ6,
+		"dist":  runDist,
 	}
 	for name, fn := range experiments {
 		name, fn := name, fn

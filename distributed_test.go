@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/workload"
@@ -65,6 +66,75 @@ func TestDistributedGroupBySumMatchesGroupBySum(t *testing.T) {
 					nodes, i, got[i].Key, math.Float64bits(got[i].Sum),
 					want[i].Key, math.Float64bits(want[i].Sum))
 			}
+		}
+	}
+}
+
+// TestDistributedSumTransportOptions: the facade's transport-selecting
+// options — TCP sockets, fault injection, straggler deadline — all
+// carry exactly the bits of the single-machine Sum.
+func TestDistributedSumTransportOptions(t *testing.T) {
+	const n = 8000
+	vals := workload.Values64(29, n, workload.MixedMag)
+	want := math.Float64bits(repro.Sum(vals))
+
+	shards := make([][]float64, 5)
+	for i, v := range vals {
+		shards[i%5] = append(shards[i%5], v)
+	}
+	optSets := map[string][]repro.DistOption{
+		"chan-explicit": {repro.WithChanTransport()},
+		"tcp":           {repro.WithTCPTransport()},
+		"tcp+faults": {repro.WithTCPTransport(),
+			repro.WithFaults(repro.FaultPlan{Seed: 7, DropProb: 0.3, DupProb: 0.3,
+				MaxDelay: 200 * time.Microsecond, RetryDelay: 100 * time.Microsecond, Reorder: true}),
+			repro.WithStragglerDeadline(10 * time.Millisecond)},
+		"chan+faults": {repro.WithFaults(repro.FaultPlan{Seed: 8, DropProb: 0.4,
+			RetryDelay: 100 * time.Microsecond}),
+			repro.WithStragglerDeadline(10 * time.Millisecond)},
+	}
+	for name, opts := range optSets {
+		t.Run(name, func(t *testing.T) {
+			for _, topo := range []repro.Topology{repro.Binomial, repro.Chain, repro.Star} {
+				got, err := repro.DistributedSum(shards, 2, topo, opts...)
+				if err != nil {
+					t.Fatalf("%v: %v", topo, err)
+				}
+				if math.Float64bits(got) != want {
+					t.Fatalf("%v = %016x, want %016x", topo, math.Float64bits(got), want)
+				}
+			}
+		})
+	}
+}
+
+// TestDistributedGroupBySumOverTCP: the GROUP BY shuffle over real
+// sockets with faults matches the single-machine operator bit for bit.
+func TestDistributedGroupBySumOverTCP(t *testing.T) {
+	const n = 10000
+	keys := workload.Keys(31, n, 300)
+	vals := workload.Values64(32, n, workload.MixedMag)
+	want := repro.GroupBySum(keys, vals, &repro.GroupByOptions{Groups: 300})
+
+	lk := make([][]uint32, 4)
+	lv := make([][]float64, 4)
+	for i := range keys {
+		d := i % 4
+		lk[d] = append(lk[d], keys[i])
+		lv[d] = append(lv[d], vals[i])
+	}
+	got, err := repro.DistributedGroupBySum(lk, lv, 2,
+		repro.WithTCPTransport(),
+		repro.WithFaults(repro.FaultPlan{Seed: 11, DupProb: 0.4, MaxDelay: 200 * time.Microsecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d groups, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Key != want[i].Key || math.Float64bits(got[i].Sum) != math.Float64bits(want[i].Sum) {
+			t.Fatalf("group[%d] mismatch over TCP with faults", i)
 		}
 	}
 }

@@ -91,7 +91,7 @@ func TestReduceBitReproducible(t *testing.T) {
 				// Three forced random arrival orders.
 				for trial := 0; trial < 3; trial++ {
 					gate := newSendGate(senderOrder(topo, nodes, rng))
-					sum, err := reduce(shards, workers, topo, gate)
+					sum, err := ReduceConfig(shards, workers, topo, Config{gate: gate})
 					if err != nil {
 						t.Fatalf("reduce gated (%d nodes, %v): %v", nodes, topo, err)
 					}

@@ -1,0 +1,84 @@
+package dist
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rsum"
+)
+
+// FuzzFrameDecode: arbitrary wire bytes must never panic the frame
+// decoder, never over-consume the buffer, and anything the decoder
+// accepts must re-encode to exactly the consumed bytes (the codec is
+// canonical). The seed corpus holds valid frames — including one
+// carrying a real marshaled summation state — plus bit-flipped and
+// truncated mutations, mirroring line corruption.
+func FuzzFrameDecode(f *testing.F) {
+	s := rsum.NewState64(2)
+	s.AddSlice([]float64{1.5, -2.25, 1e300, -1e300, 0x1p-1060})
+	enc, _ := s.MarshalBinary()
+
+	seeds := [][]byte{
+		EncodeFrame(Frame{Kind: KindPartial, From: 3, To: 0, Payload: enc}),
+		EncodeFrame(Frame{Kind: KindGroups, From: 0, To: 1, Seq: seqShuffle}),
+		EncodeFrame(Frame{Kind: KindGather, From: 2, To: 0, Seq: seqGather, Payload: []byte{1, 2, 3}}),
+		EncodeFrame(Frame{Kind: KindResend, From: 1, To: 2}),
+		EncodeFrame(Frame{Kind: KindError, From: 1, To: 0, Payload: []byte("boom")}),
+		{},
+	}
+	for _, sd := range seeds {
+		f.Add(sd)
+		if len(sd) > 0 {
+			for _, bit := range []int{0, 17, 8 * 3, 8*16 + 1, 8*len(sd) - 1} {
+				if bit/8 < len(sd) {
+					mut := append([]byte(nil), sd...)
+					mut[bit/8] ^= 1 << (bit % 8)
+					f.Add(mut)
+				}
+			}
+			f.Add(sd[:len(sd)/2])
+			f.Add(append(append([]byte(nil), sd...), sd...)) // two frames back to back
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeFrame(data)
+		if err != nil {
+			// Rejected: ReadFrame over the same bytes must also reject.
+			if _, rerr := ReadFrame(bytes.NewReader(data)); rerr == nil {
+				t.Fatal("DecodeFrame rejected but ReadFrame accepted")
+			}
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// Canonical: re-encoding reproduces the consumed bytes exactly.
+		if !bytes.Equal(EncodeFrame(fr), data[:n]) {
+			t.Fatal("accepted frame does not re-encode to its wire bytes")
+		}
+		// Stream reader must agree with the slice decoder.
+		sf, serr := ReadFrame(bytes.NewReader(data))
+		if serr != nil {
+			t.Fatalf("DecodeFrame accepted but ReadFrame failed: %v", serr)
+		}
+		if sf.Kind != fr.Kind || sf.From != fr.From || sf.To != fr.To ||
+			sf.Seq != fr.Seq || !bytes.Equal(sf.Payload, fr.Payload) {
+			t.Fatal("ReadFrame and DecodeFrame disagree")
+		}
+		// A payload that claims to be a partial state must never panic
+		// or corrupt an accumulator, even if the frame header was valid.
+		if fr.Kind == KindPartial {
+			acc := rsum.NewState64(2)
+			acc.Add(42.5)
+			before := acc
+			if err := acc.MergeBinary(fr.Payload); err != nil {
+				if !acc.Equal(&before) {
+					t.Fatal("failed MergeBinary mutated the accumulator")
+				}
+			} else {
+				_ = acc.Value()
+			}
+		}
+	})
+}

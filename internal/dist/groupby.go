@@ -23,6 +23,14 @@ const shuffleFanout = 256
 
 var errFrame = errors.New("dist: corrupt shuffle frame")
 
+// Stream ids (Frame.Seq) of the GROUP BY protocol. Every node sends
+// exactly one frame per (destination, stream), so receivers deduplicate
+// deliveries by (from, seq) and count distinct senders per stream.
+const (
+	seqShuffle = 0 // sender → owner: per-key partial states
+	seqGather  = 1 // owner → root: finalized groups
+)
+
 // appendPair appends one ⟨key, partial state⟩ pair to a shuffle frame:
 // 4-byte little-endian key, 4-byte length, then the canonical state
 // encoding.
@@ -65,12 +73,13 @@ func walkFrame(frame []byte, fn func(key uint32, state []byte) error) error {
 // multiset of rows across any number of nodes, every worker count, and
 // every message arrival order.
 func AggregateByKey(localKeys [][]uint32, localVals [][]float64, workers int) ([]Group, error) {
-	return aggregateByKey(localKeys, localVals, workers, nil)
+	return AggregateByKeyConfig(localKeys, localVals, workers, Config{})
 }
 
-// aggregateByKey is AggregateByKey with an optional test gate forcing
-// shuffle send order.
-func aggregateByKey(localKeys [][]uint32, localVals [][]float64, workers int, gate *sendGate) ([]Group, error) {
+// AggregateByKeyConfig is AggregateByKey over an explicitly configured
+// interconnect (see Config); the group list carries the same bits for
+// every transport and fault plan.
+func AggregateByKeyConfig(localKeys [][]uint32, localVals [][]float64, workers int, cfg Config) ([]Group, error) {
 	n := len(localKeys)
 	if n == 0 {
 		return nil, ErrNoShards
@@ -88,77 +97,207 @@ func aggregateByKey(localKeys [][]uint32, localVals [][]float64, workers int, ga
 	if workers < 1 {
 		return nil, fmt.Errorf("%w (got %d)", ErrWorkers, workers)
 	}
-
-	// Every sender ships exactly one frame (possibly empty) to every
-	// owner, so owners know their fan-in and sends never block.
-	inboxes := make([]chan message, n)
-	for i := range inboxes {
-		inboxes[i] = make(chan message, n)
+	tr, err := cfg.transport(n)
+	if err != nil {
+		return nil, err
 	}
-	gathered := make(chan message, n)
+	defer tr.Close()
 
+	rootCh := make(chan result, 1)
 	for id := 0; id < n; id++ {
-		go func(id int) {
-			frames, err := combineShard(localKeys[id], localVals[id], n, workers)
-			gate.wait(id)
-			for d := 0; d < n; d++ {
-				m := message{from: id, err: err}
-				if err == nil {
-					m.payload = frames[d]
-				}
-				inboxes[d] <- m
-			}
-			gate.done()
+		go groupByNode(id, localKeys[id], localVals[id], workers, tr, cfg, rootCh)
+	}
+	m := <-rootCh
+	if m.err != nil {
+		return nil, m.err
+	}
+	return m.groups, nil
+}
 
-			// Owner role: merge incoming per-key partials in arrival
-			// order, then finalize and hand the groups to the root.
-			states := hashagg.New(64, hashagg.Identity, newPartial)
-			var ownErr error
-			for i := 0; i < n; i++ {
-				m := <-inboxes[id]
-				if ownErr != nil {
-					continue
-				}
-				if m.err != nil {
-					ownErr = m.err
-					continue
-				}
-				ownErr = walkFrame(m.payload, func(key uint32, enc []byte) error {
-					if e := states.Upsert(key).MergeBinary(enc); e != nil {
-						return fmt.Errorf("dist: node %d merging group %d from node %d: %w", id, key, m.from, e)
-					}
-					return nil
-				})
+// groupByNode is the per-node protocol of the distributed GROUP BY:
+// combine the local shard, ship one shuffle frame to every owner, merge
+// the frames addressed to this node (exactly one per sender,
+// deduplicated), finalize, and ship the finalized groups to the root.
+// The root additionally collects every owner's gather frame and hands
+// the sorted global result to the coordinator.
+//
+// Like the reduction tree, the shuffle has straggler handling: a
+// receiver that makes no progress for ChildDeadline re-requests the
+// missing frames (shuffle frames from senders, gather frames from
+// owners), every node caches its outgoing frames and retransmits on
+// demand, and a permanently silent peer surfaces ErrStraggler instead
+// of a hang.
+func groupByNode(id int, keys []uint32, vals []float64, workers int, tr Transport, cfg Config, rootCh chan<- result) {
+	n := tr.Nodes()
+	frames, cerr := combineShard(keys, vals, n, workers)
+
+	// shuffleFrame is the cached outgoing shuffle slot for destination
+	// d — the combiner's frame, or its failure on the same stream.
+	// First sends and straggler retransmissions serve from the same
+	// closure, so every transmission of a slot is identical.
+	shuffleFrame := func(d int) Frame {
+		if cerr != nil {
+			return Frame{Kind: KindError, From: id, To: d, Seq: seqShuffle, Payload: encodeErr(cerr)}
+		}
+		return Frame{Kind: KindGroups, From: id, To: d, Seq: seqShuffle, Payload: frames[d]}
+	}
+
+	// Shuffle: one frame (possibly empty, so owners can count senders)
+	// to every owner. A send failure is survivable: the owner's
+	// re-request path retries the slot (over TCP, on a freshly dialed
+	// connection), and if the transport is truly gone every node
+	// unblocks through Recv failing.
+	cfg.gate.wait(id)
+	for d := 0; d < n; d++ {
+		_ = tr.Send(shuffleFrame(d))
+	}
+	cfg.gate.done()
+
+	// Owner role: merge incoming per-key partials in arrival order.
+	// The root interleaves this with collecting gather frames, which
+	// may overtake shuffle frames on a reordering transport.
+	states := hashagg.New(64, hashagg.Identity, newPartial)
+	var ownErr error
+	var gatherOut *Frame // cached gather frame, once built (non-root)
+	seen := make(dedup)
+	shuffleHeard := make(map[int]bool, n)
+	gatherHeard := make(map[int]bool, n)
+	gathers := make([][]byte, 0, n)
+	wantGathers := 0
+	if id == 0 {
+		wantGathers = n - 1 // every other owner's finalized groups
+	}
+	resends := 0
+	for len(shuffleHeard) < n || len(gatherHeard) < wantGathers {
+		f, rerr := tr.Recv(id, cfg.childDeadline())
+		switch {
+		case errors.Is(rerr, ErrTimeout):
+			// Straggler handling: re-request every missing slot.
+			if resends >= cfg.maxResend() {
+				ownErr = fmt.Errorf("%w (node %d shuffle: %d/%d senders, %d/%d gathers)",
+					ErrStraggler, id, len(shuffleHeard), n, len(gatherHeard), wantGathers)
+				break
 			}
-			out := message{from: id, err: ownErr}
+			resends++
+			// Re-request send failures are tolerated like all other
+			// sends: the next round retries, and a closed transport
+			// surfaces through Recv.
+			for s := 0; s < n; s++ {
+				if !shuffleHeard[s] {
+					_ = tr.Send(Frame{Kind: KindResend, From: id, To: s, Seq: seqShuffle})
+				}
+			}
+			for s := 1; s < n && id == 0; s++ {
+				if !gatherHeard[s] {
+					_ = tr.Send(Frame{Kind: KindResend, From: id, To: s, Seq: seqGather})
+				}
+			}
+		case rerr != nil:
+			// Transport closed underneath an unfinished protocol; keep
+			// any more specific error already recorded.
 			if ownErr == nil {
-				groups := make([]Group, 0, states.Len())
-				states.ForEach(func(key uint32, st *rsum.State64) {
-					groups = append(groups, Group{Key: key, Sum: st.Value()})
-				})
-				sort.Slice(groups, func(i, j int) bool { return groups[i].Key < groups[j].Key })
-				out.payload = encodeGroups(groups)
+				ownErr = rerr
 			}
-			gathered <- out
-		}(id)
+		case f.Kind == KindResend:
+			// A peer is missing one of our slots; retransmit from cache.
+			// A gather re-request before our gather is built is answered
+			// by the eventual first send.
+			if f.Seq == seqShuffle {
+				_ = tr.Send(shuffleFrame(f.From))
+			} else if f.Seq == seqGather && gatherOut != nil {
+				_ = tr.Send(*gatherOut)
+			}
+		case seen.seen(f):
+			// Duplicate delivery or already-answered retransmission.
+		case f.Seq == seqShuffle && f.Kind == KindGroups:
+			shuffleHeard[f.From] = true
+			resends = 0 // progress: the give-up budget is for silence, not slowness
+			ownErr = walkFrame(f.Payload, func(key uint32, enc []byte) error {
+				if e := states.Upsert(key).MergeBinary(enc); e != nil {
+					return fmt.Errorf("dist: node %d merging group %d from node %d: %w", id, key, f.From, e)
+				}
+				return nil
+			})
+		case f.Seq == seqShuffle && f.Kind == KindError:
+			shuffleHeard[f.From] = true
+			resends = 0
+			if ownErr == nil {
+				ownErr = decodeErr(f.From, f.Payload)
+			}
+		case f.Seq == seqGather && f.Kind == KindGather && id == 0:
+			gatherHeard[f.From] = true
+			resends = 0
+			gathers = append(gathers, f.Payload)
+		case f.Seq == seqGather && f.Kind == KindError && id == 0:
+			gatherHeard[f.From] = true
+			resends = 0
+			if ownErr == nil {
+				ownErr = decodeErr(f.From, f.Payload)
+			}
+		}
+		// Any recorded error ends the collection, like reduceNode: the
+		// node announces the failure (error gather below) rather than
+		// idling through re-request rounds it no longer issues, and the
+		// coordinator's Close unblocks everyone else.
+		if ownErr != nil {
+			break
+		}
+	}
+
+	// Finalize this owner's groups (disjoint from every other owner's).
+	var local []Group
+	if ownErr == nil {
+		local = make([]Group, 0, states.Len())
+		states.ForEach(func(key uint32, st *rsum.State64) {
+			local = append(local, Group{Key: key, Sum: st.Value()})
+		})
+		sort.Slice(local, func(i, j int) bool { return local[i].Key < local[j].Key })
+	}
+
+	if ownErr == nil && id != 0 && len(local)*12 > MaxFramePayload {
+		ownErr = fmt.Errorf("%w: gather frame from node %d would be %d bytes (limit %d)",
+			ErrBadFrame, id, len(local)*12, MaxFramePayload)
+	}
+
+	if id != 0 {
+		out := Frame{Kind: KindGather, From: id, To: 0, Seq: seqGather, Payload: encodeGroups(local)}
+		if ownErr != nil {
+			out = Frame{Kind: KindError, From: id, To: 0, Seq: seqGather, Payload: encodeErr(ownErr)}
+		}
+		gatherOut = &out
+		_ = tr.Send(out) // on failure the root's re-request path retries
+
+		// Serve straggler re-requests from the cached slots until the
+		// coordinator closes the transport; send failures are left to
+		// the next re-request round.
+		for {
+			f, rerr := tr.Recv(id, 0)
+			if rerr != nil {
+				return
+			}
+			if f.Kind != KindResend {
+				continue
+			}
+			if f.Seq == seqShuffle {
+				_ = tr.Send(shuffleFrame(f.From))
+			} else if f.Seq == seqGather {
+				_ = tr.Send(out)
+			}
+		}
 	}
 
 	// Root gather: owners hold disjoint key sets, so the global result
 	// is the sorted concatenation of the per-owner group lists.
-	var all []Group
-	for i := 0; i < n; i++ {
-		m := <-gathered
-		if m.err != nil {
-			// Drain remaining owners before reporting.
-			for j := i + 1; j < n; j++ {
-				<-gathered
-			}
-			return nil, m.err
-		}
-		all = append(all, decodeGroups(m.payload)...)
+	if ownErr != nil {
+		rootCh <- result{err: ownErr}
+		return
+	}
+	all := local
+	for _, payload := range gathers {
+		all = append(all, decodeGroups(payload)...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
-	return all, nil
+	rootCh <- result{groups: all}
 }
 
 // combineShard partitions one node's rows by key and pre-aggregates
@@ -198,6 +337,19 @@ func combineShard(keys []uint32, vals []float64, n, workers int) ([][]byte, erro
 		})
 		if encErr != nil {
 			return nil, encErr
+		}
+	}
+	// Enforce the frame-size ceiling uniformly, for every transport:
+	// over TCP an oversized frame would be rejected by the receiver's
+	// decoder (and retried forever), so surface a clear error instead —
+	// identically on the in-process transport, keeping cross-transport
+	// equivalence exact. The ceiling is ~150k distinct keys per
+	// (sender, owner) pair; ROADMAP records frame chunking as the
+	// follow-up that lifts it.
+	for d, frame := range frames {
+		if len(frame) > MaxFramePayload {
+			return nil, fmt.Errorf("%w: shuffle frame to node %d is %d bytes (limit %d); use more nodes or fewer distinct keys per node",
+				ErrBadFrame, d, len(frame), MaxFramePayload)
 		}
 	}
 	return frames, nil

@@ -65,7 +65,7 @@ func TestAggregateByKeyBitReproducible(t *testing.T) {
 		// shuffle, so any permutation of node ids is admissible).
 		for trial := 0; trial < 3; trial++ {
 			order := randPerm(rng, nodes)
-			out, err := aggregateByKey(lk, lv, 2, newSendGate(order))
+			out, err := AggregateByKeyConfig(lk, lv, 2, Config{gate: newSendGate(order)})
 			if err != nil {
 				t.Fatalf("gated AggregateByKey(%d nodes): %v", nodes, err)
 			}

@@ -1,8 +1,11 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/rsum"
@@ -13,14 +16,70 @@ import (
 // the canonical encoding carries L, and MergeBinary rejects mismatches.
 const levels = core.DefaultLevels
 
-// message is one hop of the simulated interconnect: a serialized
-// partial state (or, for the GROUP BY shuffle, a frame of per-key
-// states) traveling from one node to another. err propagates a node
-// failure downstream so the reduction aborts instead of deadlocking.
-type message struct {
-	from    int
-	payload []byte
-	err     error
+// Config selects the interconnect and failure handling of the
+// distributed operators. The zero value reproduces the classic
+// configuration: in-process channels, no injected faults, and a patient
+// straggler deadline.
+type Config struct {
+	// NewTransport builds the interconnect for an n-node cluster
+	// (default ChanTransportFactory). The operation owns the transport
+	// and closes it on completion.
+	NewTransport TransportFactory
+	// Faults, when non-nil and active, wraps the transport in a
+	// fault-injection decorator (see FaultPlan).
+	Faults *FaultPlan
+	// ChildDeadline is how long a parent in the reduction tree waits
+	// for a child's partial before re-requesting it (straggler
+	// handling; default 1s). Spurious re-requests are harmless: frames
+	// are deduplicated by (from, seq).
+	ChildDeadline time.Duration
+	// MaxResend caps a node's consecutive silent deadline rounds: after
+	// this many Recv timeouts in a row with no frame consumed (each
+	// followed by a re-request to every still-missing peer), the
+	// operation gives up with ErrStraggler. Any progress resets the
+	// budget — it measures silence, not slowness. 0 means the default
+	// of 25; a negative value disables the give-up entirely.
+	MaxResend int
+
+	gate *sendGate // test hook forcing a global send order
+}
+
+func (c Config) childDeadline() time.Duration {
+	if c.ChildDeadline <= 0 {
+		return time.Second
+	}
+	return c.ChildDeadline
+}
+
+func (c Config) maxResend() int {
+	if c.MaxResend < 0 {
+		return math.MaxInt // never give up; genuine hangs fall to the caller's deadline
+	}
+	if c.MaxResend == 0 {
+		return 25
+	}
+	return c.MaxResend
+}
+
+// transport builds the configured interconnect, applying the fault
+// decorator if requested.
+func (c Config) transport(n int) (Transport, error) {
+	factory := c.NewTransport
+	if factory == nil {
+		factory = ChanTransportFactory
+	}
+	tr, err := factory(n)
+	if err != nil {
+		return nil, err
+	}
+	if tr.Nodes() != n {
+		tr.Close()
+		return nil, fmt.Errorf("dist: transport has %d nodes, cluster needs %d", tr.Nodes(), n)
+	}
+	if c.Faults != nil && c.Faults.active() {
+		return NewFaultTransport(tr, *c.Faults), nil
+	}
+	return tr, nil
 }
 
 // sendGate serializes sends into a prescribed global order. Tests use
@@ -63,6 +122,25 @@ func (g *sendGate) done() {
 	g.mu.Unlock()
 }
 
+// childrenOf lists the nodes that ship their partial to id — the nodes
+// whose parent is id.
+func childrenOf(topo Topology, id, n int) []int {
+	var kids []int
+	for c := 1; c < n; c++ {
+		if topo.parent(c, n) == id {
+			kids = append(kids, c)
+		}
+	}
+	return kids
+}
+
+// result is the local handoff from the root node to the caller.
+type result struct {
+	payload []byte
+	groups  []Group
+	err     error
+}
+
 // Reduce computes the reproducible global SUM over a sharded input:
 // shards[i] is the slice of values held by cluster node i. Each node
 // sums its shard locally with the given number of parallel workers,
@@ -72,11 +150,15 @@ func (g *sendGate) done() {
 // values, every cluster size, every topology, every worker count, and
 // every message arrival order.
 func Reduce(shards [][]float64, workers int, topo Topology) (float64, error) {
-	return reduce(shards, workers, topo, nil)
+	return ReduceConfig(shards, workers, topo, Config{})
 }
 
-// reduce is Reduce with an optional test gate forcing send order.
-func reduce(shards [][]float64, workers int, topo Topology, gate *sendGate) (float64, error) {
+// ReduceConfig is Reduce over an explicitly configured interconnect —
+// in-process channels, TCP sockets on loopback, or either wrapped in
+// the fault-injection decorator. The returned bits are identical across
+// every configuration: reproducibility comes from the canonical state
+// algebra, not from transport behavior.
+func ReduceConfig(shards [][]float64, workers int, topo Topology, cfg Config) (float64, error) {
 	n := len(shards)
 	if n == 0 {
 		return 0, ErrNoShards
@@ -87,44 +169,15 @@ func reduce(shards [][]float64, workers int, topo Topology, gate *sendGate) (flo
 	if !topo.valid() {
 		return 0, fmt.Errorf("%w (got %d)", ErrTopology, int(topo))
 	}
-
-	// Inboxes are buffered to each node's expected fan-in, so a send
-	// never blocks and any topological send order is admissible.
-	inboxes := make([]chan message, n)
-	for id := range inboxes {
-		inboxes[id] = make(chan message, topo.children(id, n))
+	tr, err := cfg.transport(n)
+	if err != nil {
+		return 0, err
 	}
-	root := make(chan message, 1)
+	defer tr.Close()
 
+	root := make(chan result, 1)
 	for id := 0; id < n; id++ {
-		go func(id int) {
-			acc := localPartial(shards[id], workers)
-			var err error
-			for i := 0; i < topo.children(id, n); i++ {
-				m := <-inboxes[id]
-				if err != nil {
-					continue // already failed; drain remaining fan-in
-				}
-				if m.err != nil {
-					err = m.err
-					continue
-				}
-				if e := acc.MergeBinary(m.payload); e != nil {
-					err = fmt.Errorf("dist: node %d merging partial from node %d: %w", id, m.from, e)
-				}
-			}
-			out := message{from: id, err: err}
-			if err == nil {
-				out.payload, out.err = acc.MarshalBinary()
-			}
-			if p := topo.parent(id, n); p >= 0 {
-				gate.wait(id)
-				inboxes[p] <- out
-				gate.done()
-			} else {
-				root <- out
-			}
-		}(id)
+		go reduceNode(id, shards[id], workers, topo, tr, cfg, root)
 	}
 
 	m := <-root
@@ -136,6 +189,103 @@ func reduce(shards [][]float64, workers int, topo Topology, gate *sendGate) (flo
 		return 0, err
 	}
 	return final.Value(), nil
+}
+
+// reduceNode is the per-node protocol of the reduction tree: sum the
+// local shard, fold children's partials in arrival order (deduplicated,
+// with a straggler deadline per fan-in round), then ship the merged
+// partial to the parent — and keep serving retransmission requests
+// until the coordinator tears the transport down.
+func reduceNode(id int, shard []float64, workers int, topo Topology, tr Transport, cfg Config, rootCh chan<- result) {
+	acc := localPartial(shard, workers)
+	kids := childrenOf(topo, id, tr.Nodes())
+
+	var nodeErr error
+	seen := make(dedup)
+	heard := make(map[int]bool, len(kids))
+	resends := 0
+	for len(heard) < len(kids) && nodeErr == nil {
+		f, err := tr.Recv(id, cfg.childDeadline())
+		switch {
+		case errors.Is(err, ErrTimeout):
+			// Straggler handling: re-request the partial of every child
+			// not heard from yet. Duplicates are filtered by seen, so
+			// racing with an in-flight original is safe.
+			if resends >= cfg.maxResend() {
+				nodeErr = fmt.Errorf("%w (node %d waiting on %d of %d children)",
+					ErrStraggler, id, len(kids)-len(heard), len(kids))
+				break
+			}
+			resends++
+			for _, c := range kids {
+				if !heard[c] {
+					// Tolerate re-request send failures: the next
+					// deadline round retries, and a closed transport
+					// surfaces through Recv.
+					_ = tr.Send(Frame{Kind: KindResend, From: id, To: c})
+				}
+			}
+		case err != nil:
+			nodeErr = err // transport closed underneath an unfinished protocol
+		case f.Kind == KindResend:
+			// Our parent is impatient, but the partial is not ready yet;
+			// the eventual first send will satisfy it.
+		case seen.seen(f):
+			// Duplicate delivery or already-answered retransmission.
+		case f.Kind == KindError:
+			heard[f.From] = true
+			resends = 0 // progress: the give-up budget is for silence, not slowness
+			nodeErr = decodeErr(f.From, f.Payload)
+		case f.Kind == KindPartial:
+			heard[f.From] = true
+			resends = 0
+			if e := acc.MergeBinary(f.Payload); e != nil {
+				nodeErr = fmt.Errorf("dist: node %d merging partial from node %d: %w", id, f.From, e)
+			}
+		default:
+			// Unknown-but-valid kinds are ignored for forward compatibility.
+		}
+	}
+
+	out := Frame{Kind: KindPartial, From: id}
+	if nodeErr == nil {
+		out.Payload, nodeErr = acc.MarshalBinary()
+	}
+	if nodeErr != nil {
+		out = Frame{Kind: KindError, From: id, Payload: encodeErr(nodeErr)}
+	}
+
+	p := topo.parent(id, tr.Nodes())
+	if p < 0 {
+		if nodeErr != nil {
+			rootCh <- result{err: nodeErr}
+		} else {
+			rootCh <- result{payload: out.Payload}
+		}
+		return
+	}
+
+	out.To = p
+	cfg.gate.wait(id)
+	// A failed send is tolerated, not fatal: the parent's deadline
+	// re-requests the partial and the retransmission below retries
+	// (over TCP, on a freshly dialed connection).
+	_ = tr.Send(out)
+	cfg.gate.done()
+
+	// Serve straggler re-requests with the cached frame until the
+	// coordinator closes the transport. Send failures are transient by
+	// assumption (the next re-request retries); Recv failing means the
+	// transport is gone and the node's work is over.
+	for {
+		f, err := tr.Recv(id, 0)
+		if err != nil {
+			return
+		}
+		if f.Kind == KindResend && f.From == p {
+			_ = tr.Send(out)
+		}
+	}
 }
 
 // localPartial sums one shard into a partial state using workers

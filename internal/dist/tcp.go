@@ -1,0 +1,215 @@
+package dist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPTransport is a real network interconnect for the simulated
+// cluster: every node owns one TCP listener on a loopback port, frames
+// travel length-prefixed and CRC-protected through actual kernel
+// sockets, and per-pair connections are dialed lazily and cached. The
+// receive side is the shared mailboxes type (fed by socket reader
+// goroutines), so Recv/Close semantics are identical to ChanTransport
+// by construction. The aggregation protocols run unchanged over it —
+// reproducibility comes from the canonical state algebra, not from any
+// ordering the network might (fail to) provide.
+type TCPTransport struct {
+	*mailboxes
+	listeners []net.Listener
+	addrs     []string
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[[2]int]*tcpPipe
+}
+
+// tcpPipe is one cached sender-side connection (from, to); writes are
+// serialized so concurrent protocol sends cannot interleave frame
+// bytes. The connection is dialed lazily under the pipe's own lock (so
+// one slow dial never stalls other pairs) and dropped on write failure
+// (so the next attempt — typically a straggler retransmission —
+// re-dials instead of hammering a dead socket).
+type tcpPipe struct {
+	mu sync.Mutex
+	c  net.Conn
+	w  *bufio.Writer
+}
+
+// reset drops a broken connection; the caller must hold p.mu.
+func (p *tcpPipe) reset() {
+	if p.c != nil {
+		p.c.Close()
+		p.c, p.w = nil, nil
+	}
+}
+
+// NewTCPTransport starts an n-node TCP interconnect on loopback.
+func NewTCPTransport(n int) (*TCPTransport, error) {
+	if n < 1 {
+		return nil, ErrNoShards
+	}
+	t := &TCPTransport{
+		mailboxes: newMailboxes(n),
+		listeners: make([]net.Listener, n),
+		addrs:     make([]string, n),
+		conns:     make(map[[2]int]*tcpPipe),
+	}
+	for id := 0; id < n; id++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("dist: listen for node %d: %w", id, err)
+		}
+		t.listeners[id] = ln
+		t.addrs[id] = ln.Addr().String()
+		t.wg.Add(1)
+		go t.acceptLoop(id, ln)
+	}
+	return t, nil
+}
+
+// acceptLoop accepts inbound connections for node id and spawns one
+// reader per connection.
+func (t *TCPTransport) acceptLoop(id int, ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.readLoop(id, c)
+	}
+}
+
+// readLoop decodes frames off one connection and delivers them to node
+// id's mailbox. A frame that fails validation poisons only its
+// connection: the reader stops, and recovery stays with the protocol's
+// re-request layer.
+func (t *TCPTransport) readLoop(id int, c net.Conn) {
+	defer t.wg.Done()
+	defer c.Close()
+	br := bufio.NewReader(c)
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			return // EOF, peer close, or corrupt stream
+		}
+		if f.To != id {
+			continue // misrouted frame: drop at the trust boundary
+		}
+		if t.deliver(f) != nil {
+			return // transport closed
+		}
+	}
+}
+
+// Send encodes f and writes it to the cached connection for the
+// (From, To) pair, dialing on first use (and re-dialing after a write
+// failure dropped the pair's connection).
+func (t *TCPTransport) Send(f Frame) error {
+	if f.To < 0 || f.To >= len(t.addrs) {
+		return fmt.Errorf("dist: send to node %d of %d-node cluster", f.To, len(t.addrs))
+	}
+	select {
+	case <-t.closed:
+		return ErrClosed
+	default:
+	}
+	p := t.pipe(f.From, f.To)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.c == nil {
+		c, err := net.DialTimeout("tcp", t.addrs[f.To], 5*time.Second)
+		if err != nil {
+			return t.sendErr(fmt.Errorf("dial node %d: %w", f.To, err))
+		}
+		select {
+		case <-t.closed:
+			c.Close()
+			return ErrClosed
+		default:
+		}
+		p.c, p.w = c, bufio.NewWriter(c)
+	}
+	if err := WriteFrame(p.w, f); err != nil {
+		p.reset()
+		return t.sendErr(err)
+	}
+	if err := p.w.Flush(); err != nil {
+		p.reset()
+		return t.sendErr(err)
+	}
+	return nil
+}
+
+// sendErr maps write failures after Close to ErrClosed, so protocol
+// teardown (root done, transport closed, stragglers still flushing) is
+// not reported as a network failure.
+func (t *TCPTransport) sendErr(err error) error {
+	select {
+	case <-t.closed:
+		return ErrClosed
+	default:
+		return fmt.Errorf("dist: tcp send: %w", err)
+	}
+}
+
+// pipe returns the (possibly not yet dialed) pipe for the from → to
+// pair. Only the map access takes the transport-wide lock; dialing
+// happens under the pipe's own lock in Send.
+func (t *TCPTransport) pipe(from, to int) *tcpPipe {
+	key := [2]int{from, to}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.conns[key]
+	if !ok {
+		p = &tcpPipe{}
+		t.conns[key] = p
+	}
+	return p
+}
+
+// Close shuts down all listeners and connections and waits for the
+// reader goroutines to drain.
+func (t *TCPTransport) Close() error {
+	var errs []error
+	t.closeOnce.Do(func() {
+		t.mailboxes.close()
+		for _, ln := range t.listeners {
+			if ln != nil {
+				if err := ln.Close(); err != nil {
+					errs = append(errs, err)
+				}
+			}
+		}
+		t.mu.Lock()
+		for _, p := range t.conns {
+			p.mu.Lock()
+			if p.c != nil {
+				if err := p.c.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+					errs = append(errs, err)
+				}
+			}
+			p.mu.Unlock()
+		}
+		t.mu.Unlock()
+		t.wg.Wait()
+	})
+	return errors.Join(errs...)
+}
+
+// TCPTransportFactory is the TransportFactory of NewTCPTransport.
+func TCPTransportFactory(n int) (Transport, error) { return NewTCPTransport(n) }
+
+// interface conformance
+var (
+	_ Transport = (*ChanTransport)(nil)
+	_ Transport = (*TCPTransport)(nil)
+)

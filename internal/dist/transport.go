@@ -1,0 +1,393 @@
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+	"time"
+)
+
+// The message layer of the simulated cluster. Reduce and AggregateByKey
+// are written against the Transport interface below, so the same
+// protocol code runs over in-process channels (ChanTransport, the
+// zero-copy path), real TCP sockets on loopback (TCPTransport), and any
+// of those wrapped in the fault-injection decorator (FaultTransport).
+// Reproducibility never depends on the transport: partial states travel
+// as canonical rsum encodings, merging is order-independent, and the
+// protocols deduplicate frames, so delays, duplication, reordering, and
+// dropped-then-retried frames cannot change the final bits.
+
+// Frame kinds. The kind tags what the payload means to the aggregation
+// protocols; the codec treats payloads as opaque bytes.
+const (
+	// KindPartial carries a canonical rsum.State64 encoding up the
+	// reduction tree.
+	KindPartial byte = 1 + iota
+	// KindGroups carries a shuffle frame of ⟨key, state⟩ pairs to the
+	// partition owner.
+	KindGroups
+	// KindGather carries finalized groups from an owner to the root.
+	KindGather
+	// KindResend asks the receiver to retransmit its frame (straggler
+	// handling: a parent re-requests a child's partial after a
+	// deadline).
+	KindResend
+	// KindError propagates a node failure; the payload is the error
+	// text.
+	KindError
+
+	kindMax = KindError
+)
+
+// Frame is one message of the interconnect: a typed payload traveling
+// from node From to node To. Seq distinguishes logically distinct
+// frames between the same pair of nodes (retransmissions of the same
+// frame reuse the Seq), so receivers can deduplicate deliveries by
+// (From, Seq) no matter how often the transport duplicates or the
+// protocol re-requests.
+type Frame struct {
+	Kind    byte
+	From    int
+	To      int
+	Seq     uint32
+	Payload []byte
+}
+
+// Wire format of a frame (little-endian), versioned and length-prefixed
+// so stream transports can frame messages and reject foreign or corrupt
+// bytes at the trust boundary:
+//
+//	offset  size  field
+//	0       2     magic 0x5250 ("RP")
+//	2       1     version (frameVersion)
+//	3       1     kind
+//	4       4     from
+//	8       4     to
+//	12      4     seq
+//	16      4     payload length m
+//	20      m     payload
+//	20+m    4     CRC-32 (IEEE) of bytes [0, 20+m)
+const (
+	frameMagic   = 0x5250
+	frameVersion = 1
+	frameHdrSize = 2 + 1 + 1 + 4 + 4 + 4 + 4
+	frameCRCSize = 4
+
+	// MaxFramePayload bounds the payload length a decoder accepts, so a
+	// corrupt or adversarial length prefix cannot trigger a huge
+	// allocation.
+	MaxFramePayload = 1 << 24
+)
+
+// Transport and codec errors.
+var (
+	// ErrClosed is returned by Send/Recv after the transport is closed.
+	ErrClosed = errors.New("dist: transport closed")
+	// ErrTimeout is returned by Recv when no frame arrived within the
+	// timeout.
+	ErrTimeout = errors.New("dist: receive timeout")
+	// ErrBadFrame is returned when wire bytes do not decode to a valid
+	// frame.
+	ErrBadFrame = errors.New("dist: corrupt or truncated frame")
+	// ErrStraggler is returned when a child node stayed silent through
+	// every re-request deadline.
+	ErrStraggler = errors.New("dist: straggler child unresponsive after re-requests")
+)
+
+// AppendFrame appends the wire encoding of f to dst and returns the
+// extended slice.
+func AppendFrame(dst []byte, f Frame) []byte {
+	var hdr [frameHdrSize]byte
+	binary.LittleEndian.PutUint16(hdr[0:], frameMagic)
+	hdr[2] = frameVersion
+	hdr[3] = f.Kind
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(f.From))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(f.To))
+	binary.LittleEndian.PutUint32(hdr[12:], f.Seq)
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(f.Payload)))
+	start := len(dst)
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, f.Payload...)
+	crc := crc32.ChecksumIEEE(dst[start:])
+	var tail [frameCRCSize]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	return append(dst, tail[:]...)
+}
+
+// EncodeFrame returns the wire encoding of f.
+func EncodeFrame(f Frame) []byte {
+	return AppendFrame(make([]byte, 0, frameHdrSize+len(f.Payload)+frameCRCSize), f)
+}
+
+// DecodeFrame decodes one frame from the start of buf, returning the
+// frame and the number of bytes consumed. The returned payload aliases
+// buf. Malformed, truncated, or checksum-failing bytes yield ErrBadFrame
+// (or a wrapped version error); the decoder never panics and never
+// over-allocates on a corrupt length prefix.
+func DecodeFrame(buf []byte) (Frame, int, error) {
+	if len(buf) < frameHdrSize {
+		return Frame{}, 0, ErrBadFrame
+	}
+	if binary.LittleEndian.Uint16(buf[0:]) != frameMagic {
+		return Frame{}, 0, ErrBadFrame
+	}
+	if buf[2] != frameVersion {
+		return Frame{}, 0, fmt.Errorf("%w: unsupported frame version %d", ErrBadFrame, buf[2])
+	}
+	kind := buf[3]
+	if kind == 0 || kind > kindMax {
+		return Frame{}, 0, fmt.Errorf("%w: unknown kind %d", ErrBadFrame, kind)
+	}
+	plen := binary.LittleEndian.Uint32(buf[16:])
+	if plen > MaxFramePayload {
+		return Frame{}, 0, fmt.Errorf("%w: payload length %d exceeds limit", ErrBadFrame, plen)
+	}
+	total := frameHdrSize + int(plen) + frameCRCSize
+	if len(buf) < total {
+		return Frame{}, 0, ErrBadFrame
+	}
+	want := binary.LittleEndian.Uint32(buf[total-frameCRCSize:])
+	if crc32.ChecksumIEEE(buf[:total-frameCRCSize]) != want {
+		return Frame{}, 0, fmt.Errorf("%w: checksum mismatch", ErrBadFrame)
+	}
+	f := Frame{
+		Kind: kind,
+		From: int(binary.LittleEndian.Uint32(buf[4:])),
+		To:   int(binary.LittleEndian.Uint32(buf[8:])),
+		Seq:  binary.LittleEndian.Uint32(buf[12:]),
+	}
+	if plen > 0 {
+		f.Payload = buf[frameHdrSize : frameHdrSize+int(plen)]
+	}
+	return f, total, nil
+}
+
+// WriteFrame writes the wire encoding of f to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	_, err := w.Write(EncodeFrame(f))
+	return err
+}
+
+// ReadFrame reads exactly one frame from r, validating it like
+// DecodeFrame. io.EOF is returned unchanged when the stream ends
+// cleanly between frames.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [frameHdrSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	plen := binary.LittleEndian.Uint32(hdr[16:])
+	if plen > MaxFramePayload {
+		return Frame{}, fmt.Errorf("%w: payload length %d exceeds limit", ErrBadFrame, plen)
+	}
+	buf := make([]byte, frameHdrSize+int(plen)+frameCRCSize)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[frameHdrSize:]); err != nil {
+		return Frame{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	f, _, err := DecodeFrame(buf)
+	return f, err
+}
+
+// Transport is the interconnect of an n-node simulated cluster. A
+// transport delivers every sent frame to its destination mailbox at
+// least once (decorators may duplicate, delay, or reorder); it never
+// reorders the bytes inside a frame. Implementations must be safe for
+// concurrent use by all nodes.
+type Transport interface {
+	// Send delivers f to node f.To's mailbox. It may block briefly on
+	// backpressure but must not block indefinitely while the transport
+	// is open; after Close it returns ErrClosed.
+	Send(f Frame) error
+	// Recv returns the next frame addressed to node id. timeout <= 0
+	// blocks until a frame arrives or the transport closes; a positive
+	// timeout yields ErrTimeout on expiry. After Close, Recv returns
+	// ErrClosed.
+	Recv(id int, timeout time.Duration) (Frame, error)
+	// Nodes returns the cluster size.
+	Nodes() int
+	// Close tears down the interconnect and unblocks all pending
+	// operations. Close is idempotent.
+	Close() error
+}
+
+// TransportFactory builds the interconnect for an n-node cluster. The
+// distributed operators own the returned transport and close it when
+// the operation completes.
+type TransportFactory func(n int) (Transport, error)
+
+// mailboxes is the shared receive side of the built-in transports: one
+// buffered Go channel per node plus a close signal. ChanTransport
+// embeds it directly; TCPTransport feeds it from socket reader
+// goroutines. Inboxes are buffered generously past each node's
+// worst-case fan-in (fan-in plus retransmissions and control frames),
+// so protocol sends virtually never block and any send order is
+// admissible.
+type mailboxes struct {
+	boxes  []chan Frame
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newMailboxes(n int) *mailboxes {
+	m := &mailboxes{
+		boxes:  make([]chan Frame, n),
+		closed: make(chan struct{}),
+	}
+	for i := range m.boxes {
+		m.boxes[i] = make(chan Frame, 4*n+64)
+	}
+	return m
+}
+
+func (m *mailboxes) Nodes() int { return len(m.boxes) }
+
+// deliver enqueues f for node f.To, blocking on a full inbox
+// (backpressure) until the transport closes.
+func (m *mailboxes) deliver(f Frame) error {
+	if f.To < 0 || f.To >= len(m.boxes) {
+		return fmt.Errorf("dist: send to node %d of %d-node cluster", f.To, len(m.boxes))
+	}
+	select {
+	case <-m.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case m.boxes[f.To] <- f:
+		return nil
+	case <-m.closed:
+		return ErrClosed
+	}
+}
+
+// Recv returns the next frame addressed to node id.
+func (m *mailboxes) Recv(id int, timeout time.Duration) (Frame, error) {
+	if id < 0 || id >= len(m.boxes) {
+		return Frame{}, fmt.Errorf("dist: recv on node %d of %d-node cluster", id, len(m.boxes))
+	}
+	if timeout <= 0 {
+		select {
+		case f := <-m.boxes[id]:
+			return f, nil
+		case <-m.closed:
+			return Frame{}, ErrClosed
+		}
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case f := <-m.boxes[id]:
+		return f, nil
+	case <-timer.C:
+		return Frame{}, ErrTimeout
+	case <-m.closed:
+		return Frame{}, ErrClosed
+	}
+}
+
+// close unblocks all pending deliveries and receives. Idempotent.
+func (m *mailboxes) close() {
+	m.once.Do(func() { close(m.closed) })
+}
+
+// ChanTransport is the in-process interconnect: one buffered Go channel
+// per node. Frames are passed by reference (payloads are not copied or
+// encoded), preserving the zero-copy path of the original
+// channel-backed implementation.
+type ChanTransport struct {
+	*mailboxes
+}
+
+// NewChanTransport returns an in-process transport for n nodes.
+func NewChanTransport(n int) *ChanTransport {
+	return &ChanTransport{mailboxes: newMailboxes(n)}
+}
+
+// Send delivers f to node f.To. Destinations out of range are rejected.
+func (t *ChanTransport) Send(f Frame) error { return t.deliver(f) }
+
+// Close unblocks all pending sends and receives.
+func (t *ChanTransport) Close() error {
+	t.mailboxes.close()
+	return nil
+}
+
+// ChanTransportFactory is the TransportFactory of NewChanTransport —
+// the default interconnect of Reduce and AggregateByKey.
+func ChanTransportFactory(n int) (Transport, error) { return NewChanTransport(n), nil }
+
+// KindError payloads carry a 1-byte sentinel code before the error
+// text, so the exported sentinels that can genuinely originate on a
+// remote node (ErrStraggler, ErrBadFrame) stay matchable with
+// errors.Is across the trust boundary. The facade's validation
+// sentinels (ErrNoShards etc.) are checked before any node spawns and
+// never cross the wire.
+const (
+	errCodeGeneric byte = iota
+	errCodeStraggler
+	errCodeBadFrame
+)
+
+// encodeErr flattens an error for a KindError payload.
+func encodeErr(err error) []byte {
+	code := errCodeGeneric
+	switch {
+	case errors.Is(err, ErrStraggler):
+		code = errCodeStraggler
+	case errors.Is(err, ErrBadFrame):
+		code = errCodeBadFrame
+	}
+	return append([]byte{code}, err.Error()...)
+}
+
+// remoteError is a peer's failure, reconstructed from a KindError
+// payload with its sentinel (if any) re-attached for errors.Is.
+type remoteError struct {
+	from     int
+	text     string
+	sentinel error
+}
+
+func (e *remoteError) Error() string { return fmt.Sprintf("dist: node %d: %s", e.from, e.text) }
+func (e *remoteError) Unwrap() error { return e.sentinel }
+
+// decodeErr inverts encodeErr for a frame received from a peer.
+func decodeErr(from int, payload []byte) error {
+	if len(payload) == 0 {
+		return &remoteError{from: from, text: "unspecified failure"}
+	}
+	e := &remoteError{from: from, text: string(payload[1:])}
+	switch payload[0] {
+	case errCodeStraggler:
+		e.sentinel = ErrStraggler
+	case errCodeBadFrame:
+		e.sentinel = ErrBadFrame
+	}
+	return e
+}
+
+// dedup tracks which (from, seq) frames a node has already consumed, so
+// duplicated deliveries and straggler retransmissions are merged
+// exactly once.
+type dedup map[uint64]bool
+
+func dedupKey(from int, seq uint32) uint64 {
+	return uint64(uint32(from))<<32 | uint64(seq)
+}
+
+// seen records the frame and reports whether it was already consumed.
+func (d dedup) seen(f Frame) bool {
+	k := dedupKey(f.From, f.Seq)
+	if d[k] {
+		return true
+	}
+	d[k] = true
+	return false
+}

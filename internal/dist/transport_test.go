@@ -1,0 +1,508 @@
+package dist
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rsum"
+	"repro/internal/workload"
+)
+
+// --- frame codec ---
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Kind: KindPartial, From: 3, To: 0, Seq: 0, Payload: []byte("partial-state")},
+		{Kind: KindGroups, From: 0, To: 7, Seq: seqShuffle, Payload: nil},
+		{Kind: KindGather, From: 61, To: 0, Seq: seqGather, Payload: bytes.Repeat([]byte{0xAB}, 4096)},
+		{Kind: KindResend, From: 0, To: 5},
+		{Kind: KindError, From: 2, To: 1, Payload: []byte("node 2: boom")},
+	}
+	var wire []byte
+	for _, f := range frames {
+		wire = AppendFrame(wire, f)
+	}
+	// Decode the concatenated stream frame by frame.
+	rest := wire
+	for i, want := range frames {
+		got, n, err := DecodeFrame(rest)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Kind != want.Kind || got.From != want.From || got.To != want.To ||
+			got.Seq != want.Seq || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, want)
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes after decoding all frames", len(rest))
+	}
+	// ReadFrame over the same stream must agree.
+	r := bytes.NewReader(wire)
+	for i, want := range frames {
+		got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if got.Kind != want.Kind || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("ReadFrame %d mismatch", i)
+		}
+	}
+	if _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("stream end: got %v, want io.EOF", err)
+	}
+}
+
+func TestFrameDecodeRejectsCorruption(t *testing.T) {
+	good := EncodeFrame(Frame{Kind: KindPartial, From: 1, To: 2, Seq: 9, Payload: []byte("hello world")})
+
+	// Every single-bit flip must be rejected (magic, version, kind,
+	// routing, length, payload, or CRC damage — the checksum catches
+	// whatever the structural checks do not).
+	for bit := 0; bit < 8*len(good); bit++ {
+		bad := append([]byte(nil), good...)
+		bad[bit/8] ^= 1 << (bit % 8)
+		if _, _, err := DecodeFrame(bad); err == nil {
+			t.Fatalf("bit flip at %d accepted", bit)
+		}
+	}
+	// Every truncation must be rejected.
+	for cut := 0; cut < len(good); cut++ {
+		if _, _, err := DecodeFrame(good[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+		if _, err := ReadFrame(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("ReadFrame truncation to %d bytes accepted", cut)
+		}
+	}
+	// A huge length prefix must be rejected without allocating.
+	huge := append([]byte(nil), good...)
+	huge[16], huge[17], huge[18], huge[19] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, _, err := DecodeFrame(huge); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized length: got %v, want ErrBadFrame", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(huge)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("ReadFrame oversized length: got %v, want ErrBadFrame", err)
+	}
+}
+
+// --- transports ---
+
+// transports lists the implementations under test by name.
+func transportFactories() map[string]TransportFactory {
+	return map[string]TransportFactory{
+		"chan": ChanTransportFactory,
+		"tcp":  TCPTransportFactory,
+	}
+}
+
+func TestTransportDelivery(t *testing.T) {
+	for name, factory := range transportFactories() {
+		t.Run(name, func(t *testing.T) {
+			tr, err := factory(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tr.Close()
+			if tr.Nodes() != 4 {
+				t.Fatalf("Nodes() = %d, want 4", tr.Nodes())
+			}
+			want := Frame{Kind: KindPartial, From: 2, To: 1, Seq: 7, Payload: []byte("payload")}
+			if err := tr.Send(want); err != nil {
+				t.Fatal(err)
+			}
+			got, err := tr.Recv(1, time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Kind != want.Kind || got.From != 2 || got.Seq != 7 || !bytes.Equal(got.Payload, want.Payload) {
+				t.Fatalf("got %+v, want %+v", got, want)
+			}
+			// Self-send must work (the shuffle routes frames to the
+			// sender's own partition).
+			if err := tr.Send(Frame{Kind: KindGroups, From: 1, To: 1}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tr.Recv(1, time.Second); err != nil {
+				t.Fatalf("self-send: %v", err)
+			}
+			// Timeout on an empty mailbox.
+			if _, err := tr.Recv(3, 10*time.Millisecond); !errors.Is(err, ErrTimeout) {
+				t.Fatalf("empty mailbox: got %v, want ErrTimeout", err)
+			}
+			// Out-of-range endpoints are rejected.
+			if err := tr.Send(Frame{To: 99}); err == nil {
+				t.Fatal("send to out-of-range node accepted")
+			}
+			if _, err := tr.Recv(-1, time.Millisecond); err == nil {
+				t.Fatal("recv on out-of-range node accepted")
+			}
+		})
+	}
+}
+
+func TestTransportClose(t *testing.T) {
+	for name, factory := range transportFactories() {
+		t.Run(name, func(t *testing.T) {
+			tr, err := factory(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			unblocked := make(chan error, 1)
+			go func() {
+				_, err := tr.Recv(0, 0)
+				unblocked <- err
+			}()
+			time.Sleep(5 * time.Millisecond)
+			if err := tr.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			select {
+			case err := <-unblocked:
+				if !errors.Is(err, ErrClosed) {
+					t.Fatalf("blocked Recv: got %v, want ErrClosed", err)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("Close did not unblock Recv")
+			}
+			if err := tr.Send(Frame{Kind: KindPartial, To: 0}); !errors.Is(err, ErrClosed) {
+				t.Fatalf("Send after Close: got %v, want ErrClosed", err)
+			}
+			if err := tr.Close(); err != nil {
+				t.Fatalf("second Close: %v", err)
+			}
+		})
+	}
+}
+
+// TestTCPFrameOverWire pins that TCP really moves the canonical state
+// encoding through a socket: marshal on one node, MergeBinary on the
+// other side, bits preserved.
+func TestTCPFrameOverWire(t *testing.T) {
+	tr, err := NewTCPTransport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	s := rsum.NewState64(levels)
+	s.AddSliceVec(workload.Values64(5, 1000, workload.MixedMag))
+	enc, _ := s.MarshalBinary()
+	if err := tr.Send(Frame{Kind: KindPartial, From: 1, To: 0, Payload: enc}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := tr.Recv(0, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got rsum.State64
+	if err := got.UnmarshalBinary(f.Payload); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(&s) {
+		t.Fatal("state bits changed crossing the TCP transport")
+	}
+}
+
+// --- cross-transport equivalence matrix (the PR's acceptance bar) ---
+
+// faultPlans enumerates the fault-injection cells of the matrix. Delays
+// are kept small so the full matrix stays fast under -race.
+func faultPlans() map[string]*FaultPlan {
+	return map[string]*FaultPlan{
+		"none":    nil,
+		"delay":   {Seed: 1, MaxDelay: 300 * time.Microsecond},
+		"dup":     {Seed: 2, DupProb: 0.5},
+		"drop":    {Seed: 3, DropProb: 0.4, RetryDelay: 200 * time.Microsecond},
+		"reorder": {Seed: 4, Reorder: true, RetryDelay: 200 * time.Microsecond},
+		"chaos": {Seed: 5, DropProb: 0.3, DupProb: 0.3, MaxDelay: 200 * time.Microsecond,
+			RetryDelay: 100 * time.Microsecond, Reorder: true},
+	}
+}
+
+// matrixConfig builds the Config for one matrix cell, with a short
+// straggler deadline so the re-request path genuinely runs under the
+// dropping/delaying plans, and no give-up cap: spurious re-requests
+// are harmless, and a bounded cap would race the race detector's
+// scheduling slowdown (give-up behavior has its own dedicated tests).
+func matrixConfig(factory TransportFactory, plan *FaultPlan) Config {
+	return Config{
+		NewTransport:  factory,
+		Faults:        plan,
+		ChildDeadline: 2 * time.Millisecond,
+		MaxResend:     -1,
+	}
+}
+
+// TestReduceTransportMatrix: every (topology × cluster size × transport
+// × fault plan) cell must produce bits identical to a single-threaded
+// sequential sum of the same values.
+func TestReduceTransportMatrix(t *testing.T) {
+	const n = 4000
+	vals := workload.Values64(17, n, workload.MixedMag)
+	ref := rsum.NewState64(levels)
+	ref.AddSliceVec(vals)
+	want := math.Float64bits(ref.Value())
+
+	sizes := []int{1, 2, 5, 16}
+	for tname, factory := range transportFactories() {
+		for pname, plan := range faultPlans() {
+			t.Run(tname+"/"+pname, func(t *testing.T) {
+				t.Parallel()
+				for _, nodes := range sizes {
+					shards := shard(vals, nodes)
+					for _, topo := range topologies {
+						got, err := ReduceConfig(shards, 2, topo, matrixConfig(factory, plan))
+						if err != nil {
+							t.Fatalf("%v n=%d: %v", topo, nodes, err)
+						}
+						if bits := math.Float64bits(got); bits != want {
+							t.Fatalf("%v n=%d: %016x, want %016x", topo, nodes, bits, want)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAggregateByKeyTransportMatrix: the GROUP BY shuffle under every
+// transport × fault plan matches the sequential per-key reference.
+func TestAggregateByKeyTransportMatrix(t *testing.T) {
+	const n = 6000
+	keys := workload.Keys(18, n, 200)
+	vals := workload.Values64(19, n, workload.MixedMag)
+	want := refGroups(keys, vals)
+
+	sizes := []int{1, 3, 8}
+	for tname, factory := range transportFactories() {
+		for pname, plan := range faultPlans() {
+			t.Run(tname+"/"+pname, func(t *testing.T) {
+				t.Parallel()
+				for _, nodes := range sizes {
+					lk, lv := dealRows(keys, vals, nodes)
+					out, err := AggregateByKeyConfig(lk, lv, 2, matrixConfig(factory, plan))
+					if err != nil {
+						t.Fatalf("n=%d: %v", nodes, err)
+					}
+					checkGroups(t, out, want, nodes, 2)
+				}
+			})
+		}
+	}
+}
+
+// TestStragglerRerequest forces the straggler path deterministically: a
+// transport that swallows the first transmission of every partial, so
+// parents only make progress through deadline → re-request → retransmit.
+func TestStragglerRerequest(t *testing.T) {
+	const n = 2000
+	vals := workload.Values64(23, n, workload.MixedMag)
+	ref := rsum.NewState64(levels)
+	ref.AddSliceVec(vals)
+	want := math.Float64bits(ref.Value())
+
+	for _, topo := range topologies {
+		factory := func(n int) (Transport, error) {
+			return &firstSendBlackhole{Transport: NewChanTransport(n), dropped: make(map[uint64]bool)}, nil
+		}
+		cfg := Config{NewTransport: factory, ChildDeadline: 2 * time.Millisecond, MaxResend: -1}
+		got, err := ReduceConfig(shard(vals, 6), 1, topo, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", topo, err)
+		}
+		if bits := math.Float64bits(got); bits != want {
+			t.Fatalf("%v: %016x, want %016x", topo, bits, want)
+		}
+	}
+}
+
+// TestStragglerGivesUp: a child that never answers must surface
+// ErrStraggler instead of hanging.
+func TestStragglerGivesUp(t *testing.T) {
+	factory := func(n int) (Transport, error) {
+		return &partialBlackhole{Transport: NewChanTransport(n)}, nil
+	}
+	cfg := Config{NewTransport: factory, ChildDeadline: time.Millisecond, MaxResend: 3}
+	_, err := ReduceConfig([][]float64{{1}, {2}}, 1, Star, cfg)
+	if !errors.Is(err, ErrStraggler) {
+		t.Fatalf("got %v, want ErrStraggler", err)
+	}
+}
+
+// TestGroupByStragglerRerequest forces the shuffle's re-request path:
+// the first transmission of every shuffle and gather frame is
+// swallowed, so owners only make progress through deadline →
+// re-request → retransmit-from-cache.
+func TestGroupByStragglerRerequest(t *testing.T) {
+	const n = 3000
+	keys := workload.Keys(41, n, 100)
+	vals := workload.Values64(43, n, workload.MixedMag)
+	want := refGroups(keys, vals)
+
+	factory := func(n int) (Transport, error) {
+		return &firstSendBlackhole{
+			Transport: NewChanTransport(n),
+			kinds:     map[byte]bool{KindGroups: true, KindGather: true},
+			dropped:   make(map[uint64]bool),
+		}, nil
+	}
+	for _, nodes := range []int{2, 5} {
+		lk, lv := dealRows(keys, vals, nodes)
+		cfg := Config{NewTransport: factory, ChildDeadline: 2 * time.Millisecond, MaxResend: -1}
+		out, err := AggregateByKeyConfig(lk, lv, 2, cfg)
+		if err != nil {
+			t.Fatalf("n=%d: %v", nodes, err)
+		}
+		checkGroups(t, out, want, nodes, 2)
+	}
+}
+
+// TestGroupByStragglerGivesUp: a shuffle whose frames never arrive must
+// surface ErrStraggler instead of hanging.
+func TestGroupByStragglerGivesUp(t *testing.T) {
+	factory := func(n int) (Transport, error) {
+		return &kindBlackhole{Transport: NewChanTransport(n), kind: KindGroups}, nil
+	}
+	cfg := Config{NewTransport: factory, ChildDeadline: time.Millisecond, MaxResend: 3}
+	_, err := AggregateByKeyConfig([][]uint32{{1}, {2}}, [][]float64{{1}, {2}}, 1, cfg)
+	if !errors.Is(err, ErrStraggler) {
+		t.Fatalf("got %v, want ErrStraggler", err)
+	}
+}
+
+// firstSendBlackhole swallows the first transmission of every distinct
+// data frame of the selected kinds (default: partials);
+// retransmissions (triggered by re-requests) pass.
+type firstSendBlackhole struct {
+	Transport
+	kinds   map[byte]bool // nil means {KindPartial}
+	mu      sync.Mutex
+	dropped map[uint64]bool
+}
+
+func (b *firstSendBlackhole) Send(f Frame) error {
+	match := f.Kind == KindPartial
+	if b.kinds != nil {
+		match = b.kinds[f.Kind]
+	}
+	if match {
+		// Keyed by (from, to, seq): the shuffle sends one frame per
+		// destination on the same stream.
+		k := dedupKey(f.From, f.Seq) ^ uint64(f.To)<<16
+		b.mu.Lock()
+		first := !b.dropped[k]
+		b.dropped[k] = true
+		b.mu.Unlock()
+		if first {
+			return nil // swallowed
+		}
+	}
+	return b.Transport.Send(f)
+}
+
+// partialBlackhole swallows every partial, so children look permanently
+// unresponsive.
+type partialBlackhole struct{ Transport }
+
+func (b *partialBlackhole) Send(f Frame) error {
+	if f.Kind == KindPartial {
+		return nil
+	}
+	return b.Transport.Send(f)
+}
+
+// kindBlackhole swallows every frame of one kind.
+type kindBlackhole struct {
+	Transport
+	kind byte
+}
+
+func (b *kindBlackhole) Send(f Frame) error {
+	if f.Kind == b.kind {
+		return nil
+	}
+	return b.Transport.Send(f)
+}
+
+// TestOversizedShuffleFrameFailsFast: a shuffle frame exceeding
+// MaxFramePayload must fail with ErrBadFrame on every transport —
+// identically — instead of hanging the TCP receive loop.
+func TestOversizedShuffleFrameFailsFast(t *testing.T) {
+	// ~300k distinct keys all owned by one node: the single shuffle
+	// frame exceeds the 16 MiB ceiling (~60 B per ⟨key, state⟩ pair at
+	// the default L=2).
+	const nkeys = 300_000
+	keys := make([]uint32, nkeys)
+	vals := make([]float64, nkeys)
+	for i := range keys {
+		keys[i] = uint32(i)
+		vals[i] = 1
+	}
+	for name, factory := range transportFactories() {
+		t.Run(name, func(t *testing.T) {
+			cfg := Config{NewTransport: factory}
+			_, err := AggregateByKeyConfig([][]uint32{keys}, [][]float64{vals}, 2, cfg)
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("got %v, want ErrBadFrame", err)
+			}
+		})
+	}
+}
+
+// TestTCPSendRedialsAfterConnFailure: a broken cached connection must
+// not poison the (from, to) pair forever — the next Send re-dials, so
+// straggler retransmissions can actually recover.
+func TestTCPSendRedialsAfterConnFailure(t *testing.T) {
+	tr, err := NewTCPTransport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	f := Frame{Kind: KindPartial, From: 1, To: 0, Payload: []byte("partial")}
+	if err := tr.Send(f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Recv(0, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Break the cached connection behind Send's back.
+	p := tr.pipe(1, 0)
+	p.mu.Lock()
+	p.c.Close()
+	p.mu.Unlock()
+
+	// Sends must recover via re-dial: the first attempts may fail while
+	// the failure is detected and the pipe dropped, but a fresh frame
+	// must get through well within the deadline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("Send never recovered after the cached conn broke")
+		}
+		if err := tr.Send(f); err != nil {
+			continue
+		}
+		if _, err := tr.Recv(0, 100*time.Millisecond); err == nil {
+			return // delivered over the re-dialed connection
+		}
+	}
+}
+
+// TestConfigRejectsMismatchedTransport: a factory returning the wrong
+// cluster size must be rejected, not deadlock.
+func TestConfigRejectsMismatchedTransport(t *testing.T) {
+	cfg := Config{NewTransport: func(n int) (Transport, error) {
+		return NewChanTransport(n + 1), nil
+	}}
+	if _, err := ReduceConfig([][]float64{{1}, {2}}, 1, Star, cfg); err == nil {
+		t.Fatal("mismatched transport accepted")
+	}
+}

@@ -1,0 +1,231 @@
+package rsum
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/floatbits"
+	"repro/internal/workload"
+)
+
+// Differential property tests: the reproducible sum is checked against
+// the arbitrary-precision reference of internal/exact on adversarial
+// inputs — catastrophic cancellation, denormals, huge magnitude
+// spreads, and NaN/Inf mixes — for both the 64- and 32-bit paths. The
+// tolerance is the paper's Eq. 6 bound plus the two floors the
+// algorithm documents: final rounding to the destination format, and
+// the dead-level cutoff below which contributions are too small for
+// any level (2^(LowestLevelExp − W) per value).
+
+// tol64 is the acceptance threshold for |rsum − exact| at level L.
+func tol64(n, levels int, maxAbs, exactAbs float64) float64 {
+	bound := exact.RSumBound(n, levels, maxAbs)
+	rounding := exactAbs*0x1p-52 + 0x1p-1074
+	floor := float64(n) * math.Ldexp(1, LowestLevelExp64-floatbits.W64)
+	return bound + rounding + floor
+}
+
+// tol32 is the float32 analogue (errors measured in float64).
+func tol32(n, levels int, maxAbs, exactAbs float64) float64 {
+	bound := exact.RSumBound32(n, levels, maxAbs)
+	rounding := exactAbs*0x1p-23 + 0x1p-149
+	floor := float64(n) * math.Ldexp(1, LowestLevelExp32-floatbits.W32)
+	return bound + rounding + floor
+}
+
+// adversarial64 returns the named adversarial float64 workloads.
+func adversarial64() map[string][]float64 {
+	rng := workload.NewRNG(271828)
+	out := make(map[string][]float64)
+
+	// Catastrophic cancellation: pairs ±x with magnitudes up to 2^40
+	// that cancel exactly, plus a small residual the sum must recover.
+	canc := make([]float64, 0, 4001)
+	for i := 0; i < 2000; i++ {
+		x := math.Ldexp(1+rng.Float64(), int(rng.Uint32n(41)))
+		canc = append(canc, x, -x)
+	}
+	canc = append(canc, 0x1.5p-30)
+	workload.Shuffle(3, canc)
+	out["cancellation"] = canc
+
+	// Denormals: multiples of the smallest subnormal, mixed signs.
+	den := make([]float64, 3000)
+	for i := range den {
+		den[i] = float64(int64(rng.Uint32n(1<<20))-1<<19) * math.SmallestNonzeroFloat64
+	}
+	out["denormal"] = den
+
+	// Magnitude spread over ±300 binades, all positive: the Eq. 6
+	// bound is then a *relative* bound (the sum dominates maxAbs).
+	spread := make([]float64, 5000)
+	for i := range spread {
+		spread[i] = math.Ldexp(1+rng.Float64(), int(rng.Uint32n(601))-300)
+	}
+	out["spread2p300"] = spread
+
+	// Signed spread: same binade range with random signs.
+	signed := make([]float64, 5000)
+	for i := range signed {
+		signed[i] = math.Ldexp(rng.Float64()-0.5, int(rng.Uint32n(601))-300)
+	}
+	out["signedspread"] = signed
+
+	// Near-cancellation at huge magnitude with a tiny survivor.
+	big := make([]float64, 0, 2001)
+	for i := 0; i < 1000; i++ {
+		x := math.Ldexp(1+rng.Float64(), 290+int(rng.Uint32n(10)))
+		big = append(big, x, -x)
+	}
+	big = append(big, 1e-300)
+	workload.Shuffle(5, big)
+	out["hugecancel"] = big
+
+	return out
+}
+
+// TestDifferentialVsExact64 checks every adversarial workload at every
+// level count against the exact big-float sum, and that every
+// accumulation kernel (Add, AddSlice, AddSliceVec, split+Merge) lands
+// on identical bits.
+func TestDifferentialVsExact64(t *testing.T) {
+	for name, vals := range adversarial64() {
+		t.Run(name, func(t *testing.T) {
+			ex := exact.Sum(vals)
+			exF, _ := ex.Float64()
+			maxAbs := 0.0
+			for _, v := range vals {
+				if a := math.Abs(v); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			for l := 1; l <= MaxLevels; l++ {
+				s := NewState64(l)
+				s.AddSliceVec(vals)
+				got := s.Value()
+				if err := exact.AbsError(got, ex); err > tol64(len(vals), l, maxAbs, math.Abs(exF)) {
+					t.Errorf("L=%d: |%g − %g| = %g exceeds tolerance %g",
+						l, got, exF, err, tol64(len(vals), l, maxAbs, math.Abs(exF)))
+				}
+				// Kernel consistency: scalar, slice, and split+Merge
+				// paths must agree with the vector path bit for bit.
+				sc := NewState64(l)
+				for _, v := range vals {
+					sc.Add(v)
+				}
+				sl := NewState64(l)
+				sl.AddSlice(vals)
+				left, right := NewState64(l), NewState64(l)
+				left.AddSliceVec(vals[:len(vals)/3])
+				right.AddSlice(vals[len(vals)/3:])
+				left.Merge(&right)
+				for kn, k := range map[string]*State64{"Add": &sc, "AddSlice": &sl, "split+Merge": &left} {
+					if math.Float64bits(k.Value()) != math.Float64bits(got) {
+						t.Errorf("L=%d: kernel %s disagrees with AddSliceVec", l, kn)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialVsExact32 runs the 32-bit path against the same
+// classes of adversarial inputs (float32-representable), with errors
+// measured in float64 against the big-float reference.
+func TestDifferentialVsExact32(t *testing.T) {
+	rng := workload.NewRNG(314159)
+	cases := map[string][]float32{}
+
+	canc := make([]float32, 0, 2001)
+	for i := 0; i < 1000; i++ {
+		x := float32(math.Ldexp(1+rng.Float64(), int(rng.Uint32n(21))))
+		canc = append(canc, x, -x)
+	}
+	canc = append(canc, 0x1p-20)
+	workload.Shuffle(7, canc)
+	cases["cancellation"] = canc
+
+	den := make([]float32, 2000)
+	for i := range den {
+		den[i] = float32(int64(rng.Uint32n(1<<12))-1<<11) * math.SmallestNonzeroFloat32
+	}
+	cases["denormal"] = den
+
+	spread := make([]float32, 3000)
+	for i := range spread {
+		spread[i] = float32(math.Ldexp(1+rng.Float64(), int(rng.Uint32n(71))-35))
+	}
+	cases["spread2p35"] = spread
+
+	for name, vals := range cases {
+		t.Run(name, func(t *testing.T) {
+			wide := make([]float64, len(vals)) // every float32 widens exactly
+			maxAbs := 0.0
+			for i, v := range vals {
+				wide[i] = float64(v)
+				if a := math.Abs(wide[i]); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			ex := exact.Sum(wide)
+			exF, _ := ex.Float64()
+			for l := 1; l <= MaxLevels; l++ {
+				s := NewState32(l)
+				s.AddSliceVec(vals)
+				got := float64(s.Value())
+				if err := exact.AbsError(got, ex); err > tol32(len(vals), l, maxAbs, math.Abs(exF)) {
+					t.Errorf("L=%d: |%g − %g| = %g exceeds tolerance %g",
+						l, got, exF, err, tol32(len(vals), l, maxAbs, math.Abs(exF)))
+				}
+				sc := NewState32(l)
+				for _, v := range vals {
+					sc.Add(v)
+				}
+				if math.Float32bits(sc.Value()) != math.Float32bits(s.Value()) {
+					t.Errorf("L=%d: scalar and vector kernels disagree", l)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialSpecials64 pins the deterministic semantics of
+// NaN/±Inf mixes, which the big-float reference cannot model: any NaN
+// input wins; +Inf and −Inf together are NaN; a single infinity
+// dominates any finite values, and the answer is permutation-invariant.
+func TestDifferentialSpecials64(t *testing.T) {
+	inf, nan := math.Inf(1), math.NaN()
+	cases := []struct {
+		name string
+		vals []float64
+		want float64
+	}{
+		{"nan-wins", []float64{1, nan, 2, inf}, nan},
+		{"inf-clash", []float64{inf, -inf, 5}, nan},
+		{"posinf", []float64{1e290, inf, -1e290, 3}, inf},
+		{"neginf", []float64{-inf, 1e290, -1e290}, -inf},
+		// Inputs beyond the supported exponent range (2^986) saturate
+		// to signed infinity counters — deterministically, so a huge
+		// positive and a huge negative value make NaN, not 0.
+		{"saturating-huge", []float64{1.5e308, -1.5e308}, nan},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for rot := 0; rot < len(tc.vals); rot++ {
+				s := NewState64(2)
+				for i := range tc.vals {
+					s.Add(tc.vals[(i+rot)%len(tc.vals)])
+				}
+				got := s.Value()
+				if math.IsNaN(tc.want) {
+					if !math.IsNaN(got) {
+						t.Fatalf("rot %d: got %v, want NaN", rot, got)
+					}
+				} else if math.Float64bits(got) != math.Float64bits(tc.want) {
+					t.Fatalf("rot %d: got %v (%016x), want %v", rot, got, math.Float64bits(got), tc.want)
+				}
+			}
+		})
+	}
+}

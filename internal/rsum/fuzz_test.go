@@ -136,6 +136,80 @@ func FuzzMarshalRoundtrip(f *testing.F) {
 	})
 }
 
+// FuzzState64UnmarshalBinary: malformed or truncated wire bytes must
+// always return an error — never panic, never yield a state that later
+// panics, and never corrupt an accumulator they are merged into. The
+// seed corpus is built from valid marshaled states (empty, finite,
+// denormal, special-value, and multi-level ones) plus single bit flips
+// and truncations, mirroring line corruption of real partial-state
+// frames.
+func FuzzState64UnmarshalBinary(f *testing.F) {
+	var encs [][]byte
+	marshal := func(levels int, vals ...float64) {
+		s := NewState64(levels)
+		for _, v := range vals {
+			s.Add(v)
+		}
+		enc, err := s.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		encs = append(encs, enc)
+	}
+	marshal(2)
+	marshal(1, 1.5)
+	marshal(2, 1e300, -1e300, 0x1p-1040)
+	marshal(3, math.Inf(1), 42)
+	marshal(4, math.NaN(), math.Inf(-1))
+	marshal(MaxLevels, 1e-308, math.SmallestNonzeroFloat64)
+	for _, enc := range encs {
+		f.Add(enc)
+		for bit := 0; bit < 8*len(enc); bit += 7 {
+			mut := append([]byte(nil), enc...)
+			mut[bit/8] ^= 1 << (bit % 8)
+			f.Add(mut)
+		}
+		f.Add(enc[:len(enc)/2])
+		f.Add(enc[:len(enc)-1])
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s State64
+		if err := s.UnmarshalBinary(data); err == nil {
+			// Accepted: the state must be fully usable and canonical.
+			s.Add(1)
+			_ = s.Value()
+			enc, err := s.MarshalBinary()
+			if err != nil {
+				t.Fatalf("accepted state failed to re-marshal: %v", err)
+			}
+			var r State64
+			if err := r.UnmarshalBinary(enc); err != nil {
+				t.Fatalf("re-marshaled state rejected: %v", err)
+			}
+		} else if !s.IsEmpty() || s.Levels() != 0 {
+			t.Fatal("failed UnmarshalBinary left residue in the receiver")
+		}
+
+		// The wire-facing merge path: a failure must leave the live
+		// accumulator untouched, a success must leave it usable.
+		acc := NewState64(2)
+		acc.AddSlice([]float64{1e16, 1, -1e16, 0x1p-1000})
+		before := acc
+		if err := acc.MergeBinary(data); err != nil {
+			if !acc.Equal(&before) {
+				t.Fatal("failed MergeBinary corrupted the accumulator")
+			}
+			if math.Float64bits(acc.Value()) != math.Float64bits(before.Value()) {
+				t.Fatal("failed MergeBinary changed the accumulator's value bits")
+			}
+		} else {
+			acc.Add(2.5)
+			_ = acc.Value()
+		}
+	})
+}
+
 // FuzzUnmarshalRobustness: arbitrary bytes must never panic the decoder.
 func FuzzUnmarshalRobustness(f *testing.F) {
 	f.Add([]byte{})

@@ -34,6 +34,7 @@ package repro
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/agg"
 	"repro/internal/core"
@@ -224,7 +225,59 @@ var (
 	ErrTopology = dist.ErrTopology
 	// ErrShardMismatch: key and value shards disagree in shape.
 	ErrShardMismatch = dist.ErrShardMismatch
+	// ErrStraggler: a node stayed silent through every re-request
+	// deadline (see WithStragglerDeadline).
+	ErrStraggler = dist.ErrStraggler
 )
+
+// FaultPlan configures the fault-injection decorator of the distributed
+// operators: deterministic (seeded) delivery delay, duplication,
+// reordering, and dropped-then-retried frames. Injected faults never
+// change the result bits — that is the point.
+type FaultPlan = dist.FaultPlan
+
+// DistOption configures the interconnect of DistributedSum and
+// DistributedGroupBySum. The default is the in-process channel
+// transport with no injected faults.
+type DistOption func(*dist.Config)
+
+// WithTCPTransport routes partial aggregates through real TCP sockets
+// on loopback — one listener per simulated node, frames length-prefixed
+// and CRC-protected — instead of in-process channels. The result bits
+// are identical to every other transport.
+func WithTCPTransport() DistOption {
+	return func(c *dist.Config) { c.NewTransport = dist.TCPTransportFactory }
+}
+
+// WithChanTransport selects the in-process channel transport (the
+// default), spelled out for symmetry in transport sweeps.
+func WithChanTransport() DistOption {
+	return func(c *dist.Config) { c.NewTransport = dist.ChanTransportFactory }
+}
+
+// WithFaults wraps the selected transport in the fault-injection
+// decorator. Use it to demonstrate (or test) that delays, duplication,
+// reordering, and dropped-then-retried frames do not change a single
+// bit of the result.
+func WithFaults(plan FaultPlan) DistOption {
+	return func(c *dist.Config) { c.Faults = &plan }
+}
+
+// WithStragglerDeadline sets how long a node in the reduction tree
+// waits for a child's partial before re-requesting it (straggler
+// handling). Spurious re-requests are harmless; frames are
+// deduplicated.
+func WithStragglerDeadline(d time.Duration) DistOption {
+	return func(c *dist.Config) { c.ChildDeadline = d }
+}
+
+func distConfig(opts []DistOption) dist.Config {
+	var cfg dist.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
 
 // DistributedSum computes the reproducible SUM of a sharded input on a
 // simulated cluster with one node per shard: every node sums its shard
@@ -233,9 +286,10 @@ var (
 // as canonical binary encodings (§III-D of the paper: local summation
 // per process, then a global reduce). The result carries the same bits
 // as Sum over the concatenated shards — for every cluster size,
-// topology, worker count, and message arrival order.
-func DistributedSum(shards [][]float64, workers int, topo Topology) (float64, error) {
-	return dist.Reduce(shards, workers, topo)
+// topology, worker count, message arrival order, transport
+// (WithTCPTransport), and fault plan (WithFaults).
+func DistributedSum(shards [][]float64, workers int, topo Topology, opts ...DistOption) (float64, error) {
+	return dist.ReduceConfig(shards, workers, topo, distConfig(opts))
 }
 
 // DistributedGroupBySum computes a reproducible GROUP BY SUM over rows
@@ -244,9 +298,10 @@ func DistributedSum(shards [][]float64, workers int, topo Topology) (float64, er
 // node, senders pre-aggregate into per-key partial states, and owners
 // merge the shipped states in arrival order. The returned groups are
 // sorted by key and bit-identical to GroupBySum over the concatenated
-// rows, for every sharding, cluster size, and worker count.
-func DistributedGroupBySum(shardKeys [][]uint32, shardVals [][]float64, workers int) ([]Group, error) {
-	gs, err := dist.AggregateByKey(shardKeys, shardVals, workers)
+// rows, for every sharding, cluster size, worker count, transport, and
+// fault plan.
+func DistributedGroupBySum(shardKeys [][]uint32, shardVals [][]float64, workers int, opts ...DistOption) ([]Group, error) {
+	gs, err := dist.AggregateByKeyConfig(shardKeys, shardVals, workers, distConfig(opts))
 	if err != nil {
 		return nil, err
 	}
