@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/bench"
@@ -116,4 +117,131 @@ func runDist(cfg config) {
 		tg.AddRow(nodes, ns[0], ns[1], bench.Ratio(ns[1]/ns[0]))
 	}
 	tg.Fprint(os.Stdout)
+
+	runDistChunked(cfg, vals)
+}
+
+// chunkObserver decorates a Transport to record the largest chunk count
+// any frame declared, so the sweep can prove its cells genuinely went
+// multi-chunk (a sweep that silently stayed single-frame would prove
+// nothing about reassembly).
+type chunkObserver struct {
+	dist.Transport
+	mu  sync.Mutex
+	max uint32
+}
+
+func (o *chunkObserver) Send(f dist.Frame) error {
+	if f.Kind != dist.KindResend {
+		o.mu.Lock()
+		if f.Chunks > o.max {
+			o.max = f.Chunks
+		}
+		o.mu.Unlock()
+	}
+	return o.Transport.Send(f)
+}
+
+// peak reads the recorded maximum under the lock: non-root node
+// goroutines keep serving resends (and thus calling Send) after
+// AggregateByKeyConfig returns, until Close tears the transport down.
+func (o *chunkObserver) peak() uint32 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.max
+}
+
+// runDistChunked — multi-chunk sweep: the shuffle at a cardinality and
+// chunk payload that force every (sender, owner) pair to ≥3 wire
+// chunks, across transports and a hostile fault plan, asserting the
+// group list is bit-identical to the single-node result. Any mismatch
+// — or a cell that failed to produce multi-chunk traffic — exits
+// non-zero.
+func runDistChunked(cfg config, vals []float64) {
+	const distinct = 2048
+	const chunkPayload = 4096 // ~60 B per ⟨key, state⟩ pair → ≥7 chunks per pair at 4 nodes
+	keys := workload.Keys(cfg.seed+2, cfg.n, distinct)
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "reprobench dist (chunked): "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	// Single-node reference: same rows, one shard, default transport.
+	ref, err := dist.AggregateByKeyConfig([][]uint32{keys}, [][]float64{vals}, 2, dist.Config{})
+	if err != nil {
+		fail("reference: %v", err)
+	}
+
+	plans := []struct {
+		name string
+		plan *dist.FaultPlan
+	}{
+		{"none", nil},
+		{"chaos", &dist.FaultPlan{Seed: cfg.seed, DropProb: 0.2, DupProb: 0.2, Reorder: true,
+			MaxDelay: 200 * time.Microsecond, RetryDelay: 100 * time.Microsecond}},
+	}
+	transports := []struct {
+		name    string
+		factory dist.TransportFactory
+	}{
+		{"chan", dist.ChanTransportFactory},
+		{"tcp", dist.TCPTransportFactory},
+	}
+
+	t := bench.NewTable("Multi-chunk shuffle sweep: AggregateByKey, ns/elem (bits identical to single-node)",
+		"nodes", "faults", "chan", "tcp", "max chunks")
+	for _, nodes := range []int{2, 4} {
+		lk := make([][]uint32, nodes)
+		lv := make([][]float64, nodes)
+		for i := range keys {
+			d := i % nodes
+			lk[d] = append(lk[d], keys[i])
+			lv[d] = append(lv[d], vals[i])
+		}
+		for _, p := range plans {
+			var ns [2]float64
+			var maxChunks uint32
+			for ti, tr := range transports {
+				obs := &chunkObserver{}
+				factory := func(n int) (dist.Transport, error) {
+					inner, err := tr.factory(n)
+					if err != nil {
+						return nil, err
+					}
+					obs.Transport = inner
+					return obs, nil
+				}
+				dcfg := dist.Config{NewTransport: factory, Faults: p.plan,
+					MaxChunkPayload: chunkPayload, ChildDeadline: 5 * time.Millisecond, MaxResend: -1}
+				var out []dist.Group
+				dur := bench.Measure(func() {
+					var err error
+					out, err = dist.AggregateByKeyConfig(lk, lv, 2, dcfg)
+					if err != nil {
+						fail("%d nodes, %s, %s: %v", nodes, p.name, tr.name, err)
+					}
+				})
+				ns[ti] = bench.NsPerElem(dur, 1, cfg.n)
+				if len(out) != len(ref) {
+					fail("%d nodes, %s, %s: %d groups, want %d", nodes, p.name, tr.name, len(out), len(ref))
+				}
+				for i := range out {
+					if out[i].Key != ref[i].Key || math.Float64bits(out[i].Sum) != math.Float64bits(ref[i].Sum) {
+						fail("%d nodes, %s, %s: group %d broke bit-reproducibility", nodes, p.name, tr.name, out[i].Key)
+					}
+				}
+				peak := obs.peak()
+				if peak < 3 {
+					fail("%d nodes, %s, %s: peaked at %d chunks per message, want ≥3 — sweep no longer exercises reassembly", nodes, p.name, tr.name, peak)
+				}
+				if peak > maxChunks {
+					maxChunks = peak
+				}
+			}
+			t.AddRow(nodes, p.name, ns[0], ns[1], int(maxChunks))
+		}
+	}
+	t.Fprint(os.Stdout)
+	fmt.Printf("multi-chunk sweep: all cells bit-identical to the single-node reference\n\n")
 }

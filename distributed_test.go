@@ -139,6 +139,51 @@ func TestDistributedGroupBySumOverTCP(t *testing.T) {
 	}
 }
 
+// TestDistributedChunkedOptions: the facade's chunking options — a
+// chunk payload small enough that every message travels multi-chunk,
+// over TCP with a hostile fault plan — change nothing about the result
+// bits, and an undersized reassembly budget surfaces ErrChunkBudget.
+func TestDistributedChunkedOptions(t *testing.T) {
+	const n = 9000
+	keys := workload.Keys(81, n, 700)
+	vals := workload.Values64(82, n, workload.MixedMag)
+	want := repro.GroupBySum(keys, vals, &repro.GroupByOptions{Groups: 700})
+
+	lk := make([][]uint32, 3)
+	lv := make([][]float64, 3)
+	for i := range keys {
+		d := i % 3
+		lk[d] = append(lk[d], keys[i])
+		lv[d] = append(lv[d], vals[i])
+	}
+	got, err := repro.DistributedGroupBySum(lk, lv, 2,
+		repro.WithTCPTransport(),
+		repro.WithMaxChunkPayload(2048),
+		repro.WithFaults(repro.FaultPlan{Seed: 13, DropProb: 0.2, DupProb: 0.2, Reorder: true,
+			MaxDelay: 200 * time.Microsecond, RetryDelay: 100 * time.Microsecond}),
+		repro.WithStragglerDeadline(10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d groups, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Key != want[i].Key || math.Float64bits(got[i].Sum) != math.Float64bits(want[i].Sum) {
+			t.Fatalf("group[%d] mismatch under chunked TCP with faults", i)
+		}
+	}
+
+	// A reassembly budget below the shuffle payload size fails loudly
+	// with the matchable sentinel instead of hanging or truncating.
+	_, err = repro.DistributedGroupBySum(lk, lv, 2,
+		repro.WithMaxChunkPayload(1024),
+		repro.WithReassemblyBudget(8<<10))
+	if !errors.Is(err, repro.ErrChunkBudget) {
+		t.Fatalf("got %v, want ErrChunkBudget", err)
+	}
+}
+
 // TestDistributedSumErrors: the facade surfaces the dist error paths
 // as matchable re-exported sentinels.
 func TestDistributedSumErrors(t *testing.T) {

@@ -1,0 +1,223 @@
+package dist
+
+import "fmt"
+
+// Chunked logical messages. A logical message (one partial state, one
+// shuffle frame, one gather frame, one error) whose payload exceeds the
+// configured chunk payload travels as a stream of wire frames sharing
+// (Kind, From, To, Seq) and numbered Chunk 0..Chunks−1. The split is a
+// pure transport concern: receivers reassemble the exact payload bytes
+// before any protocol code sees them, so merge order per key and every
+// other reproducibility property are untouched — chunking only decides
+// how many wire frames carry the same canonical bytes.
+
+// DefaultChunkPayload is the chunk payload size used when Config leaves
+// MaxChunkPayload zero: the codec's frame ceiling, so every payload
+// that fit in one wire frame before chunking existed still travels as
+// exactly one frame.
+const DefaultChunkPayload = MaxFramePayload
+
+// DefaultReassemblyBudget bounds the bytes a node buffers for
+// incomplete incoming messages when Config leaves ReassemblyBudget
+// zero (1 GiB).
+const DefaultReassemblyBudget = 1 << 30
+
+// splitFrame splits one logical frame into its wire chunks: every chunk
+// carries at most maxChunk payload bytes, all but the last exactly
+// maxChunk. Payloads alias f.Payload (no copying — the in-process
+// transport stays zero-copy). An empty payload yields one empty chunk,
+// so receivers can still count senders.
+func splitFrame(f Frame, maxChunk int) []Frame {
+	if maxChunk <= 0 || maxChunk > MaxFramePayload {
+		maxChunk = DefaultChunkPayload
+	}
+	n := (len(f.Payload) + maxChunk - 1) / maxChunk
+	if n == 0 {
+		n = 1
+	}
+	chunks := make([]Frame, n)
+	for i := 0; i < n; i++ {
+		c := f
+		c.Chunk, c.Chunks = uint32(i), uint32(n)
+		if len(f.Payload) > 0 {
+			c.Payload = f.Payload[i*maxChunk : min((i+1)*maxChunk, len(f.Payload))]
+		}
+		chunks[i] = c
+	}
+	return chunks
+}
+
+// sendChunks transmits every chunk of a cached chunk list. Send
+// failures are tolerated protocol-wide: the receiver's re-request path
+// retries chunk by chunk, and a closed transport surfaces through Recv.
+func sendChunks(tr Transport, chunks []Frame) {
+	for _, c := range chunks {
+		_ = tr.Send(c)
+	}
+}
+
+// serveResend answers one KindResend with the requested chunks of a
+// cached outgoing chunk list: the whole stream for a Chunks == 0
+// selector, the single chunk index req.Chunk for Chunks == 1. An
+// out-of-range index is ignored (a hostile or confused peer cannot
+// make us send frames we never produced).
+func serveResend(tr Transport, chunks []Frame, req Frame) {
+	if req.Chunks == 0 {
+		sendChunks(tr, chunks)
+		return
+	}
+	if int64(req.Chunk) < int64(len(chunks)) {
+		_ = tr.Send(chunks[req.Chunk])
+	}
+}
+
+// partialMsg is one incoming logical message mid-reassembly.
+type partialMsg struct {
+	kind   byte
+	total  uint32            // declared chunk count
+	chunks map[uint32][]byte // arrived chunks by index
+	bytes  int               // buffered payload bytes
+}
+
+// reassembler rebuilds logical messages from chunk streams on one
+// node's receive path. It buffers out-of-order chunks, deduplicates per
+// chunk (a retransmitted or fault-duplicated chunk is absorbed exactly
+// once), remembers completed messages so whole-message retransmissions
+// are swallowed (this subsumes the pre-chunking per-message dedup), and
+// enforces a total byte budget across all incomplete messages so a
+// hostile peer cannot OOM the node. It revalidates chunk headers
+// itself: frames arriving by reference through ChanTransport never pass
+// the wire decoder.
+type reassembler struct {
+	budget  int
+	used    int
+	partial map[uint64]*partialMsg // keyed by dedupKey(From, Seq)
+	done    dedup
+}
+
+func newReassembler(budget int) *reassembler {
+	if budget <= 0 {
+		budget = DefaultReassemblyBudget
+	}
+	return &reassembler{
+		budget:  budget,
+		partial: make(map[uint64]*partialMsg),
+		done:    make(dedup),
+	}
+}
+
+// accept consumes one wire frame. When the frame completes its logical
+// message, accept returns the message with its full payload and
+// complete = true; the message is then marked done and all further
+// deliveries on its (From, Seq) stream are swallowed. fresh reports
+// whether the frame contributed new bytes (the protocols' straggler
+// give-up budget measures silence, and a chunk of a still-incomplete
+// message is progress). Inconsistent streams — mismatched chunk counts
+// or kinds, out-of-range indexes, empty chunks of a multi-chunk
+// message — and budget exhaustion yield an error; the frame is
+// discarded and the reassembler stays usable.
+func (r *reassembler) accept(f Frame) (msg Frame, complete, fresh bool, err error) {
+	key := dedupKey(f.From, f.Seq)
+	if r.done[key] {
+		return Frame{}, false, false, nil
+	}
+	if err := validChunkFields(f.Kind, f.Chunk, f.Chunks); err != nil {
+		return Frame{}, false, false, err
+	}
+	p := r.partial[key]
+	if p != nil && (p.total != f.Chunks || p.kind != f.Kind) {
+		// Shape change mid-stream — including a single-chunk frame on a
+		// key that already buffered a multi-chunk partial, which the
+		// fast path below must not silently "complete" over.
+		return Frame{}, false, false, fmt.Errorf(
+			"%w: chunk stream (from %d, seq %d) changed shape: %d-chunk kind %d vs %d-chunk kind %d",
+			ErrBadFrame, f.From, f.Seq, p.total, p.kind, f.Chunks, f.Kind)
+	}
+	if f.Chunks == 1 {
+		// Single-frame fast path: nothing to buffer, the payload is
+		// handed over without a copy.
+		r.done[key] = true
+		return f, true, true, nil
+	}
+	if len(f.Payload) == 0 {
+		// Senders never produce empty chunks of a multi-chunk message
+		// (only a lone empty chunk); accepting one would let a short
+		// payload masquerade as complete.
+		return Frame{}, false, false, fmt.Errorf("%w: empty chunk %d of %d from node %d",
+			ErrBadFrame, f.Chunk, f.Chunks, f.From)
+	}
+	if p == nil {
+		p = &partialMsg{kind: f.Kind, total: f.Chunks, chunks: make(map[uint32][]byte)}
+		r.partial[key] = p
+	}
+	if _, dup := p.chunks[f.Chunk]; dup {
+		return Frame{}, false, false, nil
+	}
+	if r.used+len(f.Payload) > r.budget {
+		return Frame{}, false, false, fmt.Errorf(
+			"%w: %d buffered + %d-byte chunk from node %d exceeds budget %d",
+			ErrChunkBudget, r.used, len(f.Payload), f.From, r.budget)
+	}
+	p.chunks[f.Chunk] = f.Payload
+	p.bytes += len(f.Payload)
+	r.used += len(f.Payload)
+	if len(p.chunks) < int(p.total) {
+		return Frame{}, false, true, nil
+	}
+	// Complete: concatenate in chunk order.
+	payload := make([]byte, 0, p.bytes)
+	for i := uint32(0); i < p.total; i++ {
+		payload = append(payload, p.chunks[i]...)
+	}
+	r.used -= p.bytes
+	delete(r.partial, key)
+	r.done[key] = true
+	msg = f
+	msg.Chunk, msg.Chunks, msg.Payload = 0, 1, payload
+	return msg, true, true, nil
+}
+
+// missing returns the chunk indexes still absent from the partially
+// received message (from, seq), in ascending order, or nil if no chunk
+// of the message has arrived yet (so the caller should re-request the
+// whole stream).
+func (r *reassembler) missing(from int, seq uint32) []uint32 {
+	p := r.partial[dedupKey(from, seq)]
+	if p == nil {
+		return nil
+	}
+	idx := make([]uint32, 0, int(p.total)-len(p.chunks))
+	for i := uint32(0); i < p.total; i++ {
+		if _, ok := p.chunks[i]; !ok {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// maxChunkRequests bounds the targeted re-requests issued for one
+// stream per deadline round, so a barely started many-thousand-chunk
+// message does not answer every timeout with a request flood (and a
+// matching flood of retransmissions racing the still-in-flight
+// originals). Any arrival resets the round budget, and later rounds
+// ask for whatever is still missing, so convergence is unaffected.
+const maxChunkRequests = 64
+
+// requestMissing sends the re-request frames for peer's stream seq:
+// targeted KindResends for (up to maxChunkRequests of) the missing
+// chunks when part of the message has arrived — so a single lost chunk
+// costs one chunk of retransmit, not the whole logical message — or a
+// whole-stream request when nothing has.
+func requestMissing(tr Transport, r *reassembler, id, peer int, seq uint32) {
+	idx := r.missing(peer, seq)
+	if idx == nil {
+		_ = tr.Send(Frame{Kind: KindResend, From: id, To: peer, Seq: seq})
+		return
+	}
+	if len(idx) > maxChunkRequests {
+		idx = idx[:maxChunkRequests]
+	}
+	for _, i := range idx {
+		_ = tr.Send(Frame{Kind: KindResend, From: id, To: peer, Seq: seq, Chunk: i, Chunks: 1})
+	}
+}

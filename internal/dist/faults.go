@@ -10,12 +10,17 @@ import (
 // Fault injection. FaultTransport decorates any Transport with the
 // misbehaviors of a real lossy interconnect — delivery delay,
 // duplication, reordering, and dropped frames that a sender-side retry
-// layer retransmits after a timeout. The decorator never loses a frame
+// layer retransmits after a timeout. Faults apply per wire frame, so a
+// chunked logical message has each of its chunks independently delayed,
+// duplicated, reordered, or dropped — chunks of one message genuinely
+// arrive out of order and interleaved with other streams, which is
+// where reassembly bugs would live. The decorator never loses a frame
 // permanently (a drop is always followed by a retry), so it models an
 // unreliable link underneath a reliable delivery layer, which is
 // exactly the regime the reproducibility claim must survive: the
-// protocols deduplicate by (from, seq) and merge order-independently,
-// so every fault plan yields bit-identical results.
+// protocols reassemble and deduplicate per (from, seq) stream and merge
+// order-independently, so every fault plan yields bit-identical
+// results.
 
 // FaultPlan configures the injected faults. The zero value injects
 // nothing. All randomness is drawn from a deterministic seeded PRNG, so

@@ -24,8 +24,9 @@ const shuffleFanout = 256
 var errFrame = errors.New("dist: corrupt shuffle frame")
 
 // Stream ids (Frame.Seq) of the GROUP BY protocol. Every node sends
-// exactly one frame per (destination, stream), so receivers deduplicate
-// deliveries by (from, seq) and count distinct senders per stream.
+// exactly one logical message per (destination, stream) — as one or
+// more chunk frames — so receivers reassemble and deduplicate per
+// (from, seq) stream and count distinct senders per stream.
 const (
 	seqShuffle = 0 // sender → owner: per-key partial states
 	seqGather  = 1 // owner → root: finalized groups
@@ -115,51 +116,56 @@ func AggregateByKeyConfig(localKeys [][]uint32, localVals [][]float64, workers i
 }
 
 // groupByNode is the per-node protocol of the distributed GROUP BY:
-// combine the local shard, ship one shuffle frame to every owner, merge
-// the frames addressed to this node (exactly one per sender,
-// deduplicated), finalize, and ship the finalized groups to the root.
-// The root additionally collects every owner's gather frame and hands
-// the sorted global result to the coordinator.
+// combine the local shard, ship one shuffle message to every owner
+// (chunked when large), merge the messages addressed to this node
+// (exactly one per sender, reassembled and deduplicated), finalize, and
+// ship the finalized groups to the root. The root additionally collects
+// every owner's gather message and hands the sorted global result to
+// the coordinator.
 //
 // Like the reduction tree, the shuffle has straggler handling: a
-// receiver that makes no progress for ChildDeadline re-requests the
-// missing frames (shuffle frames from senders, gather frames from
-// owners), every node caches its outgoing frames and retransmits on
-// demand, and a permanently silent peer surfaces ErrStraggler instead
-// of a hang.
+// receiver that makes no progress for ChildDeadline re-requests what is
+// missing — whole streams it has heard nothing of, individual chunks of
+// partially received ones — every node caches its outgoing chunk lists
+// and retransmits on demand, and a permanently silent peer surfaces
+// ErrStraggler instead of a hang.
 func groupByNode(id int, keys []uint32, vals []float64, workers int, tr Transport, cfg Config, rootCh chan<- result) {
 	n := tr.Nodes()
-	frames, cerr := combineShard(keys, vals, n, workers)
+	frames, cerr := combineShard(keys, vals, n, workers, cfg.maxMessage())
 
-	// shuffleFrame is the cached outgoing shuffle slot for destination
-	// d — the combiner's frame, or its failure on the same stream.
-	// First sends and straggler retransmissions serve from the same
-	// closure, so every transmission of a slot is identical.
-	shuffleFrame := func(d int) Frame {
+	// outShuffle caches the outgoing shuffle chunks per destination —
+	// the combiner's frame, or its failure on the same stream. First
+	// sends and straggler retransmissions serve from the same cache, so
+	// every transmission of a chunk is identical.
+	outShuffle := make([][]Frame, n)
+	for d := 0; d < n; d++ {
+		var f Frame
 		if cerr != nil {
-			return Frame{Kind: KindError, From: id, To: d, Seq: seqShuffle, Payload: encodeErr(cerr)}
+			f = Frame{Kind: KindError, From: id, To: d, Seq: seqShuffle, Payload: encodeErr(cerr)}
+		} else {
+			f = Frame{Kind: KindGroups, From: id, To: d, Seq: seqShuffle, Payload: frames[d]}
 		}
-		return Frame{Kind: KindGroups, From: id, To: d, Seq: seqShuffle, Payload: frames[d]}
+		outShuffle[d] = splitFrame(f, cfg.chunkPayload())
 	}
 
-	// Shuffle: one frame (possibly empty, so owners can count senders)
-	// to every owner. A send failure is survivable: the owner's
-	// re-request path retries the slot (over TCP, on a freshly dialed
-	// connection), and if the transport is truly gone every node
-	// unblocks through Recv failing.
+	// Shuffle: one message (possibly empty, so owners can count
+	// senders) to every owner. A send failure is survivable: the
+	// owner's re-request path retries chunk by chunk (over TCP, on a
+	// freshly dialed connection), and if the transport is truly gone
+	// every node unblocks through Recv failing.
 	cfg.gate.wait(id)
 	for d := 0; d < n; d++ {
-		_ = tr.Send(shuffleFrame(d))
+		sendChunks(tr, outShuffle[d])
 	}
 	cfg.gate.done()
 
 	// Owner role: merge incoming per-key partials in arrival order.
-	// The root interleaves this with collecting gather frames, which
-	// may overtake shuffle frames on a reordering transport.
+	// The root interleaves this with collecting gather messages, which
+	// may overtake shuffle messages on a reordering transport.
 	states := hashagg.New(64, hashagg.Identity, newPartial)
 	var ownErr error
-	var gatherOut *Frame // cached gather frame, once built (non-root)
-	seen := make(dedup)
+	var outGather []Frame // cached gather chunks, once built (non-root)
+	asm := newReassembler(cfg.reassemblyBudget())
 	shuffleHeard := make(map[int]bool, n)
 	gatherHeard := make(map[int]bool, n)
 	gathers := make([][]byte, 0, n)
@@ -172,7 +178,8 @@ func groupByNode(id int, keys []uint32, vals []float64, workers int, tr Transpor
 		f, rerr := tr.Recv(id, cfg.childDeadline())
 		switch {
 		case errors.Is(rerr, ErrTimeout):
-			// Straggler handling: re-request every missing slot.
+			// Straggler handling: re-request every missing slot —
+			// targeted chunk requests for partially received streams.
 			if resends >= cfg.maxResend() {
 				ownErr = fmt.Errorf("%w (node %d shuffle: %d/%d senders, %d/%d gathers)",
 					ErrStraggler, id, len(shuffleHeard), n, len(gatherHeard), wantGathers)
@@ -184,12 +191,12 @@ func groupByNode(id int, keys []uint32, vals []float64, workers int, tr Transpor
 			// surfaces through Recv.
 			for s := 0; s < n; s++ {
 				if !shuffleHeard[s] {
-					_ = tr.Send(Frame{Kind: KindResend, From: id, To: s, Seq: seqShuffle})
+					requestMissing(tr, asm, id, s, seqShuffle)
 				}
 			}
 			for s := 1; s < n && id == 0; s++ {
 				if !gatherHeard[s] {
-					_ = tr.Send(Frame{Kind: KindResend, From: id, To: s, Seq: seqGather})
+					requestMissing(tr, asm, id, s, seqGather)
 				}
 			}
 		case rerr != nil:
@@ -199,40 +206,46 @@ func groupByNode(id int, keys []uint32, vals []float64, workers int, tr Transpor
 				ownErr = rerr
 			}
 		case f.Kind == KindResend:
-			// A peer is missing one of our slots; retransmit from cache.
-			// A gather re-request before our gather is built is answered
-			// by the eventual first send.
-			if f.Seq == seqShuffle {
-				_ = tr.Send(shuffleFrame(f.From))
-			} else if f.Seq == seqGather && gatherOut != nil {
-				_ = tr.Send(*gatherOut)
+			// A peer is missing (part of) one of our slots; retransmit
+			// the requested chunks from cache. A gather re-request
+			// before our gather is built is answered by the eventual
+			// first send.
+			if f.Seq == seqShuffle && f.From >= 0 && f.From < n {
+				serveResend(tr, outShuffle[f.From], f)
+			} else if f.Seq == seqGather && outGather != nil {
+				serveResend(tr, outGather, f)
 			}
-		case seen.seen(f):
-			// Duplicate delivery or already-answered retransmission.
-		case f.Seq == seqShuffle && f.Kind == KindGroups:
-			shuffleHeard[f.From] = true
-			resends = 0 // progress: the give-up budget is for silence, not slowness
-			ownErr = walkFrame(f.Payload, func(key uint32, enc []byte) error {
-				if e := states.Upsert(key).MergeBinary(enc); e != nil {
-					return fmt.Errorf("dist: node %d merging group %d from node %d: %w", id, key, f.From, e)
+		default:
+			msg, complete, fresh, aerr := asm.accept(f)
+			if fresh {
+				resends = 0 // progress: the give-up budget is for silence, not slowness
+			}
+			switch {
+			case aerr != nil:
+				ownErr = fmt.Errorf("dist: node %d reassembling from node %d: %w", id, f.From, aerr)
+			case !complete:
+				// Chunk buffered (or duplicate absorbed); keep collecting.
+			case msg.Seq == seqShuffle && msg.Kind == KindGroups:
+				shuffleHeard[msg.From] = true
+				ownErr = walkFrame(msg.Payload, func(key uint32, enc []byte) error {
+					if e := states.Upsert(key).MergeBinary(enc); e != nil {
+						return fmt.Errorf("dist: node %d merging group %d from node %d: %w", id, key, msg.From, e)
+					}
+					return nil
+				})
+			case msg.Seq == seqShuffle && msg.Kind == KindError:
+				shuffleHeard[msg.From] = true
+				if ownErr == nil {
+					ownErr = decodeErr(msg.From, msg.Payload)
 				}
-				return nil
-			})
-		case f.Seq == seqShuffle && f.Kind == KindError:
-			shuffleHeard[f.From] = true
-			resends = 0
-			if ownErr == nil {
-				ownErr = decodeErr(f.From, f.Payload)
-			}
-		case f.Seq == seqGather && f.Kind == KindGather && id == 0:
-			gatherHeard[f.From] = true
-			resends = 0
-			gathers = append(gathers, f.Payload)
-		case f.Seq == seqGather && f.Kind == KindError && id == 0:
-			gatherHeard[f.From] = true
-			resends = 0
-			if ownErr == nil {
-				ownErr = decodeErr(f.From, f.Payload)
+			case msg.Seq == seqGather && msg.Kind == KindGather && id == 0:
+				gatherHeard[msg.From] = true
+				gathers = append(gathers, msg.Payload)
+			case msg.Seq == seqGather && msg.Kind == KindError && id == 0:
+				gatherHeard[msg.From] = true
+				if ownErr == nil {
+					ownErr = decodeErr(msg.From, msg.Payload)
+				}
 			}
 		}
 		// Any recorded error ends the collection, like reduceNode: the
@@ -254,9 +267,9 @@ func groupByNode(id int, keys []uint32, vals []float64, workers int, tr Transpor
 		sort.Slice(local, func(i, j int) bool { return local[i].Key < local[j].Key })
 	}
 
-	if ownErr == nil && id != 0 && len(local)*12 > MaxFramePayload {
-		ownErr = fmt.Errorf("%w: gather frame from node %d would be %d bytes (limit %d)",
-			ErrBadFrame, id, len(local)*12, MaxFramePayload)
+	if ownErr == nil && id != 0 && len(local)*12 > cfg.maxMessage() {
+		ownErr = fmt.Errorf("%w: gather message from node %d would be %d bytes (max message %d)",
+			ErrChunkBudget, id, len(local)*12, cfg.maxMessage())
 	}
 
 	if id != 0 {
@@ -264,12 +277,12 @@ func groupByNode(id int, keys []uint32, vals []float64, workers int, tr Transpor
 		if ownErr != nil {
 			out = Frame{Kind: KindError, From: id, To: 0, Seq: seqGather, Payload: encodeErr(ownErr)}
 		}
-		gatherOut = &out
-		_ = tr.Send(out) // on failure the root's re-request path retries
+		outGather = splitFrame(out, cfg.chunkPayload())
+		sendChunks(tr, outGather) // on failure the root's re-request path retries
 
-		// Serve straggler re-requests from the cached slots until the
-		// coordinator closes the transport; send failures are left to
-		// the next re-request round.
+		// Serve straggler re-requests from the cached chunk lists until
+		// the coordinator closes the transport; send failures are left
+		// to the next re-request round.
 		for {
 			f, rerr := tr.Recv(id, 0)
 			if rerr != nil {
@@ -278,10 +291,10 @@ func groupByNode(id int, keys []uint32, vals []float64, workers int, tr Transpor
 			if f.Kind != KindResend {
 				continue
 			}
-			if f.Seq == seqShuffle {
-				_ = tr.Send(shuffleFrame(f.From))
+			if f.Seq == seqShuffle && f.From >= 0 && f.From < n {
+				serveResend(tr, outShuffle[f.From], f)
 			} else if f.Seq == seqGather {
-				_ = tr.Send(out)
+				serveResend(tr, outGather, f)
 			}
 		}
 	}
@@ -302,8 +315,9 @@ func groupByNode(id int, keys []uint32, vals []float64, workers int, tr Transpor
 
 // combineShard partitions one node's rows by key and pre-aggregates
 // each partition into per-key partial states, returning one encoded
-// frame per destination node.
-func combineShard(keys []uint32, vals []float64, n, workers int) ([][]byte, error) {
+// logical shuffle payload per destination node. maxMessage is the
+// configuration's Config.maxMessage bound.
+func combineShard(keys []uint32, vals []float64, n, workers, maxMessage int) ([][]byte, error) {
 	out := partition.Do(keys, vals, 0, shuffleFanout, workers)
 	frames := make([][]byte, n)
 	for p := 0; p < out.NumPartitions(); p++ {
@@ -339,17 +353,17 @@ func combineShard(keys []uint32, vals []float64, n, workers int) ([][]byte, erro
 			return nil, encErr
 		}
 	}
-	// Enforce the frame-size ceiling uniformly, for every transport:
-	// over TCP an oversized frame would be rejected by the receiver's
-	// decoder (and retried forever), so surface a clear error instead —
-	// identically on the in-process transport, keeping cross-transport
-	// equivalence exact. The ceiling is ~150k distinct keys per
-	// (sender, owner) pair; ROADMAP records frame chunking as the
-	// follow-up that lifts it.
+	// Chunking lifted the old 16 MiB per-(sender, owner) frame ceiling —
+	// a logical shuffle payload now travels as however many wire chunks
+	// it needs. The remaining bound is the configuration's maxMessage
+	// (reassembly budget, capped by chunk payload × chunk-count limit):
+	// a payload no receiver could ever accept is rejected here,
+	// identically on every transport, so cross-transport equivalence
+	// stays exact and the failure names the knobs to turn.
 	for d, frame := range frames {
-		if len(frame) > MaxFramePayload {
-			return nil, fmt.Errorf("%w: shuffle frame to node %d is %d bytes (limit %d); use more nodes or fewer distinct keys per node",
-				ErrBadFrame, d, len(frame), MaxFramePayload)
+		if len(frame) > maxMessage {
+			return nil, fmt.Errorf("%w: shuffle payload to node %d is %d bytes (max message %d); raise ReassemblyBudget/MaxChunkPayload or use more nodes",
+				ErrChunkBudget, d, len(frame), maxMessage)
 		}
 	}
 	return frames, nil

@@ -37,9 +37,28 @@ type Config struct {
 	// this many Recv timeouts in a row with no frame consumed (each
 	// followed by a re-request to every still-missing peer), the
 	// operation gives up with ErrStraggler. Any progress resets the
-	// budget — it measures silence, not slowness. 0 means the default
+	// budget — it measures silence, not slowness; a chunk of a
+	// still-incomplete message counts as progress. 0 means the default
 	// of 25; a negative value disables the give-up entirely.
 	MaxResend int
+	// MaxChunkPayload caps the payload bytes of one wire frame: logical
+	// messages larger than this travel as a reassembled chunk stream.
+	// 0 means DefaultChunkPayload (the 16 MiB frame ceiling, so every
+	// payload that fit in one frame before chunking still travels as
+	// exactly one frame); values above MaxFramePayload are clamped to
+	// it.
+	MaxChunkPayload int
+	// ReassemblyBudget caps the bytes a node buffers for incomplete
+	// incoming chunk streams before failing with ErrChunkBudget
+	// (default DefaultReassemblyBudget). It also bounds the logical
+	// message size a sender may produce, since a message over the
+	// cluster-wide budget could never be reassembled. The budget is
+	// shared across all concurrent incomplete streams on a node: when
+	// sizing it explicitly, allow fan-in × the largest expected
+	// message, or chunks interleaving from many senders can trip it
+	// even though each individual message fits (the sender-side check
+	// only rejects single messages that could never fit).
+	ReassemblyBudget int
 
 	gate *sendGate // test hook forcing a global send order
 }
@@ -59,6 +78,39 @@ func (c Config) maxResend() int {
 		return 25
 	}
 	return c.MaxResend
+}
+
+func (c Config) chunkPayload() int {
+	if c.MaxChunkPayload <= 0 || c.MaxChunkPayload > MaxFramePayload {
+		return DefaultChunkPayload
+	}
+	return c.MaxChunkPayload
+}
+
+func (c Config) reassemblyBudget() int {
+	if c.ReassemblyBudget <= 0 {
+		return DefaultReassemblyBudget
+	}
+	return c.ReassemblyBudget
+}
+
+// maxMessage is the largest logical payload this configuration can
+// move: the reassembly budget, or the per-message chunk-count bound
+// times the chunk payload, whichever is smaller. Senders check against
+// it before transmitting, so a payload no receiver could ever accept
+// fails deterministically and identically on every transport (over TCP
+// the receiver's decoder would otherwise reject every chunk and the
+// re-request loop would spin until ErrStraggler — or forever under
+// MaxResend < 0).
+func (c Config) maxMessage() int {
+	budget := c.reassemblyBudget()
+	// The product is computed in int64: on 32-bit platforms the default
+	// 16 MiB chunk payload times the 2^20 chunk-count bound overflows
+	// int and would wrongly clamp maxMessage to garbage.
+	if limit := int64(c.chunkPayload()) * MaxChunksPerMessage; limit < int64(budget) {
+		return int(limit)
+	}
+	return budget
 }
 
 // transport builds the configured interconnect, applying the fault
@@ -192,25 +244,30 @@ func ReduceConfig(shards [][]float64, workers int, topo Topology, cfg Config) (f
 }
 
 // reduceNode is the per-node protocol of the reduction tree: sum the
-// local shard, fold children's partials in arrival order (deduplicated,
-// with a straggler deadline per fan-in round), then ship the merged
-// partial to the parent — and keep serving retransmission requests
-// until the coordinator tears the transport down.
+// local shard, fold children's partials in arrival order (reassembled
+// from chunk streams, deduplicated, with a straggler deadline per
+// fan-in round), then ship the merged partial to the parent — and keep
+// serving retransmission requests, chunk by chunk, until the
+// coordinator tears the transport down.
 func reduceNode(id int, shard []float64, workers int, topo Topology, tr Transport, cfg Config, rootCh chan<- result) {
 	acc := localPartial(shard, workers)
 	kids := childrenOf(topo, id, tr.Nodes())
 
 	var nodeErr error
-	seen := make(dedup)
+	asm := newReassembler(cfg.reassemblyBudget())
 	heard := make(map[int]bool, len(kids))
 	resends := 0
 	for len(heard) < len(kids) && nodeErr == nil {
 		f, err := tr.Recv(id, cfg.childDeadline())
 		switch {
 		case errors.Is(err, ErrTimeout):
-			// Straggler handling: re-request the partial of every child
-			// not heard from yet. Duplicates are filtered by seen, so
-			// racing with an in-flight original is safe.
+			// Straggler handling: re-request every child not heard from
+			// yet — just the missing chunks of a partially received
+			// stream, the whole stream otherwise. Duplicates are
+			// absorbed by the reassembler, so racing with an in-flight
+			// original is safe, and re-request send failures are
+			// tolerated (the next round retries, a closed transport
+			// surfaces through Recv).
 			if resends >= cfg.maxResend() {
 				nodeErr = fmt.Errorf("%w (node %d waiting on %d of %d children)",
 					ErrStraggler, id, len(kids)-len(heard), len(kids))
@@ -219,10 +276,7 @@ func reduceNode(id int, shard []float64, workers int, topo Topology, tr Transpor
 			resends++
 			for _, c := range kids {
 				if !heard[c] {
-					// Tolerate re-request send failures: the next
-					// deadline round retries, and a closed transport
-					// surfaces through Recv.
-					_ = tr.Send(Frame{Kind: KindResend, From: id, To: c})
+					requestMissing(tr, asm, id, c, 0)
 				}
 			}
 		case err != nil:
@@ -230,26 +284,40 @@ func reduceNode(id int, shard []float64, workers int, topo Topology, tr Transpor
 		case f.Kind == KindResend:
 			// Our parent is impatient, but the partial is not ready yet;
 			// the eventual first send will satisfy it.
-		case seen.seen(f):
-			// Duplicate delivery or already-answered retransmission.
-		case f.Kind == KindError:
-			heard[f.From] = true
-			resends = 0 // progress: the give-up budget is for silence, not slowness
-			nodeErr = decodeErr(f.From, f.Payload)
-		case f.Kind == KindPartial:
-			heard[f.From] = true
-			resends = 0
-			if e := acc.MergeBinary(f.Payload); e != nil {
-				nodeErr = fmt.Errorf("dist: node %d merging partial from node %d: %w", id, f.From, e)
-			}
 		default:
-			// Unknown-but-valid kinds are ignored for forward compatibility.
+			msg, complete, fresh, aerr := asm.accept(f)
+			if fresh {
+				resends = 0 // progress: the give-up budget is for silence, not slowness
+			}
+			switch {
+			case aerr != nil:
+				nodeErr = fmt.Errorf("dist: node %d reassembling from node %d: %w", id, f.From, aerr)
+			case !complete:
+				// Chunk buffered (or duplicate absorbed); keep collecting.
+			case msg.Kind == KindError:
+				heard[msg.From] = true
+				nodeErr = decodeErr(msg.From, msg.Payload)
+			case msg.Kind == KindPartial:
+				heard[msg.From] = true
+				if e := acc.MergeBinary(msg.Payload); e != nil {
+					nodeErr = fmt.Errorf("dist: node %d merging partial from node %d: %w", id, msg.From, e)
+				}
+			default:
+				// Unknown-but-valid kinds are ignored for forward compatibility.
+			}
 		}
 	}
 
 	out := Frame{Kind: KindPartial, From: id}
 	if nodeErr == nil {
 		out.Payload, nodeErr = acc.MarshalBinary()
+	}
+	if nodeErr == nil && len(out.Payload) > cfg.maxMessage() {
+		// Unreachable for real states (a partial is ~52 bytes) but kept
+		// for symmetry with the shuffle: no sender may emit a message
+		// its receiver could never reassemble.
+		nodeErr = fmt.Errorf("%w: partial from node %d is %d bytes (max message %d)",
+			ErrChunkBudget, id, len(out.Payload), cfg.maxMessage())
 	}
 	if nodeErr != nil {
 		out = Frame{Kind: KindError, From: id, Payload: encodeErr(nodeErr)}
@@ -266,24 +334,26 @@ func reduceNode(id int, shard []float64, workers int, topo Topology, tr Transpor
 	}
 
 	out.To = p
+	outChunks := splitFrame(out, cfg.chunkPayload())
 	cfg.gate.wait(id)
 	// A failed send is tolerated, not fatal: the parent's deadline
-	// re-requests the partial and the retransmission below retries
-	// (over TCP, on a freshly dialed connection).
-	_ = tr.Send(out)
+	// re-requests the missing chunks and the retransmission below
+	// retries (over TCP, on a freshly dialed connection).
+	sendChunks(tr, outChunks)
 	cfg.gate.done()
 
-	// Serve straggler re-requests with the cached frame until the
-	// coordinator closes the transport. Send failures are transient by
-	// assumption (the next re-request retries); Recv failing means the
-	// transport is gone and the node's work is over.
+	// Serve straggler re-requests from the cached chunk list until the
+	// coordinator closes the transport — a request for one lost chunk
+	// retransmits one chunk, not the whole partial. Send failures are
+	// transient by assumption (the next re-request retries); Recv
+	// failing means the transport is gone and the node's work is over.
 	for {
 		f, err := tr.Recv(id, 0)
 		if err != nil {
 			return
 		}
 		if f.Kind == KindResend && f.From == p {
-			_ = tr.Send(out)
+			serveResend(tr, outChunks, f)
 		}
 	}
 }

@@ -12,12 +12,17 @@ import (
 // TCPTransport is a real network interconnect for the simulated
 // cluster: every node owns one TCP listener on a loopback port, frames
 // travel length-prefixed and CRC-protected through actual kernel
-// sockets, and per-pair connections are dialed lazily and cached. The
-// receive side is the shared mailboxes type (fed by socket reader
-// goroutines), so Recv/Close semantics are identical to ChanTransport
-// by construction. The aggregation protocols run unchanged over it —
-// reproducibility comes from the canonical state algebra, not from any
-// ordering the network might (fail to) provide.
+// sockets, and per-pair connections are dialed lazily and cached. A
+// chunked logical message is simply a sequence of independent wire
+// frames here — each chunk is framed, checksummed, and validated on
+// its own, so one corrupt chunk poisons one connection (and is
+// recovered by the receiver's per-chunk re-request over a fresh dial)
+// rather than an entire stream. The receive side is the shared
+// mailboxes type (fed by socket reader goroutines), so Recv/Close
+// semantics are identical to ChanTransport by construction. The
+// aggregation protocols run unchanged over it — reproducibility comes
+// from the canonical state algebra, not from any ordering the network
+// might (fail to) provide.
 type TCPTransport struct {
 	*mailboxes
 	listeners []net.Listener
@@ -91,7 +96,8 @@ func (t *TCPTransport) acceptLoop(id int, ln net.Listener) {
 // readLoop decodes frames off one connection and delivers them to node
 // id's mailbox. A frame that fails validation poisons only its
 // connection: the reader stops, and recovery stays with the protocol's
-// re-request layer.
+// re-request layer — which, since chunking, re-requests only the
+// chunks that were lost with the connection.
 func (t *TCPTransport) readLoop(id int, c net.Conn) {
 	defer t.wg.Done()
 	defer c.Close()

@@ -42,17 +42,29 @@ const (
 	kindMax = KindError
 )
 
-// Frame is one message of the interconnect: a typed payload traveling
-// from node From to node To. Seq distinguishes logically distinct
-// frames between the same pair of nodes (retransmissions of the same
-// frame reuse the Seq), so receivers can deduplicate deliveries by
-// (From, Seq) no matter how often the transport duplicates or the
-// protocol re-requests.
+// Frame is one wire message of the interconnect: a typed payload
+// traveling from node From to node To. Seq distinguishes logically
+// distinct messages between the same pair of nodes (retransmissions of
+// the same message reuse the Seq), so receivers can deduplicate
+// deliveries per (From, Seq) stream no matter how often the transport
+// duplicates or the protocol re-requests.
+//
+// Since wire version 2 a logical message may travel as several chunk
+// frames: Chunk is this frame's index within the logical message and
+// Chunks the message's total chunk count (1 for the common single-frame
+// case). All chunks of one message share (Kind, From, To, Seq); the
+// reassembler on the receive side buffers out-of-order chunks and hands
+// the protocols whole logical payloads. A KindResend frame uses the
+// chunk fields as the re-request selector instead: Chunks == 0 asks for
+// every chunk of the (From→To reversed) stream Seq, Chunks == 1 asks
+// for just chunk index Chunk.
 type Frame struct {
 	Kind    byte
 	From    int
 	To      int
 	Seq     uint32
+	Chunk   uint32
+	Chunks  uint32
 	Payload []byte
 }
 
@@ -67,19 +79,32 @@ type Frame struct {
 //	4       4     from
 //	8       4     to
 //	12      4     seq
-//	16      4     payload length m
-//	20      m     payload
-//	20+m    4     CRC-32 (IEEE) of bytes [0, 20+m)
+//	16      4     chunk index
+//	20      4     chunk count (see Frame: 0/1 selector on KindResend)
+//	24      4     payload length m
+//	28      m     payload
+//	28+m    4     CRC-32 (IEEE) of bytes [0, 28+m)
+//
+// Version 2 added the chunk index/count fields; version-1 frames are
+// rejected at the trust boundary (the cluster is always homogeneous).
 const (
 	frameMagic   = 0x5250
-	frameVersion = 1
-	frameHdrSize = 2 + 1 + 1 + 4 + 4 + 4 + 4
+	frameVersion = 2
+	frameHdrSize = 2 + 1 + 1 + 4 + 4 + 4 + 4 + 4 + 4
 	frameCRCSize = 4
 
 	// MaxFramePayload bounds the payload length a decoder accepts, so a
 	// corrupt or adversarial length prefix cannot trigger a huge
-	// allocation.
+	// allocation. Since wire version 2 this caps one chunk, not one
+	// logical message: senders split larger payloads into chunk streams
+	// (see splitFrame) and receivers reassemble them under
+	// Config.ReassemblyBudget.
 	MaxFramePayload = 1 << 24
+
+	// MaxChunksPerMessage bounds the chunk count a receiver accepts for
+	// one logical message, so a hostile count cannot blow up the
+	// reassembler's bookkeeping before the byte budget even engages.
+	MaxChunksPerMessage = 1 << 20
 )
 
 // Transport and codec errors.
@@ -90,8 +115,13 @@ var (
 	// timeout.
 	ErrTimeout = errors.New("dist: receive timeout")
 	// ErrBadFrame is returned when wire bytes do not decode to a valid
-	// frame.
+	// frame, or when a chunk stream is internally inconsistent.
 	ErrBadFrame = errors.New("dist: corrupt or truncated frame")
+	// ErrChunkBudget is returned when buffering the partial chunk
+	// streams of incoming logical messages would exceed the node's
+	// reassembly budget (Config.ReassemblyBudget) — the defense against
+	// a peer that declares huge messages to OOM its receiver.
+	ErrChunkBudget = errors.New("dist: chunk reassembly budget exceeded")
 	// ErrStraggler is returned when a child node stayed silent through
 	// every re-request deadline.
 	ErrStraggler = errors.New("dist: straggler child unresponsive after re-requests")
@@ -107,7 +137,9 @@ func AppendFrame(dst []byte, f Frame) []byte {
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(f.From))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(f.To))
 	binary.LittleEndian.PutUint32(hdr[12:], f.Seq)
-	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(f.Payload)))
+	binary.LittleEndian.PutUint32(hdr[16:], f.Chunk)
+	binary.LittleEndian.PutUint32(hdr[20:], f.Chunks)
+	binary.LittleEndian.PutUint32(hdr[24:], uint32(len(f.Payload)))
 	start := len(dst)
 	dst = append(dst, hdr[:]...)
 	dst = append(dst, f.Payload...)
@@ -141,7 +173,12 @@ func DecodeFrame(buf []byte) (Frame, int, error) {
 	if kind == 0 || kind > kindMax {
 		return Frame{}, 0, fmt.Errorf("%w: unknown kind %d", ErrBadFrame, kind)
 	}
-	plen := binary.LittleEndian.Uint32(buf[16:])
+	chunk := binary.LittleEndian.Uint32(buf[16:])
+	chunks := binary.LittleEndian.Uint32(buf[20:])
+	if err := validChunkFields(kind, chunk, chunks); err != nil {
+		return Frame{}, 0, err
+	}
+	plen := binary.LittleEndian.Uint32(buf[24:])
 	if plen > MaxFramePayload {
 		return Frame{}, 0, fmt.Errorf("%w: payload length %d exceeds limit", ErrBadFrame, plen)
 	}
@@ -154,15 +191,39 @@ func DecodeFrame(buf []byte) (Frame, int, error) {
 		return Frame{}, 0, fmt.Errorf("%w: checksum mismatch", ErrBadFrame)
 	}
 	f := Frame{
-		Kind: kind,
-		From: int(binary.LittleEndian.Uint32(buf[4:])),
-		To:   int(binary.LittleEndian.Uint32(buf[8:])),
-		Seq:  binary.LittleEndian.Uint32(buf[12:]),
+		Kind:   kind,
+		From:   int(binary.LittleEndian.Uint32(buf[4:])),
+		To:     int(binary.LittleEndian.Uint32(buf[8:])),
+		Seq:    binary.LittleEndian.Uint32(buf[12:]),
+		Chunk:  chunk,
+		Chunks: chunks,
 	}
 	if plen > 0 {
 		f.Payload = buf[frameHdrSize : frameHdrSize+int(plen)]
 	}
 	return f, total, nil
+}
+
+// validChunkFields checks the chunk index/count of a frame header. Data
+// kinds must declare 1 ≤ Chunks ≤ MaxChunksPerMessage with Chunk in
+// range; a KindResend uses the fields as a re-request selector (Chunks
+// 0 = whole stream, 1 = the single chunk index Chunk). The same rules
+// are applied at both trust boundaries: here for wire bytes, and in the
+// reassembler for frames that arrive by reference through ChanTransport.
+func validChunkFields(kind byte, chunk, chunks uint32) error {
+	if kind == KindResend {
+		if chunks > 1 {
+			return fmt.Errorf("%w: resend selector chunk count %d", ErrBadFrame, chunks)
+		}
+		return nil
+	}
+	if chunks == 0 || chunks > MaxChunksPerMessage {
+		return fmt.Errorf("%w: chunk count %d outside [1, %d]", ErrBadFrame, chunks, MaxChunksPerMessage)
+	}
+	if chunk >= chunks {
+		return fmt.Errorf("%w: chunk index %d of %d", ErrBadFrame, chunk, chunks)
+	}
+	return nil
 }
 
 // WriteFrame writes the wire encoding of f to w.
@@ -182,7 +243,7 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		}
 		return Frame{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
 	}
-	plen := binary.LittleEndian.Uint32(hdr[16:])
+	plen := binary.LittleEndian.Uint32(hdr[24:])
 	if plen > MaxFramePayload {
 		return Frame{}, fmt.Errorf("%w: payload length %d exceeds limit", ErrBadFrame, plen)
 	}
@@ -223,33 +284,45 @@ type Transport interface {
 type TransportFactory func(n int) (Transport, error)
 
 // mailboxes is the shared receive side of the built-in transports: one
-// buffered Go channel per node plus a close signal. ChanTransport
-// embeds it directly; TCPTransport feeds it from socket reader
-// goroutines. Inboxes are buffered generously past each node's
-// worst-case fan-in (fan-in plus retransmissions and control frames),
-// so protocol sends virtually never block and any send order is
-// admissible.
+// unbounded inbox per node plus a close signal. ChanTransport embeds it
+// directly; TCPTransport feeds it from socket reader goroutines.
+// Inboxes are unbounded because chunked streams make the worst-case
+// fan-in unknowable at transport construction: with any fixed capacity,
+// two nodes exchanging chunk floods could each block in Send on the
+// other's full inbox and deadlock. Memory stays bounded by what peers
+// actually send — the reassembly budget is the defense against a
+// hostile peer, not inbox backpressure.
 type mailboxes struct {
-	boxes  []chan Frame
+	boxes  []*inbox
 	closed chan struct{}
 	once   sync.Once
 }
 
+// inbox is one node's unbounded frame queue: appends never block, and a
+// 1-slot signal channel wakes the (single) receiver. A stale signal
+// costs one spurious queue check; a missed one is impossible because
+// the receiver re-checks the queue after every wakeup and the signal is
+// set after every append.
+type inbox struct {
+	mu  sync.Mutex
+	q   []Frame
+	sig chan struct{}
+}
+
 func newMailboxes(n int) *mailboxes {
 	m := &mailboxes{
-		boxes:  make([]chan Frame, n),
+		boxes:  make([]*inbox, n),
 		closed: make(chan struct{}),
 	}
 	for i := range m.boxes {
-		m.boxes[i] = make(chan Frame, 4*n+64)
+		m.boxes[i] = &inbox{sig: make(chan struct{}, 1)}
 	}
 	return m
 }
 
 func (m *mailboxes) Nodes() int { return len(m.boxes) }
 
-// deliver enqueues f for node f.To, blocking on a full inbox
-// (backpressure) until the transport closes.
+// deliver enqueues f for node f.To. It never blocks.
 func (m *mailboxes) deliver(f Frame) error {
 	if f.To < 0 || f.To >= len(m.boxes) {
 		return fmt.Errorf("dist: send to node %d of %d-node cluster", f.To, len(m.boxes))
@@ -259,12 +332,15 @@ func (m *mailboxes) deliver(f Frame) error {
 		return ErrClosed
 	default:
 	}
+	b := m.boxes[f.To]
+	b.mu.Lock()
+	b.q = append(b.q, f)
+	b.mu.Unlock()
 	select {
-	case m.boxes[f.To] <- f:
-		return nil
-	case <-m.closed:
-		return ErrClosed
+	case b.sig <- struct{}{}:
+	default:
 	}
+	return nil
 }
 
 // Recv returns the next frame addressed to node id.
@@ -272,27 +348,37 @@ func (m *mailboxes) Recv(id int, timeout time.Duration) (Frame, error) {
 	if id < 0 || id >= len(m.boxes) {
 		return Frame{}, fmt.Errorf("dist: recv on node %d of %d-node cluster", id, len(m.boxes))
 	}
-	if timeout <= 0 {
-		select {
-		case f := <-m.boxes[id]:
+	b := m.boxes[id]
+	var expired <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		expired = timer.C
+	}
+	for {
+		b.mu.Lock()
+		if len(b.q) > 0 {
+			f := b.q[0]
+			b.q[0] = Frame{} // drop the payload reference
+			b.q = b.q[1:]
+			if len(b.q) == 0 {
+				b.q = nil // let a drained queue's backing array go
+			}
+			b.mu.Unlock()
 			return f, nil
+		}
+		b.mu.Unlock()
+		select {
+		case <-b.sig:
+		case <-expired:
+			return Frame{}, ErrTimeout
 		case <-m.closed:
 			return Frame{}, ErrClosed
 		}
 	}
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
-	select {
-	case f := <-m.boxes[id]:
-		return f, nil
-	case <-timer.C:
-		return Frame{}, ErrTimeout
-	case <-m.closed:
-		return Frame{}, ErrClosed
-	}
 }
 
-// close unblocks all pending deliveries and receives. Idempotent.
+// close unblocks all pending receives. Idempotent.
 func (m *mailboxes) close() {
 	m.once.Do(func() { close(m.closed) })
 }
@@ -333,6 +419,7 @@ const (
 	errCodeGeneric byte = iota
 	errCodeStraggler
 	errCodeBadFrame
+	errCodeChunkBudget
 )
 
 // encodeErr flattens an error for a KindError payload.
@@ -343,6 +430,8 @@ func encodeErr(err error) []byte {
 		code = errCodeStraggler
 	case errors.Is(err, ErrBadFrame):
 		code = errCodeBadFrame
+	case errors.Is(err, ErrChunkBudget):
+		code = errCodeChunkBudget
 	}
 	return append([]byte{code}, err.Error()...)
 }
@@ -369,25 +458,17 @@ func decodeErr(from int, payload []byte) error {
 		e.sentinel = ErrStraggler
 	case errCodeBadFrame:
 		e.sentinel = ErrBadFrame
+	case errCodeChunkBudget:
+		e.sentinel = ErrChunkBudget
 	}
 	return e
 }
 
-// dedup tracks which (from, seq) frames a node has already consumed, so
-// duplicated deliveries and straggler retransmissions are merged
-// exactly once.
+// dedup tracks which (from, seq) streams a node's reassembler has
+// already completed, so duplicated deliveries and straggler
+// retransmissions of finished messages are swallowed.
 type dedup map[uint64]bool
 
 func dedupKey(from int, seq uint32) uint64 {
 	return uint64(uint32(from))<<32 | uint64(seq)
-}
-
-// seen records the frame and reports whether it was already consumed.
-func (d dedup) seen(f Frame) bool {
-	k := dedupKey(f.From, f.Seq)
-	if d[k] {
-		return true
-	}
-	d[k] = true
-	return false
 }

@@ -17,11 +17,13 @@ import (
 
 func TestFrameRoundTrip(t *testing.T) {
 	frames := []Frame{
-		{Kind: KindPartial, From: 3, To: 0, Seq: 0, Payload: []byte("partial-state")},
-		{Kind: KindGroups, From: 0, To: 7, Seq: seqShuffle, Payload: nil},
-		{Kind: KindGather, From: 61, To: 0, Seq: seqGather, Payload: bytes.Repeat([]byte{0xAB}, 4096)},
-		{Kind: KindResend, From: 0, To: 5},
-		{Kind: KindError, From: 2, To: 1, Payload: []byte("node 2: boom")},
+		{Kind: KindPartial, From: 3, To: 0, Seq: 0, Chunks: 1, Payload: []byte("partial-state")},
+		{Kind: KindGroups, From: 0, To: 7, Seq: seqShuffle, Chunks: 1, Payload: nil},
+		{Kind: KindGather, From: 61, To: 0, Seq: seqGather, Chunks: 1, Payload: bytes.Repeat([]byte{0xAB}, 4096)},
+		{Kind: KindGroups, From: 4, To: 2, Seq: seqShuffle, Chunk: 2, Chunks: 5, Payload: []byte("mid-chunk")},
+		{Kind: KindResend, From: 0, To: 5},                      // whole-stream re-request
+		{Kind: KindResend, From: 0, To: 5, Chunk: 3, Chunks: 1}, // single-chunk re-request
+		{Kind: KindError, From: 2, To: 1, Chunks: 1, Payload: []byte("node 2: boom")},
 	}
 	var wire []byte
 	for _, f := range frames {
@@ -60,7 +62,7 @@ func TestFrameRoundTrip(t *testing.T) {
 }
 
 func TestFrameDecodeRejectsCorruption(t *testing.T) {
-	good := EncodeFrame(Frame{Kind: KindPartial, From: 1, To: 2, Seq: 9, Payload: []byte("hello world")})
+	good := EncodeFrame(Frame{Kind: KindPartial, From: 1, To: 2, Seq: 9, Chunks: 1, Payload: []byte("hello world")})
 
 	// Every single-bit flip must be rejected (magic, version, kind,
 	// routing, length, payload, or CRC damage — the checksum catches
@@ -83,12 +85,24 @@ func TestFrameDecodeRejectsCorruption(t *testing.T) {
 	}
 	// A huge length prefix must be rejected without allocating.
 	huge := append([]byte(nil), good...)
-	huge[16], huge[17], huge[18], huge[19] = 0xFF, 0xFF, 0xFF, 0xFF
+	huge[24], huge[25], huge[26], huge[27] = 0xFF, 0xFF, 0xFF, 0xFF
 	if _, _, err := DecodeFrame(huge); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("oversized length: got %v, want ErrBadFrame", err)
 	}
 	if _, err := ReadFrame(bytes.NewReader(huge)); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("ReadFrame oversized length: got %v, want ErrBadFrame", err)
+	}
+	// Invalid chunk headers must be rejected at the trust boundary.
+	bad := []Frame{
+		{Kind: KindPartial, Chunks: 0},                      // data frame without a chunk count
+		{Kind: KindGroups, Chunk: 3, Chunks: 3},             // index out of range
+		{Kind: KindGather, Chunks: MaxChunksPerMessage + 1}, // hostile chunk count
+		{Kind: KindResend, Chunk: 0, Chunks: 2},             // resend selector beyond 0/1
+	}
+	for i, f := range bad {
+		if _, _, err := DecodeFrame(EncodeFrame(f)); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("bad chunk header %d: got %v, want ErrBadFrame", i, err)
+		}
 	}
 }
 
@@ -113,7 +127,7 @@ func TestTransportDelivery(t *testing.T) {
 			if tr.Nodes() != 4 {
 				t.Fatalf("Nodes() = %d, want 4", tr.Nodes())
 			}
-			want := Frame{Kind: KindPartial, From: 2, To: 1, Seq: 7, Payload: []byte("payload")}
+			want := Frame{Kind: KindPartial, From: 2, To: 1, Seq: 7, Chunks: 1, Payload: []byte("payload")}
 			if err := tr.Send(want); err != nil {
 				t.Fatal(err)
 			}
@@ -126,7 +140,7 @@ func TestTransportDelivery(t *testing.T) {
 			}
 			// Self-send must work (the shuffle routes frames to the
 			// sender's own partition).
-			if err := tr.Send(Frame{Kind: KindGroups, From: 1, To: 1}); err != nil {
+			if err := tr.Send(Frame{Kind: KindGroups, From: 1, To: 1, Chunks: 1}); err != nil {
 				t.Fatal(err)
 			}
 			if _, err := tr.Recv(1, time.Second); err != nil {
@@ -171,7 +185,7 @@ func TestTransportClose(t *testing.T) {
 			case <-time.After(2 * time.Second):
 				t.Fatal("Close did not unblock Recv")
 			}
-			if err := tr.Send(Frame{Kind: KindPartial, To: 0}); !errors.Is(err, ErrClosed) {
+			if err := tr.Send(Frame{Kind: KindPartial, To: 0, Chunks: 1}); !errors.Is(err, ErrClosed) {
 				t.Fatalf("Send after Close: got %v, want ErrClosed", err)
 			}
 			if err := tr.Close(); err != nil {
@@ -194,7 +208,7 @@ func TestTCPFrameOverWire(t *testing.T) {
 	s := rsum.NewState64(levels)
 	s.AddSliceVec(workload.Values64(5, 1000, workload.MixedMag))
 	enc, _ := s.MarshalBinary()
-	if err := tr.Send(Frame{Kind: KindPartial, From: 1, To: 0, Payload: enc}); err != nil {
+	if err := tr.Send(Frame{Kind: KindPartial, From: 1, To: 0, Chunks: 1, Payload: enc}); err != nil {
 		t.Fatal(err)
 	}
 	f, err := tr.Recv(0, 2*time.Second)
@@ -310,7 +324,7 @@ func TestStragglerRerequest(t *testing.T) {
 
 	for _, topo := range topologies {
 		factory := func(n int) (Transport, error) {
-			return &firstSendBlackhole{Transport: NewChanTransport(n), dropped: make(map[uint64]bool)}, nil
+			return &firstSendBlackhole{Transport: NewChanTransport(n), dropped: make(map[chunkID]bool)}, nil
 		}
 		cfg := Config{NewTransport: factory, ChildDeadline: 2 * time.Millisecond, MaxResend: -1}
 		got, err := ReduceConfig(shard(vals, 6), 1, topo, cfg)
@@ -350,7 +364,7 @@ func TestGroupByStragglerRerequest(t *testing.T) {
 		return &firstSendBlackhole{
 			Transport: NewChanTransport(n),
 			kinds:     map[byte]bool{KindGroups: true, KindGather: true},
-			dropped:   make(map[uint64]bool),
+			dropped:   make(map[chunkID]bool),
 		}, nil
 	}
 	for _, nodes := range []int{2, 5} {
@@ -378,13 +392,21 @@ func TestGroupByStragglerGivesUp(t *testing.T) {
 }
 
 // firstSendBlackhole swallows the first transmission of every distinct
-// data frame of the selected kinds (default: partials);
-// retransmissions (triggered by re-requests) pass.
+// chunk of the selected kinds (default: partials); retransmissions
+// (triggered by chunk-level re-requests) pass.
 type firstSendBlackhole struct {
 	Transport
 	kinds   map[byte]bool // nil means {KindPartial}
 	mu      sync.Mutex
-	dropped map[uint64]bool
+	dropped map[chunkID]bool
+}
+
+// chunkID identifies one wire chunk: the shuffle sends one message per
+// destination on the same stream, and a message has many chunks.
+type chunkID struct {
+	from, to int
+	seq      uint32
+	chunk    uint32
 }
 
 func (b *firstSendBlackhole) Send(f Frame) error {
@@ -393,9 +415,7 @@ func (b *firstSendBlackhole) Send(f Frame) error {
 		match = b.kinds[f.Kind]
 	}
 	if match {
-		// Keyed by (from, to, seq): the shuffle sends one frame per
-		// destination on the same stream.
-		k := dedupKey(f.From, f.Seq) ^ uint64(f.To)<<16
+		k := chunkID{f.From, f.To, f.Seq, f.Chunk}
 		b.mu.Lock()
 		first := !b.dropped[k]
 		b.dropped[k] = true
@@ -431,28 +451,117 @@ func (b *kindBlackhole) Send(f Frame) error {
 	return b.Transport.Send(f)
 }
 
-// TestOversizedShuffleFrameFailsFast: a shuffle frame exceeding
-// MaxFramePayload must fail with ErrBadFrame on every transport —
-// identically — instead of hanging the TCP receive loop.
-func TestOversizedShuffleFrameFailsFast(t *testing.T) {
-	// ~300k distinct keys all owned by one node: the single shuffle
-	// frame exceeds the 16 MiB ceiling (~60 B per ⟨key, state⟩ pair at
-	// the default L=2).
+// TestShuffleBeyondOldFrameCeiling: a shuffle payload exceeding the old
+// 16 MiB per-(sender, owner) frame ceiling — which used to fail fast
+// with ErrBadFrame — now travels as a chunk stream and produces the
+// correct bits on every transport. This is the scale step the chunking
+// refactor exists for.
+func TestShuffleBeyondOldFrameCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moves ~20 MiB per transport")
+	}
+	// ~300k distinct keys all owned by one node: the logical shuffle
+	// payload is ~18 MiB (60 B per ⟨key, state⟩ pair at the default
+	// L=2), forcing ≥2 chunks even at the default 16 MiB chunk payload.
 	const nkeys = 300_000
+	keys := make([]uint32, nkeys)
+	vals := make([]float64, nkeys)
+	for i := range keys {
+		keys[i] = uint32(i)
+		vals[i] = float64(i%97) + 0.5
+	}
+	for name, factory := range transportFactories() {
+		t.Run(name, func(t *testing.T) {
+			cfg := Config{NewTransport: factory}
+			out, err := AggregateByKeyConfig([][]uint32{keys}, [][]float64{vals}, 2, cfg)
+			if err != nil {
+				t.Fatalf("chunked shuffle past the old ceiling: %v", err)
+			}
+			if len(out) != nkeys {
+				t.Fatalf("%d groups, want %d", len(out), nkeys)
+			}
+			for i, g := range out {
+				if g.Key != uint32(i) || g.Sum != float64(i%97)+0.5 {
+					t.Fatalf("group %d = {%d, %v}", i, g.Key, g.Sum)
+				}
+			}
+		})
+	}
+}
+
+// TestReassemblyBudgetEnforced: a logical message larger than the
+// reassembly budget must fail with ErrChunkBudget — surfaced through
+// the facade-visible error chain, not an OOM or a hang.
+func TestReassemblyBudgetEnforced(t *testing.T) {
+	const nkeys = 2_000 // ~120 KB logical shuffle payload
 	keys := make([]uint32, nkeys)
 	vals := make([]float64, nkeys)
 	for i := range keys {
 		keys[i] = uint32(i)
 		vals[i] = 1
 	}
-	for name, factory := range transportFactories() {
-		t.Run(name, func(t *testing.T) {
-			cfg := Config{NewTransport: factory}
-			_, err := AggregateByKeyConfig([][]uint32{keys}, [][]float64{vals}, 2, cfg)
-			if !errors.Is(err, ErrBadFrame) {
-				t.Fatalf("got %v, want ErrBadFrame", err)
-			}
-		})
+	cfg := Config{ReassemblyBudget: 32 << 10, MaxChunkPayload: 4 << 10}
+	_, err := AggregateByKeyConfig([][]uint32{keys}, [][]float64{vals}, 2, cfg)
+	if !errors.Is(err, ErrChunkBudget) {
+		t.Fatalf("got %v, want ErrChunkBudget", err)
+	}
+}
+
+// TestChunkCountBoundEnforcedSenderSide: a chunk payload so small that
+// the message would need more than MaxChunksPerMessage chunks must fail
+// deterministically on the sender — no receiver would accept the
+// stream, and over TCP the rejected chunks would otherwise spin the
+// re-request loop forever under MaxResend < 0.
+func TestChunkCountBoundEnforcedSenderSide(t *testing.T) {
+	const nkeys = 20_000 // ~1.2 MB logical payload > 1 B × MaxChunksPerMessage
+	keys := make([]uint32, nkeys)
+	vals := make([]float64, nkeys)
+	for i := range keys {
+		keys[i] = uint32(i)
+		vals[i] = 1
+	}
+	cfg := Config{MaxChunkPayload: 1, MaxResend: -1, ChildDeadline: time.Millisecond}
+	done := make(chan error, 1)
+	go func() {
+		_, err := AggregateByKeyConfig([][]uint32{keys}, [][]float64{vals}, 2, cfg)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrChunkBudget) {
+			t.Fatalf("got %v, want ErrChunkBudget", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("over-chunked message hung instead of failing sender-side")
+	}
+}
+
+// TestHostileChunksRejected: a peer declaring a hostile chunk stream —
+// huge chunk counts, oversized buffering — must yield an error on the
+// receive path, never an OOM. Frames are injected directly through a
+// ChanTransport (bypassing the wire decoder), so this also pins that
+// the reassembler revalidates chunk headers itself.
+func TestHostileChunksRejected(t *testing.T) {
+	hostile := []Frame{
+		// Declares a chunk count past the per-message bound.
+		{Kind: KindPartial, From: 1, To: 0, Seq: 0, Chunk: 0, Chunks: MaxChunksPerMessage + 1, Payload: []byte("x")},
+		// Index out of declared range.
+		{Kind: KindPartial, From: 1, To: 0, Seq: 0, Chunk: 5, Chunks: 2, Payload: []byte("x")},
+		// Empty chunk of a multi-chunk message.
+		{Kind: KindPartial, From: 1, To: 0, Seq: 0, Chunk: 0, Chunks: 2},
+	}
+	for i, h := range hostile {
+		h := h
+		factory := func(n int) (Transport, error) {
+			inner := NewChanTransport(n)
+			_ = inner.Send(h) // pre-load the hostile frame in node 0's inbox
+			return inner, nil
+		}
+		cfg := Config{NewTransport: factory, ChildDeadline: 50 * time.Millisecond, MaxResend: 2}
+		_, err := ReduceConfig([][]float64{{1}, {2}}, 1, Star, cfg)
+		if err == nil {
+			t.Fatalf("hostile frame %d: reduction succeeded", i)
+		}
 	}
 }
 
@@ -465,7 +574,7 @@ func TestTCPSendRedialsAfterConnFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer tr.Close()
-	f := Frame{Kind: KindPartial, From: 1, To: 0, Payload: []byte("partial")}
+	f := Frame{Kind: KindPartial, From: 1, To: 0, Chunks: 1, Payload: []byte("partial")}
 	if err := tr.Send(f); err != nil {
 		t.Fatal(err)
 	}

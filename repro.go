@@ -228,6 +228,9 @@ var (
 	// ErrStraggler: a node stayed silent through every re-request
 	// deadline (see WithStragglerDeadline).
 	ErrStraggler = dist.ErrStraggler
+	// ErrChunkBudget: buffering incoming message chunks would exceed
+	// the reassembly budget (see WithReassemblyBudget).
+	ErrChunkBudget = dist.ErrChunkBudget
 )
 
 // FaultPlan configures the fault-injection decorator of the distributed
@@ -269,6 +272,31 @@ func WithFaults(plan FaultPlan) DistOption {
 // deduplicated.
 func WithStragglerDeadline(d time.Duration) DistOption {
 	return func(c *dist.Config) { c.ChildDeadline = d }
+}
+
+// WithMaxChunkPayload caps the payload bytes of one wire frame: a
+// logical message (a partial state, a shuffle frame of ⟨key, state⟩
+// pairs, a gather of finalized groups) larger than this travels as a
+// stream of chunk frames that the receiver reassembles — out-of-order,
+// duplicated, and individually re-requested chunks included — before
+// any protocol code sees the payload. The default (and maximum) is the
+// 16 MiB frame ceiling, so workloads whose messages always fit in one
+// frame produce exactly the single-frame traffic they did before
+// chunking existed. Chunking never changes result bits; it only decides
+// how many wire frames carry the same canonical bytes.
+func WithMaxChunkPayload(bytes int) DistOption {
+	return func(c *dist.Config) { c.MaxChunkPayload = bytes }
+}
+
+// WithReassemblyBudget caps the bytes a node buffers for incomplete
+// incoming chunk streams (default 1 GiB). Messages that would exceed
+// the budget fail with ErrChunkBudget — on the sender when the size is
+// its own doing, on the receiver when a hostile peer tries to declare
+// its way past the node's memory. The budget is shared across all
+// streams a node is concurrently reassembling, so when lowering it
+// allow for fan-in × the largest expected message.
+func WithReassemblyBudget(bytes int) DistOption {
+	return func(c *dist.Config) { c.ReassemblyBudget = bytes }
 }
 
 func distConfig(opts []DistOption) dist.Config {
