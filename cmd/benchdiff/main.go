@@ -1,0 +1,128 @@
+// Command benchdiff compares two machine-readable benchmark reports
+// produced by `reprobench dist -benchjson` (see BENCH_dist.json at the
+// repo root for the committed baseline). Cells are matched by name;
+// for each match it prints throughput and allocation deltas and flags
+// regressions beyond the tolerances.
+//
+// By default benchdiff is warn-only (exit 0 regardless), because
+// wall-clock throughput on shared CI runners is noisy; allocs/op is
+// deterministic, so treat its regressions seriously. Pass -strict to
+// exit 1 on any flagged regression (for local gating).
+//
+// Usage:
+//
+//	benchdiff [-rows-tol 0.25] [-allocs-tol 0.10] [-strict] baseline.json new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type cell struct {
+	Name        string  `json:"name"`
+	RowsPerSec  float64 `json:"rows_per_sec"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	Schema int    `json:"schema"`
+	Go     string `json:"go"`
+	Rows   int    `json:"rows"`
+	Cells  []cell `json:"cells"`
+}
+
+func load(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != 1 {
+		return r, fmt.Errorf("%s: unsupported schema %d", path, r.Schema)
+	}
+	return r, nil
+}
+
+func main() {
+	rowsTol := flag.Float64("rows-tol", 0.25, "tolerated fractional rows/s regression")
+	allocsTol := flag.Float64("allocs-tol", 0.10, "tolerated fractional allocs/op increase")
+	strict := flag.Bool("strict", false, "exit non-zero on flagged regressions")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] baseline.json new.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if base.Rows != cur.Rows {
+		fmt.Printf("note: row counts differ (baseline %d, new %d); throughput deltas are not comparable\n",
+			base.Rows, cur.Rows)
+	}
+
+	baseBy := make(map[string]cell, len(base.Cells))
+	for _, c := range base.Cells {
+		baseBy[c.Name] = c
+	}
+	regressions := 0
+	fmt.Printf("%-28s %14s %14s %8s %10s %10s %8s\n",
+		"cell", "base rows/s", "new rows/s", "Δ", "base allocs", "new allocs", "Δ")
+	for _, c := range cur.Cells {
+		b, ok := baseBy[c.Name]
+		if !ok {
+			fmt.Printf("%-28s %s\n", c.Name, "(new cell, no baseline)")
+			continue
+		}
+		delete(baseBy, c.Name)
+		rowsDelta, allocsDelta := "-", "-"
+		flagged := ""
+		if b.RowsPerSec > 0 && c.RowsPerSec > 0 {
+			d := c.RowsPerSec/b.RowsPerSec - 1
+			rowsDelta = fmt.Sprintf("%+.0f%%", d*100)
+			if d < -*rowsTol {
+				flagged = "  << rows/s regression"
+			}
+		}
+		if b.AllocsPerOp > 0 || c.AllocsPerOp > 0 {
+			d := float64(c.AllocsPerOp-b.AllocsPerOp) / float64(max(b.AllocsPerOp, 1))
+			allocsDelta = fmt.Sprintf("%+.0f%%", d*100)
+			// The >1 absolute guard tolerates ±1 jitter on noisy cells,
+			// but never on a zero-alloc baseline: 0 → 1 allocs/op is
+			// exactly the regression the trajectory exists to catch.
+			if d > *allocsTol && (b.AllocsPerOp == 0 || c.AllocsPerOp-b.AllocsPerOp > 1) {
+				flagged += "  << allocs/op regression"
+			}
+		}
+		if flagged != "" {
+			regressions++
+		}
+		fmt.Printf("%-28s %14.0f %14.0f %8s %10d %10d %8s%s\n",
+			c.Name, b.RowsPerSec, c.RowsPerSec, rowsDelta, b.AllocsPerOp, c.AllocsPerOp, allocsDelta, flagged)
+	}
+	for name := range baseBy {
+		fmt.Printf("%-28s %s\n", name, "(baseline cell missing from new run)")
+	}
+	if regressions > 0 {
+		fmt.Printf("\n%d cell(s) regressed beyond tolerance (rows/s %.0f%%, allocs/op %.0f%%)\n",
+			regressions, *rowsTol*100, *allocsTol*100)
+		if *strict {
+			os.Exit(1)
+		}
+		fmt.Println("warn-only mode: exiting 0 (pass -strict to gate)")
+	}
+}

@@ -1,14 +1,18 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"sync"
+	"testing"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/dist"
+	"repro/internal/rsum"
 	"repro/internal/workload"
 )
 
@@ -18,7 +22,16 @@ import (
 // sizes and topologies. Reports throughput per transport and verifies
 // that every cell lands on the same bits — including one cell with a
 // hostile fault plan injected into the TCP link.
+//
+// With -benchjson the experiment switches to bench-cell mode: only the
+// machine-readable benchmark cells run (the correctness sweeps are the
+// plain `dist` run's job, and CI executes them in separate jobs — the
+// trajectory job should measure only what it uploads).
 func runDist(cfg config) {
+	if cfg.benchJSON != "" {
+		runDistBenchJSON(cfg)
+		return
+	}
 	vals := workload.Values64(cfg.seed, cfg.n, workload.MixedMag)
 	nodesSweep := []int{2, 4, 8, 16}
 	if cfg.quick {
@@ -119,6 +132,195 @@ func runDist(cfg config) {
 	tg.Fprint(os.Stdout)
 
 	runDistChunked(cfg, vals)
+}
+
+// benchCell is one row of the machine-readable benchmark trajectory:
+// an operation at a fixed configuration with its throughput and
+// allocation profile. Cells are matched by Name across runs (see
+// cmd/benchdiff), so names must stay stable.
+type benchCell struct {
+	Name        string  `json:"name"`
+	Transport   string  `json:"transport,omitempty"`
+	Chunks      string  `json:"chunks,omitempty"`
+	Rows        int     `json:"rows,omitempty"`
+	RowsPerSec  float64 `json:"rows_per_sec,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchReport is the BENCH_dist.json schema. No timestamps: the file is
+// committed as a baseline and should not churn without a measurement
+// change.
+type benchReport struct {
+	Schema    int         `json:"schema"`
+	Generator string      `json:"generator"`
+	Go        string      `json:"go"`
+	Rows      int         `json:"rows"`
+	Seed      uint64      `json:"seed"`
+	Cells     []benchCell `json:"cells"`
+}
+
+// runDistBenchJSON measures the dist data plane's benchmark cells —
+// the GROUP BY shuffle per transport (chan vs TCP) in single- and
+// multi-chunk regimes, the reduction per transport, and the per-key
+// state-encode micro path — and writes them as JSON. B/op and
+// allocs/op come from testing.Benchmark, so the committed baseline
+// pins the allocation profile of the hot path, not just its speed.
+func runDistBenchJSON(cfg config) {
+	rows := cfg.n
+	if rows > 1<<17 {
+		rows = 1 << 17 // bounded: these cells run under testing.Benchmark's ~1s budget each
+	}
+	report := benchReport{
+		Schema:    1,
+		Generator: "reprobench dist",
+		Go:        runtime.Version(),
+		Rows:      rows,
+		Seed:      cfg.seed,
+	}
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "reprobench dist (benchjson): "+format+"\n", args...)
+		os.Exit(1)
+	}
+	// measure runs op under testing.Benchmark and fails loudly on any
+	// error: b.Fatal inside a standalone testing.Benchmark aborts the
+	// run silently with a zero result, which would otherwise write
+	// all-zero cells into the baseline and pass the nightly diff.
+	measure := func(name string, op func() error) testing.BenchmarkResult {
+		var benchErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := op(); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if benchErr != nil {
+			fail("%s: %v", name, benchErr)
+		}
+		if res.N == 0 {
+			fail("%s: benchmark did not run", name)
+		}
+		return res
+	}
+	add := func(name, transport, chunks string, cellRows int, res testing.BenchmarkResult) {
+		cell := benchCell{
+			Name:        name,
+			Transport:   transport,
+			Chunks:      chunks,
+			Rows:        cellRows,
+			NsPerOp:     float64(res.NsPerOp()),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		if cellRows > 0 && res.NsPerOp() > 0 {
+			cell.RowsPerSec = float64(cellRows) * 1e9 / float64(res.NsPerOp())
+		}
+		report.Cells = append(report.Cells, cell)
+	}
+
+	transports := []struct {
+		name    string
+		factory dist.TransportFactory
+	}{
+		{"chan", dist.ChanTransportFactory},
+		{"tcp", dist.TCPTransportFactory},
+	}
+	modes := []struct {
+		name         string
+		distinct     uint32
+		chunkPayload int
+	}{
+		// single: the default 16 MiB chunk payload keeps every
+		// (sender, owner) stream one wire frame; multi: a 4 KiB chunk
+		// payload at shuffle-heavy cardinality forces multi-chunk
+		// streams through the reassembler.
+		{"single", 256, 0},
+		{"multi", 2048, 4096},
+	}
+	const nodes = 4
+	vals := workload.Values64(cfg.seed+4, rows, workload.MixedMag)
+	for _, m := range modes {
+		keys := workload.Keys(cfg.seed+3, rows, m.distinct)
+		lk := make([][]uint32, nodes)
+		lv := make([][]float64, nodes)
+		for i := range keys {
+			d := i % nodes
+			lk[d] = append(lk[d], keys[i])
+			lv[d] = append(lv[d], vals[i])
+		}
+		for _, tr := range transports {
+			dcfg := dist.Config{NewTransport: tr.factory, MaxChunkPayload: m.chunkPayload}
+			name := "groupby/" + tr.name + "/" + m.name
+			res := measure(name, func() error {
+				_, err := dist.AggregateByKeyConfig(lk, lv, 2, dcfg)
+				return err
+			})
+			add(name, tr.name, m.name, rows, res)
+		}
+	}
+
+	shards := make([][]float64, nodes)
+	for i, v := range vals {
+		shards[i%nodes] = append(shards[i%nodes], v)
+	}
+	for _, tr := range transports {
+		dcfg := dist.Config{NewTransport: tr.factory}
+		name := "reduce/" + tr.name + "/binomial"
+		res := measure(name, func() error {
+			_, err := dist.ReduceConfig(shards, 2, dist.Binomial, dcfg)
+			return err
+		})
+		add(name, tr.name, "single", rows, res)
+	}
+
+	// Micro: the per-key state encode of the shuffle frame build — the
+	// in-place AppendBinary fast path against the allocating
+	// MarshalBinary it replaced on the hot path.
+	const states = 4096
+	encStates := make([]rsum.State64, states)
+	for i := range encStates {
+		encStates[i] = rsum.NewState64(2)
+		encStates[i].Add(float64(i) * 1.5)
+	}
+	encSize := encStates[0].EncodedSize()
+	buf := make([]byte, 0, states*encSize)
+	res := measure("state_encode/append", func() error {
+		buf = buf[:0]
+		for j := range encStates {
+			var err error
+			buf, err = encStates[j].AppendBinary(buf)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	add("state_encode/append", "", "", states, res)
+	res = measure("state_encode/marshal", func() error {
+		buf = buf[:0]
+		for j := range encStates {
+			enc, err := encStates[j].MarshalBinary()
+			if err != nil {
+				return err
+			}
+			buf = append(buf, enc...)
+		}
+		return nil
+	})
+	add("state_encode/marshal", "", "", states, res)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fail("encode: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(cfg.benchJSON, data, 0o644); err != nil {
+		fail("write: %v", err)
+	}
+	fmt.Printf("benchmark cells written to %s (%d cells)\n\n", cfg.benchJSON, len(report.Cells))
 }
 
 // chunkObserver decorates a Transport to record the largest chunk count

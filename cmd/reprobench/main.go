@@ -12,10 +12,16 @@
 //
 // Flags:
 //
-//	-n       input size (default 1<<22; the paper uses 1<<30)
-//	-seed    workload seed (default 42)
-//	-sf      TPC-H scale factor for tab4 (default 0.05)
-//	-quick   reduced sweeps for smoke-testing the harness
+//	-n          input size (default 1<<22; the paper uses 1<<30)
+//	-seed       workload seed (default 42)
+//	-sf         TPC-H scale factor for tab4 (default 0.05)
+//	-quick      reduced sweeps for smoke-testing the harness
+//	-benchjson  switch the dist experiment to bench-cell mode: skip the
+//	            correctness sweeps, measure the machine-readable
+//	            benchmark cells (rows/s, B/op, allocs/op), and write
+//	            them to this file; the repo commits a baseline as
+//	            BENCH_dist.json and the nightly workflow diffs fresh
+//	            runs against it (see cmd/benchdiff)
 package main
 
 import (
@@ -27,10 +33,11 @@ import (
 )
 
 type config struct {
-	n     int
-	seed  uint64
-	sf    float64
-	quick bool
+	n         int
+	seed      uint64
+	sf        float64
+	quick     bool
+	benchJSON string
 }
 
 func main() {
@@ -38,9 +45,10 @@ func main() {
 	seed := flag.Uint64("seed", 42, "workload seed")
 	sf := flag.Float64("sf", 0.05, "TPC-H scale factor (tab4)")
 	quick := flag.Bool("quick", false, "reduced sweeps")
+	benchJSON := flag.String("benchjson", "", "dist only: run bench cells instead of the sweeps, write them to this file")
 	flag.Parse()
 
-	cfg := config{n: *n, seed: *seed, sf: *sf, quick: *quick}
+	cfg := config{n: *n, seed: *seed, sf: *sf, quick: *quick, benchJSON: *benchJSON}
 	if cfg.quick && cfg.n > 1<<18 {
 		cfg.n = 1 << 18
 	}

@@ -47,10 +47,18 @@ func splitFrame(f Frame, maxChunk int) []Frame {
 	return chunks
 }
 
-// sendChunks transmits every chunk of a cached chunk list. Send
+// sendChunks transmits every chunk of a cached chunk list. A transport
+// that can coalesce (BatchSender) gets the whole list in one call, so a
+// multi-chunk stream is one syscall burst instead of one write per
+// chunk; fault-injection and observer decorators do not implement
+// BatchSender, so faults and counters keep applying per chunk. Send
 // failures are tolerated protocol-wide: the receiver's re-request path
 // retries chunk by chunk, and a closed transport surfaces through Recv.
 func sendChunks(tr Transport, chunks []Frame) {
+	if bs, ok := tr.(BatchSender); ok && len(chunks) > 1 {
+		_ = bs.SendBatch(chunks)
+		return
+	}
 	for _, c := range chunks {
 		_ = tr.Send(c)
 	}
@@ -71,23 +79,45 @@ func serveResend(tr Transport, chunks []Frame, req Frame) {
 	}
 }
 
-// partialMsg is one incoming logical message mid-reassembly.
+// partialMsg is one incoming logical message mid-reassembly. Chunks are
+// written in place into one contiguous buffer at chunk-index × stride,
+// with an arrival bitmap for dedup — one copy per chunk and no per-chunk
+// map churn, versus the old map[uint32][]byte plus a second copy in a
+// final concatenation.
+//
+// The stride is learned from the first non-final chunk to arrive: our
+// splitFrame makes every chunk except the last exactly the chunk
+// payload, and the reassembler enforces that shape at the trust
+// boundary (ChanTransport frames bypass the wire decoder). A final
+// chunk arriving before any non-final one is stashed until the stride
+// is known.
 type partialMsg struct {
-	kind   byte
-	total  uint32            // declared chunk count
-	chunks map[uint32][]byte // arrived chunks by index
-	bytes  int               // buffered payload bytes
+	kind    byte
+	total   uint32   // declared chunk count (≥ 2; 1-chunk messages take the fast path)
+	stride  int      // payload bytes of every non-final chunk; 0 until one arrives
+	buf     []byte   // contiguous reassembly buffer, len stride×total, nil until stride known
+	last    []byte   // final chunk stashed before the stride is known (aliases the frame)
+	lastLen int      // payload bytes of the final chunk; −1 until it arrives
+	arrived []uint64 // arrival bitmap by chunk index, nil until stride known
+	n       int      // distinct chunks arrived
+	bytes   int      // bytes charged against the budget: the stash, then the whole buffer
 }
 
 // reassembler rebuilds logical messages from chunk streams on one
-// node's receive path. It buffers out-of-order chunks, deduplicates per
+// node's receive path. It writes out-of-order chunks in place into one
+// contiguous per-message buffer (see partialMsg), deduplicates per
 // chunk (a retransmitted or fault-duplicated chunk is absorbed exactly
 // once), remembers completed messages so whole-message retransmissions
 // are swallowed (this subsumes the pre-chunking per-message dedup), and
 // enforces a total byte budget across all incomplete messages so a
-// hostile peer cannot OOM the node. It revalidates chunk headers
-// itself: frames arriving by reference through ChanTransport never pass
-// the wire decoder.
+// hostile peer cannot OOM the node. The budget bounds ALLOCATED
+// reassembly memory, not merely arrived bytes: a stream's whole
+// contiguous buffer (stride × declared chunk count) is charged when it
+// is allocated, so many barely-started streams with huge declared
+// counts cannot allocate past the budget, and the per-stream arrival
+// bitmap stays proportional to the budget (chunk count ≤ buffer size).
+// It revalidates chunk headers itself: frames arriving by reference
+// through ChanTransport never pass the wire decoder.
 type reassembler struct {
 	budget  int
 	used    int
@@ -114,7 +144,8 @@ func newReassembler(budget int) *reassembler {
 // give-up budget measures silence, and a chunk of a still-incomplete
 // message is progress). Inconsistent streams — mismatched chunk counts
 // or kinds, out-of-range indexes, empty chunks of a multi-chunk
-// message — and budget exhaustion yield an error; the frame is
+// message, chunk sizes that break the uniform-stride shape splitFrame
+// guarantees — and budget exhaustion yield an error; the frame is
 // discarded and the reassembler stays usable.
 func (r *reassembler) accept(f Frame) (msg Frame, complete, fresh bool, err error) {
 	key := dedupKey(f.From, f.Seq)
@@ -147,28 +178,99 @@ func (r *reassembler) accept(f Frame) (msg Frame, complete, fresh bool, err erro
 			ErrBadFrame, f.Chunk, f.Chunks, f.From)
 	}
 	if p == nil {
-		p = &partialMsg{kind: f.Kind, total: f.Chunks, chunks: make(map[uint32][]byte)}
+		p = &partialMsg{kind: f.Kind, total: f.Chunks, lastLen: -1}
 		r.partial[key] = p
 	}
-	if _, dup := p.chunks[f.Chunk]; dup {
-		return Frame{}, false, false, nil
+	final := f.Chunk == f.Chunks-1
+
+	if p.stride == 0 && !final {
+		// First non-final chunk: it defines the stride, and with it the
+		// full buffer size. Validate the stream shape and the budget
+		// before allocating anything, so a rejected frame leaves the
+		// partial untouched and the reassembler usable. The budget is
+		// charged for the WHOLE buffer at allocation time — the budget
+		// bounds allocated reassembly memory, not just arrived bytes, or
+		// a peer could open many barely-started streams with huge
+		// declared counts and allocate far beyond the budget.
+		stride := len(f.Payload)
+		if p.lastLen > stride {
+			return Frame{}, false, false, fmt.Errorf(
+				"%w: final chunk of stream (from %d, seq %d) is %d bytes but non-final chunks are %d",
+				ErrBadFrame, f.From, f.Seq, p.lastLen, stride)
+		}
+		full := int64(stride) * int64(p.total)
+		if full > int64(r.budget) {
+			return Frame{}, false, false, fmt.Errorf(
+				"%w: %d-chunk stream of %d-byte chunks from node %d could never fit budget %d",
+				ErrChunkBudget, p.total, stride, f.From, r.budget)
+		}
+		// The stash charge (p.bytes) is refunded: its bytes move into
+		// the buffer the full charge covers.
+		if r.used-p.bytes+int(full) > r.budget {
+			return Frame{}, false, false, fmt.Errorf(
+				"%w: %d buffered + %d-byte stream buffer from node %d exceeds budget %d",
+				ErrChunkBudget, r.used-p.bytes, int(full), f.From, r.budget)
+		}
+		p.stride = stride
+		p.buf = make([]byte, full)
+		p.arrived = make([]uint64, (p.total+63)/64)
+		r.used += int(full) - p.bytes
+		p.bytes = int(full)
+		if p.lastLen >= 0 {
+			// Migrate the stashed final chunk into its place.
+			copy(p.buf[int(p.total-1)*stride:], p.last)
+			p.last = nil
+			p.arrived[(p.total-1)/64] |= 1 << ((p.total - 1) % 64)
+			p.n = 1
+		}
 	}
-	if r.used+len(f.Payload) > r.budget {
+
+	if p.stride == 0 {
+		// Only the final chunk has arrived so far; stash it until a
+		// non-final chunk reveals the stride.
+		if p.lastLen >= 0 {
+			return Frame{}, false, false, nil // duplicate final chunk
+		}
+		if r.used+len(f.Payload) > r.budget {
+			return Frame{}, false, false, fmt.Errorf(
+				"%w: %d buffered + %d-byte chunk from node %d exceeds budget %d",
+				ErrChunkBudget, r.used, len(f.Payload), f.From, r.budget)
+		}
+		p.last, p.lastLen = f.Payload, len(f.Payload)
+		p.bytes += len(f.Payload)
+		r.used += len(f.Payload)
+		return Frame{}, false, true, nil // total ≥ 2: never completes here
+	}
+
+	w, bit := f.Chunk/64, uint64(1)<<(f.Chunk%64)
+	if p.arrived[w]&bit != 0 {
+		return Frame{}, false, false, nil // duplicate chunk absorbed
+	}
+	if final {
+		if len(f.Payload) > p.stride {
+			return Frame{}, false, false, fmt.Errorf(
+				"%w: final chunk of stream (from %d, seq %d) is %d bytes but non-final chunks are %d",
+				ErrBadFrame, f.From, f.Seq, len(f.Payload), p.stride)
+		}
+	} else if len(f.Payload) != p.stride {
 		return Frame{}, false, false, fmt.Errorf(
-			"%w: %d buffered + %d-byte chunk from node %d exceeds budget %d",
-			ErrChunkBudget, r.used, len(f.Payload), f.From, r.budget)
+			"%w: chunk %d of stream (from %d, seq %d) is %d bytes but the stride is %d",
+			ErrBadFrame, f.Chunk, f.From, f.Seq, len(f.Payload), p.stride)
 	}
-	p.chunks[f.Chunk] = f.Payload
-	p.bytes += len(f.Payload)
-	r.used += len(f.Payload)
-	if len(p.chunks) < int(p.total) {
+	// No budget charge here: the stream's whole buffer was charged when
+	// it was allocated, and this chunk fills pre-charged space.
+	copy(p.buf[int(f.Chunk)*p.stride:], f.Payload)
+	if final {
+		p.lastLen = len(f.Payload)
+	}
+	p.arrived[w] |= bit
+	p.n++
+	if p.n < int(p.total) {
 		return Frame{}, false, true, nil
 	}
-	// Complete: concatenate in chunk order.
-	payload := make([]byte, 0, p.bytes)
-	for i := uint32(0); i < p.total; i++ {
-		payload = append(payload, p.chunks[i]...)
-	}
+	// Complete: the payload is the buffer, already in chunk order — no
+	// second concatenation copy.
+	payload := p.buf[:int(p.total-1)*p.stride+p.lastLen]
 	r.used -= p.bytes
 	delete(r.partial, key)
 	r.done[key] = true
@@ -186,9 +288,18 @@ func (r *reassembler) missing(from int, seq uint32) []uint32 {
 	if p == nil {
 		return nil
 	}
-	idx := make([]uint32, 0, int(p.total)-len(p.chunks))
+	idx := make([]uint32, 0, int(p.total)-p.n)
+	if p.arrived == nil {
+		// Stride not learned yet: at most the stashed final chunk is here.
+		for i := uint32(0); i < p.total; i++ {
+			if p.lastLen < 0 || i != p.total-1 {
+				idx = append(idx, i)
+			}
+		}
+		return idx
+	}
 	for i := uint32(0); i < p.total; i++ {
-		if _, ok := p.chunks[i]; !ok {
+		if p.arrived[i/64]&(1<<(i%64)) == 0 {
 			idx = append(idx, i)
 		}
 	}

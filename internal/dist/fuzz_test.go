@@ -136,9 +136,12 @@ func FuzzChunkReassembly(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Part 1: feed whatever frames the bytes decode to, checking
-		// every completion against an independent ledger. The budget is
-		// sized so it can never trip here (the sum of all fed payloads
-		// is at most len(data)); budget behavior has its own tests.
+		// every completion against an independent ledger. Streams can
+		// declare buffers (stride × chunk count) beyond what the fed
+		// bytes deliver, so the budget — which charges whole declared
+		// buffers at allocation — may reject frames; the ledger mirrors
+		// any accept error by simply not recording the frame. Budget
+		// behavior has its own tests.
 		asm := newReassembler(len(data) + 1)
 		type ledger struct {
 			kind      byte

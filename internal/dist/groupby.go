@@ -1,11 +1,12 @@
 package dist
 
 import (
+	"cmp"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/hashagg"
 	"repro/internal/partition"
@@ -40,6 +41,25 @@ func appendPair(frame []byte, key uint32, state []byte) []byte {
 	binary.LittleEndian.PutUint32(hdr[0:], key)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(state)))
 	return append(append(frame, hdr[:]...), state...)
+}
+
+// appendPairState is appendPair with the state encoded in place: the
+// canonical encoding is appended directly to the frame buffer via
+// AppendBinary, so the shuffle's per-key encode loop performs no
+// allocation once the frame has capacity (appendPair by contrast needs
+// a MarshalBinary heap allocation per key). The layouts are
+// byte-identical; the pair length is patched in after encoding.
+func appendPairState(frame []byte, key uint32, st *rsum.State64) ([]byte, error) {
+	start := len(frame)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], key)
+	frame = append(frame, hdr[:]...)
+	out, err := st.AppendBinary(frame)
+	if err != nil {
+		return frame, err
+	}
+	binary.LittleEndian.PutUint32(out[start+4:], uint32(len(out)-start-8))
+	return out, nil
 }
 
 // walkFrame decodes a shuffle frame, invoking fn for every pair.
@@ -264,7 +284,7 @@ func groupByNode(id int, keys []uint32, vals []float64, workers int, tr Transpor
 		states.ForEach(func(key uint32, st *rsum.State64) {
 			local = append(local, Group{Key: key, Sum: st.Value()})
 		})
-		sort.Slice(local, func(i, j int) bool { return local[i].Key < local[j].Key })
+		slices.SortFunc(local, func(a, b Group) int { return cmp.Compare(a.Key, b.Key) })
 	}
 
 	if ownErr == nil && id != 0 && len(local)*12 > cfg.maxMessage() {
@@ -309,7 +329,7 @@ func groupByNode(id int, keys []uint32, vals []float64, workers int, tr Transpor
 	for _, payload := range gathers {
 		all = append(all, decodeGroups(payload)...)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	slices.SortFunc(all, func(a, b Group) int { return cmp.Compare(a.Key, b.Key) })
 	rootCh <- result{groups: all}
 }
 
@@ -320,34 +340,62 @@ func groupByNode(id int, keys []uint32, vals []float64, workers int, tr Transpor
 func combineShard(keys []uint32, vals []float64, n, workers, maxMessage int) ([][]byte, error) {
 	out := partition.Do(keys, vals, 0, shuffleFanout, workers)
 	frames := make([][]byte, n)
+
+	// Size the aggregation table once, for the largest distinct-key
+	// bound across partitions: DistinctBound never undercounts, so a
+	// table hinted at the maximum never rehashes mid-partition (the old
+	// fixed len/8 heuristic caused rehash storms on skewed keys where
+	// most rows carried distinct keys). The same pass sums the bounds
+	// per destination, sizing each frame buffer in one allocation.
+	hint := 0
+	est := make([]int, n)
+	for p := 0; p < out.NumPartitions(); p++ {
+		b := out.DistinctBound(p, shuffleFanout)
+		if b > hint {
+			hint = b
+		}
+		est[p%n] += b
+	}
+	if hint == 0 {
+		return frames, nil // no rows: every shuffle message is empty
+	}
+
+	// One table, reused across partitions: Clear keeps the slot arrays
+	// allocated, so per-partition pre-aggregation costs no allocation
+	// after the first partition.
+	table := hashagg.New(hint, hashagg.Identity, newPartial)
+	proto := newPartial()
+	pairSize := 8 + proto.EncodedSize() // key + length prefix + canonical state
+	for d := range frames {
+		if est[d] > 0 {
+			frames[d] = make([]byte, 0, est[d]*pairSize)
+		}
+	}
 	for p := 0; p < out.NumPartitions(); p++ {
 		pk, pv := out.Partition(p)
 		if len(pk) == 0 {
 			continue
 		}
 		// Pre-aggregate the partition: one partial state per distinct
-		// key, in the repo's standard aggregation table. Slot order
-		// fixes the frame layout, but the owner's per-key merges
-		// commute, so layout is immaterial to the final bits.
-		// Modest size hint: the table grows itself if the partition has
-		// more distinct keys (State64 payloads are ~100 B each, so
-		// hinting the full row count would overshoot badly).
-		table := hashagg.New(len(pk)/8+8, hashagg.Identity, newPartial)
+		// key. Slot order fixes the frame layout, but the owner's
+		// per-key merges commute, so layout is immaterial to the final
+		// bits.
+		table.Clear()
 		for i, k := range pk {
 			table.Upsert(k).Add(pv[i])
 		}
 		d := p % n
+		// Per-key partial states encode directly into the destination
+		// frame buffer. Its capacity was pre-sized from the summed
+		// distinct-key bounds, which never undercount, so the encode
+		// loop is allocation-free; if the bound were ever wrong, append
+		// inside appendPairState grows geometrically as usual.
 		var encErr error
 		table.ForEach(func(key uint32, st *rsum.State64) {
 			if encErr != nil {
 				return
 			}
-			enc, err := st.MarshalBinary()
-			if err != nil {
-				encErr = err
-				return
-			}
-			frames[d] = appendPair(frames[d], key, enc)
+			frames[d], encErr = appendPairState(frames[d], key, st)
 		})
 		if encErr != nil {
 			return nil, encErr

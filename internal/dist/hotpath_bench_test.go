@@ -1,0 +1,143 @@
+package dist
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/hashagg"
+	"repro/internal/rsum"
+)
+
+// Hot-path benchmarks of the shuffle data plane. The "legacy" variants
+// reproduce the pre-optimization code shape (MarshalBinary-then-copy;
+// map-buffered reassembly with a final concatenation) so the
+// allocs/op win of the in-place paths is measured, not asserted:
+//
+//	go test ./internal/dist -bench 'ShuffleEncode|Reassembly' -benchmem
+
+func benchTable(n int) *hashagg.Table[rsum.State64] {
+	table := hashagg.New(n, hashagg.Identity, newPartial)
+	for k := 0; k < n; k++ {
+		st := table.Upsert(uint32(k) * 256)
+		st.Add(float64(k)*1.5 + 0.25)
+		st.Add(0x1p-40 * float64(k+1))
+	}
+	return table
+}
+
+// BenchmarkShuffleEncode measures encoding one pre-aggregated partition
+// table into a shuffle frame: the in-place AppendBinary path versus the
+// legacy per-key MarshalBinary allocation.
+func BenchmarkShuffleEncode(b *testing.B) {
+	const groups = 4096
+	table := benchTable(groups)
+	proto := newPartial()
+	want := groups * (8 + proto.EncodedSize())
+
+	b.Run("append", func(b *testing.B) {
+		frame := make([]byte, 0, want)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			frame = frame[:0]
+			var err error
+			table.ForEach(func(key uint32, st *rsum.State64) {
+				if err == nil {
+					frame, err = appendPairState(frame, key, st)
+				}
+			})
+			if err != nil || len(frame) != want {
+				b.Fatalf("frame %d bytes, err %v", len(frame), err)
+			}
+		}
+	})
+	b.Run("legacy-marshal", func(b *testing.B) {
+		frame := make([]byte, 0, want)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			frame = frame[:0]
+			var err error
+			table.ForEach(func(key uint32, st *rsum.State64) {
+				if err != nil {
+					return
+				}
+				var enc []byte
+				enc, err = st.MarshalBinary()
+				if err == nil {
+					frame = appendPair(frame, key, enc)
+				}
+			})
+			if err != nil || len(frame) != want {
+				b.Fatalf("frame %d bytes, err %v", len(frame), err)
+			}
+		}
+	})
+}
+
+// legacyReassemble is the pre-optimization receive path: buffer chunks
+// in a per-stream map, concatenate on completion (two copies and
+// per-chunk map churn).
+func legacyReassemble(chunks []Frame) []byte {
+	buffered := make(map[uint32][]byte) // unsized, as the old partialMsg allocated it
+	total := 0
+	for _, c := range chunks {
+		buffered[c.Chunk] = c.Payload
+		total += len(c.Payload)
+	}
+	payload := make([]byte, 0, total)
+	for i := uint32(0); i < uint32(len(chunks)); i++ {
+		payload = append(payload, buffered[i]...)
+	}
+	return payload
+}
+
+// BenchmarkReassembly measures rebuilding one logical message from its
+// chunk stream: the contiguous-buffer reassembler versus the legacy
+// map-and-concat shape, plus the single-frame fast path.
+func BenchmarkReassembly(b *testing.B) {
+	payload := bytes.Repeat([]byte{0x5A}, 1<<20)
+	chunks := splitFrame(Frame{Kind: KindGroups, From: 1, To: 0, Seq: 0, Payload: payload}, 16<<10)
+	single := splitFrame(Frame{Kind: KindGroups, From: 1, To: 0, Seq: 0, Payload: payload[:1024]}, 0)
+
+	b.Run("multi-64chunk", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(payload)))
+		for i := 0; i < b.N; i++ {
+			asm := newReassembler(0)
+			var got []byte
+			for _, c := range chunks {
+				msg, complete, _, err := asm.accept(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if complete {
+					got = msg.Payload
+				}
+			}
+			if len(got) != len(payload) {
+				b.Fatalf("reassembled %d bytes", len(got))
+			}
+		}
+	})
+	b.Run("legacy-map-concat", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(payload)))
+		for i := 0; i < b.N; i++ {
+			if got := legacyReassemble(chunks); len(got) != len(payload) {
+				b.Fatalf("reassembled %d bytes", len(got))
+			}
+		}
+	})
+	b.Run("single-frame", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(single[0].Payload)))
+		for i := 0; i < b.N; i++ {
+			asm := newReassembler(0)
+			msg, complete, _, err := asm.accept(single[0])
+			if err != nil || !complete || len(msg.Payload) != 1024 {
+				b.Fatalf("complete=%v err=%v", complete, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,346 @@
+package dist
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/hashagg"
+	"repro/internal/partition"
+	"repro/internal/rsum"
+	"repro/internal/workload"
+)
+
+// Tests of the zero-allocation shuffle/gather hot path: in-place state
+// encoding, the contiguous-buffer reassembler, and batch sends.
+
+// TestShuffleEncodeZeroAlloc pins the shuffle's per-key encode loop to
+// zero steady-state allocations: with the frame buffer grown once,
+// encoding a whole aggregation table of partial states in place must
+// not touch the heap.
+func TestShuffleEncodeZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation behavior")
+	}
+	table := hashagg.New(512, hashagg.Identity, newPartial)
+	for k := uint32(0); k < 500; k++ {
+		st := table.Upsert(k * 256)
+		st.Add(float64(k) * 1.5)
+		st.Add(-0x1p-30 * float64(k+1))
+	}
+	proto := newPartial()
+	frame := make([]byte, 0, table.Len()*(8+proto.EncodedSize()))
+	var encErr error
+	encode := func() {
+		frame = frame[:0]
+		table.ForEach(func(key uint32, s *rsum.State64) {
+			if encErr != nil {
+				return
+			}
+			frame, encErr = appendPairState(frame, key, s)
+		})
+	}
+	allocs := testing.AllocsPerRun(100, encode)
+	if encErr != nil {
+		t.Fatal(encErr)
+	}
+	if len(frame) != table.Len()*(8+proto.EncodedSize()) {
+		t.Fatalf("frame is %d bytes, want %d", len(frame), table.Len()*(8+proto.EncodedSize()))
+	}
+	if allocs != 0 {
+		t.Fatalf("shuffle encode loop: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestReassemblySteadyStateZeroAlloc pins the reassembler's per-chunk
+// cost: once a stream's contiguous buffer and arrival bitmap exist,
+// accepting further chunks allocates nothing — and chunks of an
+// already-completed stream are swallowed allocation-free (the
+// chunk-flood path).
+func TestReassemblySteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation behavior")
+	}
+	const chunkSize = 64
+	payload := bytes.Repeat([]byte{0xAB}, 400*chunkSize-10)
+	chunks := splitFrame(Frame{Kind: KindGroups, From: 1, To: 0, Seq: 5, Payload: payload}, chunkSize)
+	if len(chunks) != 400 {
+		t.Fatalf("%d chunks, want 400", len(chunks))
+	}
+	asm := newReassembler(0)
+	if _, _, _, err := asm.accept(chunks[0]); err != nil {
+		t.Fatal(err)
+	}
+	i := 1
+	allocs := testing.AllocsPerRun(300, func() {
+		if _, complete, fresh, err := asm.accept(chunks[i]); err != nil || complete || !fresh {
+			t.Fatalf("chunk %d: complete=%v fresh=%v err=%v", i, complete, fresh, err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("mid-stream chunk placement: %v allocs/op, want 0", allocs)
+	}
+
+	var final Frame
+	completions := 0
+	for ; i < len(chunks); i++ {
+		msg, complete, _, err := asm.accept(chunks[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if complete {
+			completions++
+			final = msg
+		}
+	}
+	if completions != 1 || !bytes.Equal(final.Payload, payload) {
+		t.Fatalf("completions=%d, payload %d bytes, want %d", completions, len(final.Payload), len(payload))
+	}
+
+	allocs = testing.AllocsPerRun(100, func() {
+		if _, complete, fresh, err := asm.accept(chunks[3]); err != nil || complete || fresh {
+			t.Fatalf("completed-stream chunk not swallowed: complete=%v fresh=%v err=%v", complete, fresh, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("completed-stream swallow: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestReassemblerRejectsInconsistentChunkSizes: splitFrame guarantees
+// every non-final chunk has the same size and the final chunk is no
+// larger; the reassembler enforces that shape at the trust boundary and
+// keeps the stream recoverable after rejecting a malformed chunk.
+func TestReassemblerRejectsInconsistentChunkSizes(t *testing.T) {
+	mk := func(seq, chunk, chunks uint32, size int) Frame {
+		return Frame{Kind: KindGroups, From: 1, To: 0, Seq: seq,
+			Chunk: chunk, Chunks: chunks, Payload: bytes.Repeat([]byte{byte(chunk + 1)}, size)}
+	}
+	asm := newReassembler(0)
+
+	// Non-final chunk that contradicts the learned stride.
+	if _, _, _, err := asm.accept(mk(0, 0, 3, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := asm.accept(mk(0, 1, 3, 9)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("mismatched non-final chunk: %v, want ErrBadFrame", err)
+	}
+	// The stream is still completable with well-shaped chunks.
+	if _, complete, _, err := asm.accept(mk(0, 1, 3, 10)); err != nil || complete {
+		t.Fatalf("recovery chunk: complete=%v err=%v", complete, err)
+	}
+	msg, complete, _, err := asm.accept(mk(0, 2, 3, 4))
+	if err != nil || !complete || len(msg.Payload) != 24 {
+		t.Fatalf("completion after recovery: complete=%v len=%d err=%v", complete, len(msg.Payload), err)
+	}
+
+	// Final chunk larger than the stride.
+	if _, _, _, err := asm.accept(mk(1, 0, 3, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := asm.accept(mk(1, 2, 3, 11)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized final chunk: %v, want ErrBadFrame", err)
+	}
+
+	// Stashed final chunk revealed oversized by a later non-final chunk.
+	if _, _, _, err := asm.accept(mk(2, 2, 3, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := asm.accept(mk(2, 0, 3, 10)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("stride under stashed final: %v, want ErrBadFrame", err)
+	}
+
+	// A stream whose declared buffer could never fit the budget is
+	// rejected on its first non-final chunk, before any allocation.
+	small := newReassembler(100)
+	if _, _, _, err := small.accept(mk(3, 0, 1000, 10)); !errors.Is(err, ErrChunkBudget) {
+		t.Fatalf("declared-impossible stream: %v, want ErrChunkBudget", err)
+	}
+}
+
+// TestReassemblerBudgetChargesAllocatedBuffers: the budget must bound
+// allocated reassembly memory, not just arrived bytes — a peer opening
+// many barely-started streams, each declaring a large chunk count,
+// must trip the budget once the allocated buffers reach it, even
+// though almost no payload has arrived.
+func TestReassemblerBudgetChargesAllocatedBuffers(t *testing.T) {
+	// Each stream's first chunk allocates a 100-chunk × 10-byte = 1000-
+	// byte buffer while delivering only 10 bytes. Budget 2500: two
+	// streams fit (2000 charged), the third must be rejected.
+	asm := newReassembler(2500)
+	for seq := uint32(0); seq < 2; seq++ {
+		f := Frame{Kind: KindGroups, From: 1, To: 0, Seq: seq, Chunk: 0, Chunks: 100,
+			Payload: bytes.Repeat([]byte{1}, 10)}
+		if _, _, _, err := asm.accept(f); err != nil {
+			t.Fatalf("stream %d: %v", seq, err)
+		}
+	}
+	f := Frame{Kind: KindGroups, From: 1, To: 0, Seq: 2, Chunk: 0, Chunks: 100,
+		Payload: bytes.Repeat([]byte{1}, 10)}
+	if _, _, _, err := asm.accept(f); !errors.Is(err, ErrChunkBudget) {
+		t.Fatalf("third 1000-byte buffer on a 2500 budget: %v, want ErrChunkBudget", err)
+	}
+}
+
+// TestReassemblerMissingBeforeStride: when only the final chunk of a
+// stream has arrived (stashed, stride unknown), missing() must report
+// every other index so the straggler path re-requests exactly those.
+func TestReassemblerMissingBeforeStride(t *testing.T) {
+	asm := newReassembler(0)
+	final := Frame{Kind: KindGroups, From: 2, To: 0, Seq: 0, Chunk: 4, Chunks: 5, Payload: []byte{1, 2, 3}}
+	if _, complete, fresh, err := asm.accept(final); err != nil || complete || !fresh {
+		t.Fatalf("stashed final: complete=%v fresh=%v err=%v", complete, fresh, err)
+	}
+	got := asm.missing(2, 0)
+	want := []uint32{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("missing = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("missing = %v, want %v", got, want)
+		}
+	}
+	// Duplicate of the stashed final chunk is absorbed silently.
+	if _, complete, fresh, err := asm.accept(final); err != nil || complete || fresh {
+		t.Fatalf("duplicate stashed final: complete=%v fresh=%v err=%v", complete, fresh, err)
+	}
+}
+
+// TestCombineShardMatchesLegacyEncoding: the in-place AppendBinary
+// shuffle encoder must produce, per destination, exactly the ⟨key,
+// state⟩ pairs the legacy MarshalBinary+appendPair path produces, with
+// byte-identical per-key state encodings (pair order within a frame is
+// a slot-order detail; owners merge per key, so order is immaterial).
+func TestCombineShardMatchesLegacyEncoding(t *testing.T) {
+	const rows = 3000
+	const nodes = 4
+	keys := workload.Keys(5, rows, 700)
+	vals := workload.Values64(6, rows, workload.MixedMag)
+
+	frames, err := combineShard(keys, vals, nodes, 2, Config{}.maxMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Legacy path: fresh table per partition, MarshalBinary per key.
+	out := partition.Do(keys, vals, 0, shuffleFanout, 2)
+	legacy := make([]map[uint32][]byte, nodes)
+	for d := range legacy {
+		legacy[d] = make(map[uint32][]byte)
+	}
+	for p := 0; p < out.NumPartitions(); p++ {
+		pk, pv := out.Partition(p)
+		if len(pk) == 0 {
+			continue
+		}
+		table := hashagg.New(len(pk)/8+8, hashagg.Identity, newPartial)
+		for i, k := range pk {
+			table.Upsert(k).Add(pv[i])
+		}
+		d := p % nodes
+		table.ForEach(func(key uint32, st *rsum.State64) {
+			enc, err := st.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			legacy[d][key] = enc
+		})
+	}
+
+	for d := 0; d < nodes; d++ {
+		got := make(map[uint32][]byte)
+		if err := walkFrame(frames[d], func(key uint32, enc []byte) error {
+			got[key] = append([]byte(nil), enc...)
+			return nil
+		}); err != nil {
+			t.Fatalf("destination %d: %v", d, err)
+		}
+		if len(got) != len(legacy[d]) {
+			t.Fatalf("destination %d: %d keys, legacy has %d", d, len(got), len(legacy[d]))
+		}
+		for key, enc := range legacy[d] {
+			if !bytes.Equal(got[key], enc) {
+				t.Fatalf("destination %d key %d: encoding differs from legacy", d, key)
+			}
+		}
+	}
+}
+
+// TestSendBatchDelivers: SendBatch must deliver every frame with
+// per-pair order preserved, across mixed-destination batches, on both
+// built-in transports.
+func TestSendBatchDelivers(t *testing.T) {
+	for name, factory := range map[string]TransportFactory{
+		"chan": ChanTransportFactory,
+		"tcp":  TCPTransportFactory,
+	} {
+		t.Run(name, func(t *testing.T) {
+			tr, err := factory(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tr.Close()
+			bs, ok := tr.(BatchSender)
+			if !ok {
+				t.Fatal("built-in transport does not implement BatchSender")
+			}
+			var fs []Frame
+			for i := 0; i < 5; i++ {
+				fs = append(fs, Frame{Kind: KindGroups, From: 0, To: 1, Seq: 0,
+					Chunk: uint32(i), Chunks: 5, Payload: bytes.Repeat([]byte{byte(i + 1)}, 8)})
+			}
+			fs = append(fs,
+				Frame{Kind: KindGather, From: 0, To: 2, Seq: 1, Chunks: 1, Payload: []byte("two")},
+				Frame{Kind: KindGather, From: 1, To: 2, Seq: 1, Chunks: 1, Payload: []byte("also two")})
+			if err := bs.SendBatch(fs); err != nil {
+				t.Fatal(err)
+			}
+			// Node 1: the 5-chunk run, in order (one pair, one connection).
+			for i := 0; i < 5; i++ {
+				f, err := tr.Recv(1, 2*time.Second)
+				if err != nil {
+					t.Fatalf("recv chunk %d: %v", i, err)
+				}
+				if f.Chunk != uint32(i) || len(f.Payload) != 8 || f.Payload[0] != byte(i+1) {
+					t.Fatalf("chunk %d arrived as %+v", i, f)
+				}
+			}
+			// Node 2: both gathers, any inter-pair order.
+			seen := map[int]bool{}
+			for i := 0; i < 2; i++ {
+				f, err := tr.Recv(2, 2*time.Second)
+				if err != nil {
+					t.Fatalf("recv gather %d: %v", i, err)
+				}
+				seen[f.From] = true
+			}
+			if !seen[0] || !seen[1] {
+				t.Fatalf("gathers from %v, want nodes 0 and 1", seen)
+			}
+		})
+	}
+}
+
+// TestSendBatchEndToEndTCPChunked runs the full GROUP BY over a raw
+// (undecorated) TCP transport with a chunk payload that forces
+// multi-chunk streams, so sendChunks takes the SendBatch path end to
+// end; bits must match the sequential reference.
+func TestSendBatchEndToEndTCPChunked(t *testing.T) {
+	const rows = 4000
+	keys := workload.Keys(81, rows, 900)
+	vals := workload.Values64(82, rows, workload.MixedMag)
+	want := refGroups(keys, vals)
+
+	cfg := Config{NewTransport: TCPTransportFactory, MaxChunkPayload: 2048}
+	for _, nodes := range []int{2, 3} {
+		lk, lv := dealRows(keys, vals, nodes)
+		out, err := AggregateByKeyConfig(lk, lv, 2, cfg)
+		if err != nil {
+			t.Fatalf("n=%d: %v", nodes, err)
+		}
+		checkGroups(t, out, want, nodes, 2)
+	}
+}

@@ -226,9 +226,40 @@ func validChunkFields(kind byte, chunk, chunks uint32) error {
 	return nil
 }
 
-// WriteFrame writes the wire encoding of f to w.
+// frameBufPool recycles the transient buffers frames are encoded into
+// on the send path. Ownership rule: a pooled buffer never escapes the
+// call that took it — WriteFrame and the TCP batch path encode, write,
+// and return the buffer before returning; buffers handed to callers
+// (EncodeFrame results, decoded payloads) are never pooled.
+var frameBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 64<<10)
+		return &b
+	},
+}
+
+// maxPooledFrameBuf caps the capacity of buffers returned to the pool:
+// a 16 MiB single-frame encode should not pin 16 MiB of pool memory
+// behind every future 100-byte frame.
+const maxPooledFrameBuf = 1 << 20
+
+func getFrameBuf() *[]byte { return frameBufPool.Get().(*[]byte) }
+
+func putFrameBuf(b *[]byte) {
+	if cap(*b) <= maxPooledFrameBuf {
+		*b = (*b)[:0]
+		frameBufPool.Put(b)
+	}
+}
+
+// WriteFrame writes the wire encoding of f to w as a single Write,
+// encoding through a pooled buffer so steady-state sends allocate
+// nothing.
 func WriteFrame(w io.Writer, f Frame) error {
-	_, err := w.Write(EncodeFrame(f))
+	bp := getFrameBuf()
+	*bp = AppendFrame((*bp)[:0], f)
+	_, err := w.Write(*bp)
+	putFrameBuf(bp)
 	return err
 }
 
@@ -283,6 +314,18 @@ type Transport interface {
 // the operation completes.
 type TransportFactory func(n int) (Transport, error)
 
+// BatchSender is implemented by transports that can transmit a frame
+// list more efficiently than one Send per frame — the TCP transport
+// coalesces a batch into buffered writes with a single flush per
+// (from, to) run, and the channel transport enqueues a run under one
+// mailbox lock. Semantics are identical to calling Send in order;
+// sendChunks type-asserts for it, so decorators that must observe every
+// frame (fault injection, test counters) simply do not implement it and
+// keep receiving per-frame Sends.
+type BatchSender interface {
+	SendBatch(fs []Frame) error
+}
+
 // mailboxes is the shared receive side of the built-in transports: one
 // unbounded inbox per node plus a close signal. ChanTransport embeds it
 // directly; TCPTransport feeds it from socket reader goroutines.
@@ -335,6 +378,30 @@ func (m *mailboxes) deliver(f Frame) error {
 	b := m.boxes[f.To]
 	b.mu.Lock()
 	b.q = append(b.q, f)
+	b.mu.Unlock()
+	select {
+	case b.sig <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// deliverBatch enqueues a run of frames sharing one destination under a
+// single inbox lock and wakes the receiver once. All frames must have
+// the same To.
+func (m *mailboxes) deliverBatch(fs []Frame) error {
+	to := fs[0].To
+	if to < 0 || to >= len(m.boxes) {
+		return fmt.Errorf("dist: send to node %d of %d-node cluster", to, len(m.boxes))
+	}
+	select {
+	case <-m.closed:
+		return ErrClosed
+	default:
+	}
+	b := m.boxes[to]
+	b.mu.Lock()
+	b.q = append(b.q, fs...)
 	b.mu.Unlock()
 	select {
 	case b.sig <- struct{}{}:
@@ -398,6 +465,23 @@ func NewChanTransport(n int) *ChanTransport {
 
 // Send delivers f to node f.To. Destinations out of range are rejected.
 func (t *ChanTransport) Send(f Frame) error { return t.deliver(f) }
+
+// SendBatch delivers a frame list, taking each destination's inbox lock
+// once per run of equal-To frames instead of once per frame.
+func (t *ChanTransport) SendBatch(fs []Frame) error {
+	var firstErr error
+	for start := 0; start < len(fs); {
+		end := start + 1
+		for end < len(fs) && fs[end].To == fs[start].To {
+			end++
+		}
+		if err := t.deliverBatch(fs[start:end]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		start = end
+	}
+	return firstErr
+}
 
 // Close unblocks all pending sends and receives.
 func (t *ChanTransport) Close() error {

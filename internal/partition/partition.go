@@ -36,6 +36,38 @@ func (o *Output[V]) Partition(p int) ([]uint32, []V) {
 	return o.Keys[o.Off[p]:o.Off[p+1]], o.Vals[o.Off[p]:o.Off[p+1]]
 }
 
+// DistinctBound returns an upper bound on the number of distinct keys
+// in partition p. stride is the guaranteed minimum gap between two
+// distinct keys of the same partition: when Do routed on the low key
+// byte (shift == 0), keys in one partition are congruent modulo the
+// fan-out, so stride is the fan-out; pass 1 when no such gap is known.
+// The bound is min(len(partition), (maxKey−minKey)/stride + 1) — tight
+// for the dense domain-encoded key ranges common in column stores, and
+// never below the true distinct count, so an aggregation table sized
+// from it cannot rehash mid-partition.
+func (o *Output[V]) DistinctBound(p int, stride uint32) int {
+	pk, _ := o.Partition(p)
+	if len(pk) == 0 {
+		return 0
+	}
+	if stride == 0 {
+		stride = 1
+	}
+	minK, maxK := pk[0], pk[0]
+	for _, k := range pk[1:] {
+		if k < minK {
+			minK = k
+		}
+		if k > maxK {
+			maxK = k
+		}
+	}
+	if b := int((maxK-minK)/stride) + 1; b < len(pk) {
+		return b
+	}
+	return len(pk)
+}
+
 // Do scatters the input into fanout partitions on the byte
 // (key >> shift) & (fanout−1), using the given number of parallel
 // workers (0 means GOMAXPROCS). fanout must be a power of two ≤ 65536.

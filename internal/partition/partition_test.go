@@ -214,3 +214,70 @@ func TestDoBufferedLargeFill(t *testing.T) {
 		}
 	}
 }
+
+// TestDistinctBound: the bound must never undercount distinct keys (an
+// aggregation table sized from it must not rehash), must be tight on
+// dense domain-encoded ranges, and must fall back to the partition
+// length on sparse keys.
+func TestDistinctBound(t *testing.T) {
+	const fanout = 256
+
+	// Dense domain: keys 0..4095, each repeated 8 times. Partition p
+	// holds 16 distinct keys spanning a range of 15·256, so the bound is
+	// exactly 16 while the partition length is 128.
+	var keys []uint32
+	var vals []float64
+	for rep := 0; rep < 8; rep++ {
+		for k := uint32(0); k < 4096; k++ {
+			keys = append(keys, k)
+			vals = append(vals, 1)
+		}
+	}
+	out := Do(keys, vals, 0, fanout, 2)
+	for p := 0; p < out.NumPartitions(); p++ {
+		pk, _ := out.Partition(p)
+		distinct := make(map[uint32]bool)
+		for _, k := range pk {
+			distinct[k] = true
+		}
+		b := out.DistinctBound(p, fanout)
+		if b < len(distinct) {
+			t.Fatalf("partition %d: bound %d undercounts %d distinct keys", p, b, len(distinct))
+		}
+		if b != 16 {
+			t.Fatalf("partition %d: dense bound = %d, want 16 (len %d)", p, b, len(pk))
+		}
+	}
+
+	// Sparse random keys: the range argument is useless, so the bound
+	// must cap at the partition length — and still never undercount.
+	rng := workload.NewRNG(99)
+	keys = keys[:0]
+	vals = vals[:0]
+	for i := 0; i < 20000; i++ {
+		keys = append(keys, uint32(rng.Uint64()))
+		vals = append(vals, 1)
+	}
+	out = Do(keys, vals, 0, fanout, 2)
+	for p := 0; p < out.NumPartitions(); p++ {
+		pk, _ := out.Partition(p)
+		distinct := make(map[uint32]bool)
+		for _, k := range pk {
+			distinct[k] = true
+		}
+		b := out.DistinctBound(p, fanout)
+		if b < len(distinct) || b > len(pk) {
+			t.Fatalf("partition %d: bound %d outside [distinct %d, len %d]", p, b, len(distinct), len(pk))
+		}
+	}
+
+	// Empty partition and unknown stride.
+	empty := Do(nil, []float64(nil), 0, fanout, 1)
+	if b := empty.DistinctBound(3, fanout); b != 0 {
+		t.Fatalf("empty partition bound = %d", b)
+	}
+	single := Do([]uint32{7, 7, 7}, []float64{1, 2, 3}, 0, fanout, 1)
+	if b := single.DistinctBound(7, 0); b != 1 {
+		t.Fatalf("stride-0 single-key bound = %d, want 1", b)
+	}
+}

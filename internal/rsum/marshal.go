@@ -26,6 +26,79 @@ const (
 	marshalSize64 = headerSize + MaxLevels*levelSize64
 )
 
+// EncodedSize returns the exact byte length of the state's canonical
+// encoding (the length MarshalBinary and AppendBinary produce). It is a
+// pure function of the level count, so senders can pre-size frame
+// buffers without encoding twice.
+func (s *State64) EncodedSize() int { return headerSize + int(s.levels)*levelSize64 }
+
+// EncodedSize returns the exact byte length of the state's canonical
+// encoding; see State64.EncodedSize.
+func (s *State32) EncodedSize() int { return headerSize + int(s.levels)*levelSize32 }
+
+// AppendBinary implements encoding.BinaryAppender: it appends the
+// canonical encoding of s to dst and returns the extended slice. The
+// bytes are identical to MarshalBinary's, but when dst has sufficient
+// capacity no allocation occurs — this is the hot-path encoder of the
+// distributed shuffle, where per-key partial states encode directly
+// into the destination frame buffer instead of marshal-then-copy.
+func (s *State64) AppendBinary(dst []byte) ([]byte, error) {
+	t := *s
+	if t.init {
+		t.propagate()
+	}
+	need := headerSize + int(t.levels)*levelSize64
+	off := len(dst)
+	dst = append(dst, make([]byte, need)...) // recognized append+make: grows in place, no temp slice
+	buf := dst[off : off+need]
+	buf[0] = stateVersion
+	buf[1] = kindState64
+	buf[2] = byte(t.levels)
+	if t.init {
+		buf[3] = flagInit
+	}
+	binary.LittleEndian.PutUint32(buf[4:], t.nan)
+	binary.LittleEndian.PutUint32(buf[8:], t.posInf)
+	binary.LittleEndian.PutUint32(buf[12:], t.negInf)
+	binary.LittleEndian.PutUint32(buf[16:], uint32(t.eTop))
+	o := headerSize
+	for l := 0; l < int(t.levels); l++ {
+		binary.LittleEndian.PutUint64(buf[o:], math.Float64bits(t.s[l]))
+		binary.LittleEndian.PutUint64(buf[o+8:], uint64(t.c[l]))
+		o += levelSize64
+	}
+	return dst, nil
+}
+
+// AppendBinary implements encoding.BinaryAppender; see State64.
+func (s *State32) AppendBinary(dst []byte) ([]byte, error) {
+	t := *s
+	if t.init {
+		t.propagate()
+	}
+	need := headerSize + int(t.levels)*levelSize32
+	off := len(dst)
+	dst = append(dst, make([]byte, need)...)
+	buf := dst[off : off+need]
+	buf[0] = stateVersion
+	buf[1] = kindState32
+	buf[2] = byte(t.levels)
+	if t.init {
+		buf[3] = flagInit
+	}
+	binary.LittleEndian.PutUint32(buf[4:], t.nan)
+	binary.LittleEndian.PutUint32(buf[8:], t.posInf)
+	binary.LittleEndian.PutUint32(buf[12:], t.negInf)
+	binary.LittleEndian.PutUint32(buf[16:], uint32(t.eTop))
+	o := headerSize
+	for l := 0; l < int(t.levels); l++ {
+		binary.LittleEndian.PutUint32(buf[o:], math.Float32bits(t.s[l]))
+		binary.LittleEndian.PutUint64(buf[o+4:], uint64(t.c[l]))
+		o += levelSize32
+	}
+	return dst, nil
+}
+
 var errCorrupt = errors.New("rsum: corrupt state encoding")
 
 // MarshalBinary implements encoding.BinaryMarshaler. The encoding is

@@ -1,0 +1,5 @@
+//go:build !race
+
+package rsum
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package rsum
+
+// raceEnabled reports that this build runs under the race detector,
+// whose instrumentation changes allocation behavior; allocation-count
+// pins are meaningless there and skip themselves.
+const raceEnabled = true
