@@ -7,11 +7,16 @@
 // By default benchdiff is warn-only (exit 0 regardless), because
 // wall-clock throughput on shared CI runners is noisy; allocs/op is
 // deterministic, so treat its regressions seriously. Pass -strict to
-// exit 1 on any flagged regression (for local gating).
+// exit 1 on any flagged regression (for local gating), or
+// -tolerance <pct> to gate with an explicit throughput headroom: it
+// sets the tolerated rows/s regression to pct% and exits non-zero on
+// anything beyond it (the nightly bench-trajectory job runs with a
+// generous -tolerance, so only an unambiguous regression fails the
+// night, not runner noise).
 //
 // Usage:
 //
-//	benchdiff [-rows-tol 0.25] [-allocs-tol 0.10] [-strict] baseline.json new.json
+//	benchdiff [-rows-tol 0.25] [-allocs-tol 0.10] [-strict] [-tolerance pct] baseline.json new.json
 package main
 
 import (
@@ -55,10 +60,21 @@ func main() {
 	rowsTol := flag.Float64("rows-tol", 0.25, "tolerated fractional rows/s regression")
 	allocsTol := flag.Float64("allocs-tol", 0.10, "tolerated fractional allocs/op increase")
 	strict := flag.Bool("strict", false, "exit non-zero on flagged regressions")
+	tolerance := flag.Float64("tolerance", -1, "percent rows/s regression tolerated before gating (sets -rows-tol to pct/100 and implies -strict; 0 gates on any regression)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] baseline.json new.json")
 		os.Exit(2)
+	}
+	if *tolerance != -1 {
+		// Explicitly set: validate and gate — including at 0, which
+		// means "no headroom", not "flag absent".
+		if *tolerance < 0 || *tolerance >= 100 {
+			fmt.Fprintln(os.Stderr, "benchdiff: -tolerance must be a percentage in [0, 100)")
+			os.Exit(2)
+		}
+		*rowsTol = *tolerance / 100
+		*strict = true
 	}
 	base, err := load(flag.Arg(0))
 	if err != nil {

@@ -26,10 +26,16 @@ import (
 // With -benchjson the experiment switches to bench-cell mode: only the
 // machine-readable benchmark cells run (the correctness sweeps are the
 // plain `dist` run's job, and CI executes them in separate jobs — the
-// trajectory job should measure only what it uploads).
+// trajectory job should measure only what it uploads). With -procs it
+// switches to the cross-process equivalence matrix instead (see
+// procs.go), which spawns real reproworker processes.
 func runDist(cfg config) {
 	if cfg.benchJSON != "" {
 		runDistBenchJSON(cfg)
+		return
+	}
+	if cfg.procs {
+		runDistProcs(cfg)
 		return
 	}
 	vals := workload.Values64(cfg.seed, cfg.n, workload.MixedMag)

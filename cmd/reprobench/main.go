@@ -30,6 +30,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/dist/proc"
 )
 
 type config struct {
@@ -38,17 +39,23 @@ type config struct {
 	sf        float64
 	quick     bool
 	benchJSON string
+	procs     bool
 }
 
 func main() {
+	// When a dist -procs sweep re-executes this binary as a cluster
+	// worker, become that worker before touching the flags.
+	proc.MaybeWorkerMain()
+
 	n := flag.Int("n", 1<<22, "number of input rows")
 	seed := flag.Uint64("seed", 42, "workload seed")
 	sf := flag.Float64("sf", 0.05, "TPC-H scale factor (tab4)")
 	quick := flag.Bool("quick", false, "reduced sweeps")
 	benchJSON := flag.String("benchjson", "", "dist only: run bench cells instead of the sweeps, write them to this file")
+	procs := flag.Bool("procs", false, "dist only: run the cross-process equivalence matrix on spawned reproworker processes")
 	flag.Parse()
 
-	cfg := config{n: *n, seed: *seed, sf: *sf, quick: *quick, benchJSON: *benchJSON}
+	cfg := config{n: *n, seed: *seed, sf: *sf, quick: *quick, benchJSON: *benchJSON, procs: *procs}
 	if cfg.quick && cfg.n > 1<<18 {
 		cfg.n = 1 << 18
 	}

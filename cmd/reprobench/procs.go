@@ -1,0 +1,170 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/dist"
+	"repro/internal/dist/proc"
+	"repro/internal/workload"
+)
+
+// runDistProcs — cross-process equivalence matrix (`reprobench dist
+// -procs`): the reduction and GROUP BY shuffle executed by clusters of
+// genuinely separate reproworker OS processes, swept across topology ×
+// cluster size × chunk regime, every cell compared bit-for-bit against
+// the in-process ChanTransport reference. One additional cell forces a
+// socket kill mid chunk stream (plus a hostile fault plan) and
+// demands that reconnect-and-resend recovery leave the bits untouched.
+// Any mismatch exits non-zero.
+//
+// Workers are spawned from REPROWORKER_BIN when set (CI builds
+// cmd/reproworker and points there, proving the standalone binary);
+// otherwise this binary re-executes itself — main calls
+// proc.MaybeWorkerMain for exactly that.
+func runDistProcs(cfg config) {
+	rows := cfg.n
+	if rows > 1<<17 {
+		// Job specs ship whole shards over the control plane; announce
+		// the cap so the log never claims a larger matrix than ran.
+		rows = 1 << 17
+		fmt.Printf("cross-process matrix: capping rows at %d (asked for %d)\n\n", rows, cfg.n)
+	}
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "reprobench dist -procs: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	// MaxResend < 0: the matrix must never give up on a slow spawn —
+	// genuine hangs fall to the supervisor's join timeout and the
+	// harness timeout.
+	pcfg := func() dist.Config {
+		return dist.Config{ChildDeadline: 200 * time.Millisecond, MaxResend: -1}
+	}
+	opt := proc.Options{JoinTimeout: 60 * time.Second}
+
+	vals := workload.Values64(cfg.seed, rows, workload.MixedMag)
+	sizes := []int{2, 4, 8}
+	if cfg.quick {
+		sizes = []int{2, 4}
+	}
+
+	// Reduction: topology × cluster size, vs the in-process reference.
+	refSum, err := dist.ReduceConfig([][]float64{vals}, 2, dist.Binomial, dist.Config{})
+	if err != nil {
+		fail("in-process reduce reference: %v", err)
+	}
+	refBits := math.Float64bits(refSum)
+	t := bench.NewTable("Cross-process reduce: ms/run (bits identical to in-process reference)",
+		"procs", "topology", "ms", "bits")
+	for _, n := range sizes {
+		shards := make([][]float64, n)
+		for i, v := range vals {
+			shards[i%n] = append(shards[i%n], v)
+		}
+		for _, topo := range []dist.Topology{dist.Binomial, dist.Chain, dist.Star} {
+			var sum float64
+			dur := bench.Measure(func() {
+				var err error
+				sum, err = proc.Reduce(shards, 2, topo, pcfg(), opt)
+				if err != nil {
+					fail("reduce %d procs, %s: %v", n, topo, err)
+				}
+			})
+			if math.Float64bits(sum) != refBits {
+				fail("reduce %d procs, %s: %016x, want %016x — cross-process run broke bit-reproducibility",
+					n, topo, math.Float64bits(sum), refBits)
+			}
+			t.AddRow(n, topo.String(), float64(dur.Milliseconds()), fmt.Sprintf("%016x", math.Float64bits(sum)))
+		}
+	}
+	t.Fprint(os.Stdout)
+
+	// GROUP BY shuffle: cluster size × chunk regime, vs the in-process
+	// reference for that regime's key distribution.
+	regimes := []struct {
+		name         string
+		distinct     uint32
+		chunkPayload int
+	}{
+		{"single", 256, 0},    // default 16 MiB chunk payload: one frame per (sender, owner)
+		{"multi", 2048, 4096}, // forced multi-chunk shuffle streams through real sockets
+	}
+	tg := bench.NewTable("Cross-process AggregateByKey: ms/run (bits identical to in-process reference)",
+		"procs", "chunks", "ms", "groups")
+	for _, reg := range regimes {
+		keys := workload.Keys(cfg.seed+2, rows, reg.distinct)
+		ref, err := dist.AggregateByKeyConfig([][]uint32{keys}, [][]float64{vals}, 2, dist.Config{})
+		if err != nil {
+			fail("in-process groupby reference (%s): %v", reg.name, err)
+		}
+		for _, n := range sizes {
+			lk := make([][]uint32, n)
+			lv := make([][]float64, n)
+			for i := range keys {
+				d := i % n
+				lk[d] = append(lk[d], keys[i])
+				lv[d] = append(lv[d], vals[i])
+			}
+			dcfg := pcfg()
+			dcfg.MaxChunkPayload = reg.chunkPayload
+			var out []dist.Group
+			dur := bench.Measure(func() {
+				var err error
+				out, err = proc.AggregateByKey(lk, lv, 2, dcfg, opt)
+				if err != nil {
+					fail("groupby %d procs, %s: %v", n, reg.name, err)
+				}
+			})
+			compareGroups(fail, fmt.Sprintf("groupby %d procs, %s", n, reg.name), out, ref)
+			tg.AddRow(n, reg.name, float64(dur.Milliseconds()), len(out))
+		}
+	}
+	tg.Fprint(os.Stdout)
+
+	// Forced socket-kill-and-reconnect: node 1 severs every outgoing
+	// connection just before its 4th data frame, mid multi-chunk
+	// shuffle, under a hostile fault plan on top. The per-chunk resend
+	// path must recover over fresh connections with identical bits.
+	keys := workload.Keys(cfg.seed+2, rows, 2048)
+	ref, err := dist.AggregateByKeyConfig([][]uint32{keys}, [][]float64{vals}, 2, dist.Config{})
+	if err != nil {
+		fail("in-process kill reference: %v", err)
+	}
+	const killProcs = 4
+	lk := make([][]uint32, killProcs)
+	lv := make([][]float64, killProcs)
+	for i := range keys {
+		d := i % killProcs
+		lk[d] = append(lk[d], keys[i])
+		lv[d] = append(lv[d], vals[i])
+	}
+	dcfg := pcfg()
+	dcfg.MaxChunkPayload = 4096
+	dcfg.Faults = &dist.FaultPlan{Seed: cfg.seed, DropProb: 0.1, DupProb: 0.1, Reorder: true,
+		MaxDelay: 200 * time.Microsecond, RetryDelay: 100 * time.Microsecond}
+	kopt := opt
+	kopt.KillConnNode = 1
+	kopt.KillConnAfter = 4
+	out, err := proc.AggregateByKey(lk, lv, 2, dcfg, kopt)
+	if err != nil {
+		fail("socket-kill scenario: %v", err)
+	}
+	compareGroups(fail, "socket-kill scenario", out, ref)
+	fmt.Printf("socket-kill-and-reconnect (%d procs, multi-chunk, faults): recovered, %d groups bit-identical\n\n",
+		killProcs, len(out))
+	fmt.Printf("cross-process matrix: all cells bit-identical to the in-process reference\n\n")
+}
+
+func compareGroups(fail func(string, ...any), name string, got, want []dist.Group) {
+	if len(got) != len(want) {
+		fail("%s: %d groups, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Key != want[i].Key || math.Float64bits(got[i].Sum) != math.Float64bits(want[i].Sum) {
+			fail("%s: group %d broke bit-reproducibility", name, got[i].Key)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Command reproworker is the spawnable cluster worker of the
+// multi-process runtime (internal/dist/proc): one reproworker process
+// is one node of a reproducible-aggregation cluster.
+//
+// Workers are normally spawned by a supervisor — the repro facade's
+// WithProcessCluster option, proc.Reduce/AggregateByKey, or the
+// `reprobench dist -procs` sweep — which passes each worker its
+// control address, node id, and the hex-encoded run configuration:
+//
+//	reproworker -control 127.0.0.1:43117 -id 3 -conf 0102...
+//
+// On start a worker binds a data-plane TCP listener, dials the control
+// address, and sends a KindHello join handshake carrying its frame
+// codec version, rsum summation level count, and a digest of the run
+// configuration it was started with. The supervisor rejects any
+// mismatch with a typed wire error (ErrHandshake) before a byte of
+// data moves — a stale binary or an edited config cannot silently
+// join and diverge. Accepted workers receive the peer address table
+// and their input shard, execute their node's role of the reduction
+// or GROUP BY shuffle protocol over real sockets (reconnecting and
+// serving per-chunk resends through any socket failure), and exit on
+// the supervisor's shutdown frame.
+//
+// Point a supervisor at an explicitly built worker with the
+// REPROWORKER_BIN environment variable (CI does, to prove the real
+// binary path); without it, supervisors re-execute their own binary.
+package main
+
+import (
+	"os"
+
+	"repro/internal/dist/proc"
+)
+
+func main() {
+	os.Exit(proc.WorkerMain(os.Args[1:]))
+}

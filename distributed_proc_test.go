@@ -1,0 +1,113 @@
+package repro_test
+
+import (
+	"errors"
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/dist/proc"
+	"repro/internal/workload"
+)
+
+// TestMain arms the multi-process facade tests: when this test binary
+// is re-executed as a spawned cluster worker (WithProcessCluster's
+// default spawn mode), it becomes that worker instead of running the
+// tests.
+func TestMain(m *testing.M) {
+	proc.MaybeWorkerMain()
+	os.Exit(m.Run())
+}
+
+// TestDistributedSumProcessCluster: WithProcessCluster carries exactly
+// the bits of the single-machine Sum across real worker processes.
+func TestDistributedSumProcessCluster(t *testing.T) {
+	const n = 8000
+	vals := workload.Values64(37, n, workload.MixedMag)
+	want := math.Float64bits(repro.Sum(vals))
+
+	shards := make([][]float64, 3)
+	for i, v := range vals {
+		shards[i%3] = append(shards[i%3], v)
+	}
+	got, err := repro.DistributedSum(shards, 2, repro.Binomial,
+		repro.WithProcessCluster(3), repro.WithStragglerDeadline(250*time.Millisecond))
+	if err != nil {
+		t.Fatalf("DistributedSum(WithProcessCluster): %v", err)
+	}
+	if math.Float64bits(got) != want {
+		t.Errorf("process cluster sum = %016x, want %016x", math.Float64bits(got), want)
+	}
+}
+
+// TestDistributedGroupBySumProcessCluster: the multi-process GROUP BY,
+// forced into multi-chunk shuffle streams, matches the single-machine
+// GroupBySum bit for bit.
+func TestDistributedGroupBySumProcessCluster(t *testing.T) {
+	const n = 8000
+	vals := workload.Values64(41, n, workload.MixedMag)
+	keys := workload.Keys(43, n, 512)
+	want := repro.GroupBySum(keys, vals, nil)
+
+	sk := make([][]uint32, 2)
+	sv := make([][]float64, 2)
+	for i := range keys {
+		sk[i%2] = append(sk[i%2], keys[i])
+		sv[i%2] = append(sv[i%2], vals[i])
+	}
+	got, err := repro.DistributedGroupBySum(sk, sv, 2,
+		repro.WithProcessCluster(2), repro.WithMaxChunkPayload(2048),
+		repro.WithStragglerDeadline(250*time.Millisecond))
+	if err != nil {
+		t.Fatalf("DistributedGroupBySum(WithProcessCluster): %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d groups, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Key != want[i].Key || math.Float64bits(got[i].Sum) != math.Float64bits(want[i].Sum) {
+			t.Fatalf("group %d: (%d, %016x), want (%d, %016x)",
+				i, got[i].Key, math.Float64bits(got[i].Sum), want[i].Key, math.Float64bits(want[i].Sum))
+		}
+	}
+}
+
+// TestDistOptionValidation: non-positive option arguments fail the
+// operation immediately with ErrConfig — at the call that made the
+// mistake, not deep inside a run.
+func TestDistOptionValidation(t *testing.T) {
+	shards := [][]float64{{1, 2}, {3}}
+	keys := [][]uint32{{1, 2}, {3}}
+	cases := []struct {
+		name string
+		opt  repro.DistOption
+	}{
+		{"WithMaxChunkPayload(0)", repro.WithMaxChunkPayload(0)},
+		{"WithMaxChunkPayload(-4096)", repro.WithMaxChunkPayload(-4096)},
+		{"WithReassemblyBudget(0)", repro.WithReassemblyBudget(0)},
+		{"WithReassemblyBudget(-1)", repro.WithReassemblyBudget(-1)},
+		{"WithProcessCluster(0)", repro.WithProcessCluster(0)},
+		{"WithProcessCluster(-2)", repro.WithProcessCluster(-2)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := repro.DistributedSum(shards, 1, repro.Binomial, tc.opt); !errors.Is(err, repro.ErrConfig) {
+				t.Errorf("DistributedSum: err = %v, want ErrConfig", err)
+			}
+			if _, err := repro.DistributedGroupBySum(keys, shards, 1, tc.opt); !errors.Is(err, repro.ErrConfig) {
+				t.Errorf("DistributedGroupBySum: err = %v, want ErrConfig", err)
+			}
+		})
+	}
+
+	// Worker counts are validated the same way they always were —
+	// before anything runs.
+	if _, err := repro.DistributedSum(shards, 0, repro.Binomial); !errors.Is(err, repro.ErrWorkers) {
+		t.Errorf("workers=0: err = %v, want ErrWorkers", err)
+	}
+	if _, err := repro.DistributedSum(shards, -1, repro.Binomial, repro.WithProcessCluster(2)); !errors.Is(err, repro.ErrWorkers) {
+		t.Errorf("workers=-1 (procs): err = %v, want ErrWorkers", err)
+	}
+}

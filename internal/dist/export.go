@@ -1,0 +1,117 @@
+package dist
+
+import "time"
+
+// Support surface for external Transport implementations and cluster
+// runtimes — concretely internal/dist/proc, which runs the protocols of
+// this package across separate OS processes. Everything here is a thin
+// exported handle over the battle-tested internals: the multi-process
+// runtime reuses the same chunking, reassembly, mailbox, and wire-error
+// machinery the in-process transports do, so cross-process runs inherit
+// their invariants (uniform chunk stride, per-(from, seq) dedup,
+// budget-bounded reassembly, sentinel-preserving wire errors) instead
+// of reimplementing them.
+
+// SplitFrame splits one logical frame into its wire chunks: every chunk
+// carries at most maxChunk payload bytes, all but the last exactly
+// maxChunk (the uniform stride the reassembler enforces). maxChunk <= 0
+// or above the frame ceiling selects DefaultChunkPayload. Payloads
+// alias f.Payload.
+func SplitFrame(f Frame, maxChunk int) []Frame { return splitFrame(f, maxChunk) }
+
+// Reassembler rebuilds logical messages from chunk streams on one
+// receive path: out-of-order buffering, per-chunk dedup,
+// completed-stream swallowing, and a byte budget across incomplete
+// messages (budget <= 0 selects DefaultReassemblyBudget). It is the
+// exact reassembler the aggregation protocols use; the multi-process
+// runtime runs one per control connection so chunked job specs and
+// results obey the same trust-boundary rules as data-plane traffic.
+// Not safe for concurrent use.
+type Reassembler struct {
+	r *reassembler
+}
+
+// NewReassembler returns an empty reassembler with the given budget.
+func NewReassembler(budget int) *Reassembler {
+	return &Reassembler{r: newReassembler(budget)}
+}
+
+// Accept consumes one wire frame; see reassembler.accept. When the
+// frame completes its logical message, msg carries the full payload and
+// complete is true. fresh reports whether the frame contributed new
+// bytes (progress, for straggler give-up budgets).
+func (a *Reassembler) Accept(f Frame) (msg Frame, complete, fresh bool, err error) {
+	return a.r.accept(f)
+}
+
+// Missing returns the chunk indexes still absent from the partially
+// received message (from, seq), or nil if no chunk of it has arrived
+// (re-request the whole stream).
+func (a *Reassembler) Missing(from int, seq uint32) []uint32 {
+	return a.r.missing(from, seq)
+}
+
+// Mailboxes is the shared receive side of the built-in transports — one
+// unbounded inbox per node plus a close signal — exported so external
+// transports (the multi-process runtime's socket transport) get
+// Recv/Close semantics identical to ChanTransport and TCPTransport by
+// construction. Inboxes are unbounded on purpose: any fixed capacity is
+// a deadlock class under chunk floods; memory defense is the reassembly
+// budget, not backpressure.
+type Mailboxes struct {
+	m *mailboxes
+}
+
+// NewMailboxes returns the receive side for an n-node cluster.
+func NewMailboxes(n int) *Mailboxes { return &Mailboxes{m: newMailboxes(n)} }
+
+// Deliver enqueues f for node f.To. It never blocks; after Shutdown it
+// returns ErrClosed.
+func (mb *Mailboxes) Deliver(f Frame) error { return mb.m.deliver(f) }
+
+// DeliverBatch enqueues a run of frames sharing one destination under a
+// single inbox lock. All frames must have the same To.
+func (mb *Mailboxes) DeliverBatch(fs []Frame) error { return mb.m.deliverBatch(fs) }
+
+// Recv returns the next frame addressed to node id; timeout <= 0 blocks
+// until a frame arrives or Shutdown.
+func (mb *Mailboxes) Recv(id int, timeout time.Duration) (Frame, error) {
+	return mb.m.Recv(id, timeout)
+}
+
+// Nodes returns the cluster size.
+func (mb *Mailboxes) Nodes() int { return mb.m.Nodes() }
+
+// Shutdown unblocks all pending receives and fails later delivers with
+// ErrClosed. Idempotent.
+func (mb *Mailboxes) Shutdown() { mb.m.close() }
+
+// Done is closed when Shutdown has been called — for send paths that
+// must map post-close failures to ErrClosed the way the built-in
+// transports do.
+func (mb *Mailboxes) Done() <-chan struct{} { return mb.m.closed }
+
+// EncodeErr flattens an error into a KindError payload, preserving the
+// wire-crossing sentinels (ErrStraggler, ErrBadFrame, ErrChunkBudget,
+// ErrHandshake) as a leading code byte so errors.Is survives the trust
+// boundary.
+func EncodeErr(err error) []byte { return encodeErr(err) }
+
+// DecodeErr inverts EncodeErr for a KindError payload received from
+// node from (use a negative from for the supervisor of a multi-process
+// run).
+func DecodeErr(from int, payload []byte) error { return decodeErr(from, payload) }
+
+// EncodeGroups flattens finalized groups into the gather wire layout
+// (4-byte key, 8-byte float64 bits per group) — also the result payload
+// of a multi-process GROUP BY.
+func EncodeGroups(gs []Group) []byte { return encodeGroups(gs) }
+
+// DecodeGroups inverts EncodeGroups.
+func DecodeGroups(buf []byte) []Group { return decodeGroups(buf) }
+
+// Active reports whether the plan injects any fault at all.
+func (p FaultPlan) Active() bool { return p.active() }
+
+// Valid reports whether t is a known topology.
+func (t Topology) Valid() bool { return t.valid() }

@@ -118,6 +118,9 @@ func AggregateByKeyConfig(localKeys [][]uint32, localVals [][]float64, workers i
 	if workers < 1 {
 		return nil, fmt.Errorf("%w (got %d)", ErrWorkers, workers)
 	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	tr, err := cfg.transport(n)
 	if err != nil {
 		return nil, err
@@ -126,7 +129,12 @@ func AggregateByKeyConfig(localKeys [][]uint32, localVals [][]float64, workers i
 
 	rootCh := make(chan result, 1)
 	for id := 0; id < n; id++ {
-		go groupByNode(id, localKeys[id], localVals[id], workers, tr, cfg, rootCh)
+		go func(id int) {
+			groups, err := RunGroupByNode(id, localKeys[id], localVals[id], workers, tr, cfg)
+			if id == 0 {
+				rootCh <- result{groups: groups, err: err}
+			}
+		}(id)
 	}
 	m := <-rootCh
 	if m.err != nil {
@@ -135,13 +143,20 @@ func AggregateByKeyConfig(localKeys [][]uint32, localVals [][]float64, workers i
 	return m.groups, nil
 }
 
-// groupByNode is the per-node protocol of the distributed GROUP BY:
-// combine the local shard, ship one shuffle message to every owner
-// (chunked when large), merge the messages addressed to this node
-// (exactly one per sender, reassembled and deduplicated), finalize, and
-// ship the finalized groups to the root. The root additionally collects
-// every owner's gather message and hands the sorted global result to
-// the coordinator.
+// RunGroupByNode executes node id's role of the distributed GROUP BY
+// over an externally owned transport: combine the local shard, ship one
+// shuffle message to every owner (chunked when large), merge the
+// messages addressed to this node (exactly one per sender, reassembled
+// and deduplicated), finalize, and ship the finalized groups to the
+// root. The root (node 0) additionally collects every owner's gather
+// message and returns the sorted global result — which it can do as
+// soon as all gathers are in, because a gather proves its owner needed
+// no more resends. Every other node keeps serving chunk re-requests and
+// returns only after the transport is closed underneath it, with the
+// error its role ended in (already announced on the wire) — nil for a
+// clean run. Exported for multi-process runtimes (internal/dist/proc);
+// AggregateByKeyConfig runs the same function on one goroutine per
+// node.
 //
 // Like the reduction tree, the shuffle has straggler handling: a
 // receiver that makes no progress for ChildDeadline re-requests what is
@@ -149,7 +164,7 @@ func AggregateByKeyConfig(localKeys [][]uint32, localVals [][]float64, workers i
 // partially received ones — every node caches its outgoing chunk lists
 // and retransmits on demand, and a permanently silent peer surfaces
 // ErrStraggler instead of a hang.
-func groupByNode(id int, keys []uint32, vals []float64, workers int, tr Transport, cfg Config, rootCh chan<- result) {
+func RunGroupByNode(id int, keys []uint32, vals []float64, workers int, tr Transport, cfg Config) ([]Group, error) {
 	n := tr.Nodes()
 	frames, cerr := combineShard(keys, vals, n, workers, cfg.maxMessage())
 
@@ -301,12 +316,12 @@ func groupByNode(id int, keys []uint32, vals []float64, workers int, tr Transpor
 		sendChunks(tr, outGather) // on failure the root's re-request path retries
 
 		// Serve straggler re-requests from the cached chunk lists until
-		// the coordinator closes the transport; send failures are left
-		// to the next re-request round.
+		// the caller closes the transport; send failures are left to
+		// the next re-request round.
 		for {
 			f, rerr := tr.Recv(id, 0)
 			if rerr != nil {
-				return
+				return nil, ownErr
 			}
 			if f.Kind != KindResend {
 				continue
@@ -322,15 +337,14 @@ func groupByNode(id int, keys []uint32, vals []float64, workers int, tr Transpor
 	// Root gather: owners hold disjoint key sets, so the global result
 	// is the sorted concatenation of the per-owner group lists.
 	if ownErr != nil {
-		rootCh <- result{err: ownErr}
-		return
+		return nil, ownErr
 	}
 	all := local
 	for _, payload := range gathers {
 		all = append(all, decodeGroups(payload)...)
 	}
 	slices.SortFunc(all, func(a, b Group) int { return cmp.Compare(a.Key, b.Key) })
-	rootCh <- result{groups: all}
+	return all, nil
 }
 
 // combineShard partitions one node's rows by key and pre-aggregates

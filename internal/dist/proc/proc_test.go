@@ -1,0 +1,338 @@
+package proc
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/workload"
+)
+
+// TestMain arms the re-execution path: when the test binary is spawned
+// by a supervisor with the worker marker set, it becomes a cluster
+// worker instead of running the tests.
+func TestMain(m *testing.M) {
+	MaybeWorkerMain()
+	os.Exit(m.Run())
+}
+
+// quietOpts discards worker stderr: failure paths under test would
+// otherwise spray expected error messages into the test log.
+func quietOpts() Options {
+	return Options{LogWriter: io.Discard, JoinTimeout: 30 * time.Second}
+}
+
+// matrixConfig is the protocol configuration of the equivalence tests:
+// a short deadline keeps forced-recovery runs fast, and MaxResend < 0
+// never gives up — a bounded cap races scheduler slowdown under -race.
+func matrixConfig() dist.Config {
+	return dist.Config{ChildDeadline: 250 * time.Millisecond, MaxResend: -1}
+}
+
+func shardFloats(vals []float64, n int) [][]float64 {
+	out := make([][]float64, n)
+	for i, v := range vals {
+		out[i%n] = append(out[i%n], v)
+	}
+	return out
+}
+
+func shardRows(keys []uint32, vals []float64, n int) ([][]uint32, [][]float64) {
+	ks := make([][]uint32, n)
+	vs := make([][]float64, n)
+	for i := range keys {
+		d := i % n
+		ks[d] = append(ks[d], keys[i])
+		vs[d] = append(vs[d], vals[i])
+	}
+	return ks, vs
+}
+
+// TestProcReduceEquivalenceMatrix: the multi-process reduction carries
+// exactly the bits of the in-process engine for every topology and
+// cluster size.
+func TestProcReduceEquivalenceMatrix(t *testing.T) {
+	const rows = 20000
+	vals := workload.Values64(7, rows, workload.MixedMag)
+	want, err := dist.ReduceConfig([][]float64{vals}, 2, dist.Binomial, dist.Config{})
+	if err != nil {
+		t.Fatalf("in-process reference: %v", err)
+	}
+	wantBits := math.Float64bits(want)
+
+	for _, n := range []int{1, 2, 4} {
+		shards := shardFloats(vals, n)
+		for _, topo := range []dist.Topology{dist.Binomial, dist.Chain, dist.Star} {
+			got, err := Reduce(shards, 2, topo, matrixConfig(), quietOpts())
+			if err != nil {
+				t.Fatalf("n=%d topo=%v: %v", n, topo, err)
+			}
+			if math.Float64bits(got) != wantBits {
+				t.Errorf("n=%d topo=%v: got %016x, want %016x — cross-process run broke bit-reproducibility",
+					n, topo, math.Float64bits(got), wantBits)
+			}
+		}
+	}
+}
+
+// TestProcGroupByEquivalenceMatrix: the multi-process GROUP BY shuffle
+// matches the in-process engine bit for bit, in the single-frame and
+// the forced multi-chunk regime.
+func TestProcGroupByEquivalenceMatrix(t *testing.T) {
+	const rows = 20000
+	vals := workload.Values64(11, rows, workload.MixedMag)
+
+	regimes := []struct {
+		name         string
+		distinct     uint32
+		chunkPayload int
+	}{
+		{"single", 128, 0},
+		{"multi", 2048, 2048}, // ~60 B/pair × hundreds of keys per (sender, owner) ⇒ many chunks
+	}
+	for _, reg := range regimes {
+		keys := workload.Keys(13, rows, reg.distinct)
+		ref, err := dist.AggregateByKeyConfig([][]uint32{keys}, [][]float64{vals}, 2, dist.Config{})
+		if err != nil {
+			t.Fatalf("%s: in-process reference: %v", reg.name, err)
+		}
+		for _, n := range []int{2, 4} {
+			ks, vs := shardRows(keys, vals, n)
+			cfg := matrixConfig()
+			cfg.MaxChunkPayload = reg.chunkPayload
+			got, err := AggregateByKey(ks, vs, 2, cfg, quietOpts())
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", reg.name, n, err)
+			}
+			assertGroupsEqual(t, reg.name, n, got, ref)
+		}
+	}
+}
+
+func assertGroupsEqual(t *testing.T, name string, n int, got, want []dist.Group) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s n=%d: %d groups, want %d", name, n, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Key != want[i].Key || math.Float64bits(got[i].Sum) != math.Float64bits(want[i].Sum) {
+			t.Fatalf("%s n=%d: group %d = (%d, %016x), want (%d, %016x) — bit mismatch",
+				name, n, i, got[i].Key, math.Float64bits(got[i].Sum),
+				want[i].Key, math.Float64bits(want[i].Sum))
+		}
+	}
+}
+
+// TestProcKillReconnectEquivalence forces a socket failure mid chunk
+// stream — worker 1 severs every outgoing connection just before its
+// 4th data frame, under an additionally hostile fault plan — and
+// asserts the per-chunk resend path recovers over fresh connections
+// with zero effect on the result bits.
+func TestProcKillReconnectEquivalence(t *testing.T) {
+	const rows = 12000
+	vals := workload.Values64(17, rows, workload.MixedMag)
+	keys := workload.Keys(19, rows, 2048)
+	ref, err := dist.AggregateByKeyConfig([][]uint32{keys}, [][]float64{vals}, 2, dist.Config{})
+	if err != nil {
+		t.Fatalf("in-process reference: %v", err)
+	}
+
+	const n = 4
+	ks, vs := shardRows(keys, vals, n)
+	cfg := matrixConfig()
+	cfg.MaxChunkPayload = 2048
+	cfg.Faults = &dist.FaultPlan{
+		Seed: 23, DropProb: 0.1, DupProb: 0.1, Reorder: true,
+		MaxDelay: 200 * time.Microsecond, RetryDelay: 100 * time.Microsecond,
+	}
+	opt := quietOpts()
+	opt.KillConnNode = 1
+	opt.KillConnAfter = 4
+	got, err := AggregateByKey(ks, vs, 2, cfg, opt)
+	if err != nil {
+		t.Fatalf("kill-reconnect run: %v", err)
+	}
+	assertGroupsEqual(t, "kill-reconnect", n, got, ref)
+
+	// The same forced failure against the reduction tree.
+	wantSum, err := dist.ReduceConfig([][]float64{vals}, 2, dist.Binomial, dist.Config{})
+	if err != nil {
+		t.Fatalf("in-process reduce reference: %v", err)
+	}
+	rcfg := matrixConfig()
+	ropt := quietOpts()
+	ropt.KillConnNode = 1
+	ropt.KillConnAfter = 1 // sever before the very first partial leaves
+	gotSum, err := Reduce(shardFloats(vals, n), 2, dist.Chain, rcfg, ropt)
+	if err != nil {
+		t.Fatalf("kill-reconnect reduce: %v", err)
+	}
+	if math.Float64bits(gotSum) != math.Float64bits(wantSum) {
+		t.Errorf("kill-reconnect reduce: got %016x, want %016x",
+			math.Float64bits(gotSum), math.Float64bits(wantSum))
+	}
+}
+
+// TestHandshakeRejection drives each mismatch through the real spawn
+// and join machinery (the env hooks force the worker's hello fields)
+// and asserts the run fails with the typed wire error naming the
+// disagreement.
+func TestHandshakeRejection(t *testing.T) {
+	vals := workload.Values64(29, 1000, workload.MixedMag)
+	shards := shardFloats(vals, 2)
+	cases := []struct {
+		name string
+		env  []string
+		want string
+	}{
+		{"wrong frame version", []string{envHelloVersion + "=9"}, "frame version"},
+		{"wrong level count", []string{envHelloLevels + "=7"}, "rsum levels"},
+		{"wrong config digest", []string{envTamperDigest + "=1"}, "digest"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := quietOpts()
+			opt.Env = tc.env
+			_, err := Reduce(shards, 1, dist.Binomial, matrixConfig(), opt)
+			if !errors.Is(err, dist.ErrHandshake) {
+				t.Fatalf("err = %v, want ErrHandshake", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err %q does not name the mismatch (%q)", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestProcValidation: bad inputs fail before any process is spawned,
+// with the same sentinels as the in-process engine.
+func TestProcValidation(t *testing.T) {
+	opt := quietOpts()
+	if _, err := Reduce(nil, 1, dist.Binomial, dist.Config{}, opt); !errors.Is(err, dist.ErrNoShards) {
+		t.Errorf("no shards: %v, want ErrNoShards", err)
+	}
+	if _, err := Reduce([][]float64{{1}}, 0, dist.Binomial, dist.Config{}, opt); !errors.Is(err, dist.ErrWorkers) {
+		t.Errorf("0 workers: %v, want ErrWorkers", err)
+	}
+	if _, err := Reduce([][]float64{{1}}, 1, dist.Topology(99), dist.Config{}, opt); !errors.Is(err, dist.ErrTopology) {
+		t.Errorf("bad topology: %v, want ErrTopology", err)
+	}
+	if _, err := Reduce([][]float64{{1}}, 1, dist.Binomial, dist.Config{ReassemblyBudget: -1}, opt); !errors.Is(err, dist.ErrConfig) {
+		t.Errorf("negative budget: %v, want ErrConfig", err)
+	}
+	if _, err := Reduce([][]float64{{1}}, 1, dist.Binomial, dist.Config{Procs: -1}, opt); !errors.Is(err, dist.ErrConfig) {
+		t.Errorf("negative procs: %v, want ErrConfig", err)
+	}
+	if _, err := AggregateByKey([][]uint32{{1}}, [][]float64{{1}, {2}}, 1, dist.Config{}, opt); !errors.Is(err, dist.ErrShardMismatch) {
+		t.Errorf("shard shape: %v, want ErrShardMismatch", err)
+	}
+	if _, err := AggregateByKey([][]uint32{{1, 2}}, [][]float64{{1}}, 1, dist.Config{}, opt); !errors.Is(err, dist.ErrShardMismatch) {
+		t.Errorf("row mismatch: %v, want ErrShardMismatch", err)
+	}
+	if _, err := AggregateByKey([][]uint32{{1}}, [][]float64{{1}}, 1, dist.Config{MaxChunkPayload: -3}, opt); !errors.Is(err, dist.ErrConfig) {
+		t.Errorf("negative chunk payload: %v, want ErrConfig", err)
+	}
+}
+
+// TestWorkerBinaryMissing: a configured-but-absent worker binary fails
+// the spawn cleanly.
+func TestWorkerBinaryMissing(t *testing.T) {
+	opt := quietOpts()
+	opt.WorkerPath = "/nonexistent/reproworker"
+	opt.JoinTimeout = 2 * time.Second
+	_, err := Reduce([][]float64{{1, 2}}, 1, dist.Binomial, dist.Config{}, opt)
+	if err == nil || !strings.Contains(err.Error(), "spawning worker") {
+		t.Fatalf("err = %v, want a spawn failure", err)
+	}
+}
+
+// TestProcsResharding: an explicit process count different from the
+// shard count re-deals rows without changing a bit.
+func TestProcsResharding(t *testing.T) {
+	vals := workload.Values64(31, 5000, workload.MixedMag)
+	want, err := dist.ReduceConfig([][]float64{vals}, 2, dist.Binomial, dist.Config{})
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	cfg := matrixConfig()
+	cfg.Procs = 3 // 5 shards dealt across 3 worker processes
+	got, err := Reduce(shardFloats(vals, 5), 2, dist.Star, cfg, quietOpts())
+	if err != nil {
+		t.Fatalf("procs=3 over 5 shards: %v", err)
+	}
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("resharded run: got %016x, want %016x", math.Float64bits(got), math.Float64bits(want))
+	}
+}
+
+// TestSpecRoundTrip pins the control-plane codecs: conf and job
+// encodings survive a round trip, and the digest is sensitive to every
+// field.
+func TestSpecRoundTrip(t *testing.T) {
+	conf := clusterConf{
+		Op: opGroupBy, Topo: dist.Chain, N: 5, Workers: 3,
+		MaxChunkPayload: 4096, ReassemblyBudget: 1 << 20,
+		ChildDeadline: 250 * time.Millisecond, MaxResend: -1,
+		KillNode: 2, KillAfter: 7,
+		Faults: dist.FaultPlan{Seed: 42, DropProb: 0.25, MaxDrops: 2,
+			RetryDelay: time.Millisecond, DupProb: 0.5, MaxDelay: time.Millisecond, Reorder: true},
+	}
+	raw := encodeConf(conf)
+	back, err := decodeConf(raw)
+	if err != nil {
+		t.Fatalf("decodeConf: %v", err)
+	}
+	if back != conf {
+		t.Fatalf("conf round trip: got %+v, want %+v", back, conf)
+	}
+	if _, err := decodeConf(raw[:len(raw)-1]); err == nil {
+		t.Error("truncated conf decoded without error")
+	}
+	tampered := append([]byte(nil), raw...)
+	tampered[len(tampered)-2]++
+	if confDigest(tampered) == confDigest(raw) {
+		t.Error("digest ignores a field change")
+	}
+
+	jb := encodeJob(opGroupBy, []string{"127.0.0.1:1", "127.0.0.1:22"}, []uint32{5, 6, 7}, []float64{1.5, -2, math.Inf(1)})
+	j, err := decodeJob(opGroupBy, jb)
+	if err != nil {
+		t.Fatalf("decodeJob: %v", err)
+	}
+	if len(j.addrs) != 2 || j.addrs[1] != "127.0.0.1:22" || len(j.keys) != 3 || j.keys[2] != 7 || !math.IsInf(j.vals[2], 1) {
+		t.Fatalf("job round trip mismatch: %+v", j)
+	}
+	if _, err := decodeJob(opGroupBy, jb[:len(jb)-3]); err == nil {
+		t.Error("truncated job decoded without error")
+	}
+	// A hostile row count must fail validation, not overflow the
+	// rows×width length check into a huge (or panicking) allocation.
+	huge := append([]byte{0, 0}, make([]byte, 8)...)
+	binary.LittleEndian.PutUint64(huge[2:], 1<<61)
+	if _, err := decodeJob(opReduce, huge); err == nil {
+		t.Error("2^61-row job decoded without error")
+	}
+	binary.LittleEndian.PutUint64(huge[2:], uint64(1<<63)) // negative int64
+	if _, err := decodeJob(opGroupBy, huge); err == nil {
+		t.Error("negative-row job decoded without error")
+	}
+
+	h := hello{version: 2, levels: 2, digest: 0xABCDEF, addr: "127.0.0.1:999"}
+	hb := encodeHello(h)
+	hback, err := decodeHello(hb)
+	if err != nil {
+		t.Fatalf("decodeHello: %v", err)
+	}
+	if hback != h {
+		t.Fatalf("hello round trip: got %+v, want %+v", hback, h)
+	}
+	if _, err := decodeHello(hb[:5]); err == nil {
+		t.Error("truncated hello decoded without error")
+	}
+}

@@ -1,0 +1,338 @@
+package proc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// Wire encodings of the control plane: the cluster config every member
+// must agree on (passed to workers at spawn time, digested into the
+// join handshake), the KindHello payload, and the KindJob payload
+// (peer address table plus the worker's input shard). Everything is
+// little-endian and versioned; decoders validate lengths and never
+// over-allocate on a corrupt prefix.
+
+// Operations a worker can execute.
+const (
+	opReduce byte = 1 + iota
+	opGroupBy
+)
+
+// specVersion versions the clusterConf encoding. It is the first byte
+// of the blob, so a digest mismatch also covers spec-format drift
+// between supervisor and worker builds.
+const specVersion = 1
+
+// clusterConf is the run configuration every cluster member must hold
+// an identical copy of: the operation, the cluster shape, and every
+// Config knob that changes protocol behavior. The supervisor passes
+// its encoding to each worker at spawn time (-conf hex); the worker
+// digests the raw bytes into its KindHello, so a worker started with a
+// stale or edited config is rejected at join time instead of
+// diverging mid-run.
+type clusterConf struct {
+	Op      byte
+	Topo    dist.Topology
+	N       int // cluster size (worker process count)
+	Workers int // per-node worker goroutines
+
+	MaxChunkPayload  int
+	ReassemblyBudget int
+	ChildDeadline    time.Duration
+	MaxResend        int
+
+	// KillNode/KillAfter inject the forced socket-kill scenario: node
+	// KillNode severs its outgoing data-plane connections once, just
+	// before its KillAfter-th data frame send. KillAfter == 0 disables.
+	KillNode  int
+	KillAfter int
+
+	Faults dist.FaultPlan
+}
+
+// distConfig is the dist.Config a worker derives from the agreed
+// cluster config for its node-local protocol run.
+func (c clusterConf) distConfig() dist.Config {
+	return dist.Config{
+		ChildDeadline:    c.ChildDeadline,
+		MaxResend:        c.MaxResend,
+		MaxChunkPayload:  c.MaxChunkPayload,
+		ReassemblyBudget: c.ReassemblyBudget,
+	}
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+func appendI64(b []byte, v int64) []byte { return appendU64(b, uint64(v)) }
+
+// encodeConf flattens the cluster config canonically (field order is
+// part of the digest contract).
+func encodeConf(c clusterConf) []byte {
+	b := make([]byte, 0, 128)
+	b = append(b, specVersion, c.Op, byte(c.Topo))
+	b = appendI64(b, int64(c.N))
+	b = appendI64(b, int64(c.Workers))
+	b = appendI64(b, int64(c.MaxChunkPayload))
+	b = appendI64(b, int64(c.ReassemblyBudget))
+	b = appendI64(b, int64(c.ChildDeadline))
+	b = appendI64(b, int64(c.MaxResend))
+	b = appendI64(b, int64(c.KillNode))
+	b = appendI64(b, int64(c.KillAfter))
+	b = appendU64(b, c.Faults.Seed)
+	b = appendU64(b, math.Float64bits(c.Faults.DropProb))
+	b = appendI64(b, int64(c.Faults.MaxDrops))
+	b = appendI64(b, int64(c.Faults.RetryDelay))
+	b = appendU64(b, math.Float64bits(c.Faults.DupProb))
+	b = appendI64(b, int64(c.Faults.MaxDelay))
+	if c.Faults.Reorder {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// confReader walks an encoded conf, remembering the first error.
+type confReader struct {
+	b   []byte
+	err error
+}
+
+func (r *confReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 8 {
+		r.err = fmt.Errorf("proc: truncated cluster config")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *confReader) i64() int64 { return int64(r.u64()) }
+
+func (r *confReader) byteVal() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 1 {
+		r.err = fmt.Errorf("proc: truncated cluster config")
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+// decodeConf inverts encodeConf, validating the spec version and the
+// decoded shape.
+func decodeConf(raw []byte) (clusterConf, error) {
+	var c clusterConf
+	r := &confReader{b: raw}
+	if v := r.byteVal(); r.err == nil && v != specVersion {
+		return c, fmt.Errorf("proc: cluster config spec version %d, this build speaks %d", v, specVersion)
+	}
+	c.Op = r.byteVal()
+	c.Topo = dist.Topology(r.byteVal())
+	c.N = int(r.i64())
+	c.Workers = int(r.i64())
+	c.MaxChunkPayload = int(r.i64())
+	c.ReassemblyBudget = int(r.i64())
+	c.ChildDeadline = time.Duration(r.i64())
+	c.MaxResend = int(r.i64())
+	c.KillNode = int(r.i64())
+	c.KillAfter = int(r.i64())
+	c.Faults.Seed = r.u64()
+	c.Faults.DropProb = math.Float64frombits(r.u64())
+	c.Faults.MaxDrops = int(r.i64())
+	c.Faults.RetryDelay = time.Duration(r.i64())
+	c.Faults.DupProb = math.Float64frombits(r.u64())
+	c.Faults.MaxDelay = time.Duration(r.i64())
+	c.Faults.Reorder = r.byteVal() == 1
+	if r.err != nil {
+		return c, r.err
+	}
+	if len(r.b) != 0 {
+		return c, fmt.Errorf("proc: %d trailing bytes after cluster config", len(r.b))
+	}
+	if c.Op != opReduce && c.Op != opGroupBy {
+		return c, fmt.Errorf("proc: unknown operation %d in cluster config", c.Op)
+	}
+	if !c.Topo.Valid() {
+		return c, fmt.Errorf("proc: unknown topology %d in cluster config", int(c.Topo))
+	}
+	if c.N < 1 || c.Workers < 1 {
+		return c, fmt.Errorf("proc: cluster config declares %d nodes × %d workers", c.N, c.Workers)
+	}
+	return c, nil
+}
+
+// confDigest is the run-config digest of the join handshake: FNV-64a
+// over the raw canonical conf encoding. Workers digest the bytes they
+// actually parsed, so any drift — a knob, the operation, the cluster
+// size, even the spec version byte — flips the digest.
+func confDigest(raw []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(raw)
+	return h.Sum64()
+}
+
+// Control-plane stream ids (Frame.Seq). The control connection is a
+// dedicated reliable TCP stream per worker, but chunked job specs and
+// results reuse the data-plane reassembler, which dedups per
+// (from, seq) — distinct ids keep those streams distinct.
+const (
+	ctrlSeqHello uint32 = iota
+	ctrlSeqJob
+	ctrlSeqResult
+	ctrlSeqShutdown
+)
+
+// hello is the decoded KindHello payload.
+type hello struct {
+	version byte   // frame codec version the worker speaks
+	levels  byte   // rsum summation level count compiled into the worker
+	digest  uint64 // confDigest of the worker's cluster config
+	addr    string // worker's data-plane listen address
+}
+
+// encodeHello flattens the join handshake payload:
+//
+//	offset  size  field
+//	0       1     frame codec version
+//	1       1     rsum level count
+//	2       8     run-config digest (FNV-64a of the conf encoding)
+//	10      2     data-plane address length m
+//	12      m     data-plane listen address
+func encodeHello(h hello) []byte {
+	b := make([]byte, 0, 12+len(h.addr))
+	b = append(b, h.version, h.levels)
+	b = appendU64(b, h.digest)
+	var l [2]byte
+	binary.LittleEndian.PutUint16(l[:], uint16(len(h.addr)))
+	b = append(b, l[:]...)
+	return append(b, h.addr...)
+}
+
+// decodeHello inverts encodeHello.
+func decodeHello(payload []byte) (hello, error) {
+	var h hello
+	if len(payload) < 12 {
+		return h, fmt.Errorf("proc: hello payload is %d bytes, want >= 12", len(payload))
+	}
+	h.version = payload[0]
+	h.levels = payload[1]
+	h.digest = binary.LittleEndian.Uint64(payload[2:])
+	alen := int(binary.LittleEndian.Uint16(payload[10:]))
+	if len(payload) != 12+alen {
+		return h, fmt.Errorf("proc: hello declares a %d-byte address in a %d-byte payload", alen, len(payload))
+	}
+	if alen == 0 {
+		return h, fmt.Errorf("proc: hello carries an empty data-plane address")
+	}
+	h.addr = string(payload[12:])
+	return h, nil
+}
+
+// job is the decoded KindJob payload: the cluster's data-plane address
+// table plus this worker's input shard (keys empty for a reduction).
+type job struct {
+	addrs []string
+	keys  []uint32
+	vals  []float64
+}
+
+// encodeJob flattens a job: [2B addr count] addrs (2B length-prefixed
+// each), then for GROUP BY [8B row count] keys (4B each) + vals (8B
+// each), for a reduction [8B value count] vals (8B each).
+func encodeJob(op byte, addrs []string, keys []uint32, vals []float64) []byte {
+	size := 2
+	for _, a := range addrs {
+		size += 2 + len(a)
+	}
+	size += 8 + len(vals)*8 + len(keys)*4
+	b := make([]byte, 0, size)
+	var u16 [2]byte
+	binary.LittleEndian.PutUint16(u16[:], uint16(len(addrs)))
+	b = append(b, u16[:]...)
+	for _, a := range addrs {
+		binary.LittleEndian.PutUint16(u16[:], uint16(len(a)))
+		b = append(b, u16[:]...)
+		b = append(b, a...)
+	}
+	b = appendI64(b, int64(len(vals)))
+	if op == opGroupBy {
+		for _, k := range keys {
+			var u32 [4]byte
+			binary.LittleEndian.PutUint32(u32[:], k)
+			b = append(b, u32[:]...)
+		}
+	}
+	for _, v := range vals {
+		b = appendU64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+// decodeJob inverts encodeJob for the given operation, validating every
+// length against the remaining bytes.
+func decodeJob(op byte, payload []byte) (job, error) {
+	var j job
+	if len(payload) < 2 {
+		return j, fmt.Errorf("proc: truncated job spec")
+	}
+	n := int(binary.LittleEndian.Uint16(payload))
+	payload = payload[2:]
+	j.addrs = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if len(payload) < 2 {
+			return j, fmt.Errorf("proc: truncated job address table")
+		}
+		alen := int(binary.LittleEndian.Uint16(payload))
+		payload = payload[2:]
+		if alen == 0 || len(payload) < alen {
+			return j, fmt.Errorf("proc: job address %d declares %d bytes, %d remain", i, alen, len(payload))
+		}
+		j.addrs = append(j.addrs, string(payload[:alen]))
+		payload = payload[alen:]
+	}
+	if len(payload) < 8 {
+		return j, fmt.Errorf("proc: truncated job row count")
+	}
+	rows := int(int64(binary.LittleEndian.Uint64(payload)))
+	payload = payload[8:]
+	// Bound the declared count by the bytes actually present before any
+	// multiplication or allocation: a hostile 2^61-row count must fail
+	// this check, not overflow `rows × width` into a passing comparison
+	// and panic in make().
+	width := 8
+	if op == opGroupBy {
+		width += 4
+	}
+	if rows < 0 || rows > len(payload)/width || len(payload) != rows*width {
+		return j, fmt.Errorf("proc: job declares %d rows but carries %d payload bytes", rows, len(payload))
+	}
+	if op == opGroupBy {
+		j.keys = make([]uint32, rows)
+		for i := range j.keys {
+			j.keys[i] = binary.LittleEndian.Uint32(payload[i*4:])
+		}
+		payload = payload[rows*4:]
+	}
+	j.vals = make([]float64, rows)
+	for i := range j.vals {
+		j.vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+	}
+	return j, nil
+}

@@ -1,0 +1,299 @@
+package proc
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// nodeTransport is one worker process's view of the cluster
+// interconnect: it implements dist.Transport for exactly one node id,
+// receiving through its own TCP listener (fed into a dist.Mailboxes,
+// so Recv/Close semantics match the in-process transports by
+// construction) and sending through lazily dialed, cached, per-peer
+// connections — re-dialed after any failure, so a severed socket
+// mid-stream costs only the frames that were in flight, and the
+// protocol's per-chunk KindResend path recovers them over a fresh
+// connection without restarting the job.
+type nodeTransport struct {
+	id    int
+	addrs []string // data-plane listen addresses, indexed by node id
+	mb    *dist.Mailboxes
+	ln    net.Listener
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	mu    sync.Mutex
+	pipes map[int]*pipe
+	// live tracks every established outgoing connection so Close — and
+	// the injected kill-switch — can sever them without taking any
+	// pipe's write lock (lock order is always pipe.mu → transport.mu).
+	live map[net.Conn]struct{}
+
+	// Injected socket-kill fault: just before the killAfter-th
+	// non-resend data frame leaves this node, every outgoing
+	// connection is severed once (killAfter <= 0 disables). The count
+	// is atomic so exactly one send trips it.
+	killAfter int64
+	nsent     atomic.Int64
+}
+
+// pipe is one cached outgoing connection; writes are serialized so
+// concurrent protocol sends cannot interleave frame bytes, and the
+// connection is dropped on any write failure so the next send re-dials.
+type pipe struct {
+	mu sync.Mutex
+	c  net.Conn
+	w  *bufio.Writer
+}
+
+const (
+	sockBufSize = 64 << 10
+	dialTimeout = 5 * time.Second
+)
+
+// newNodeTransport starts node id's side of the interconnect on the
+// already-bound listener ln. The address table must cover the whole
+// cluster (including this node's own address, which is bypassed by
+// local delivery).
+func newNodeTransport(id int, addrs []string, ln net.Listener, killAfter int) (*nodeTransport, error) {
+	if id < 0 || id >= len(addrs) {
+		return nil, fmt.Errorf("proc: node id %d outside %d-node address table", id, len(addrs))
+	}
+	t := &nodeTransport{
+		id:        id,
+		addrs:     addrs,
+		mb:        dist.NewMailboxes(len(addrs)),
+		ln:        ln,
+		closed:    make(chan struct{}),
+		pipes:     make(map[int]*pipe),
+		live:      make(map[net.Conn]struct{}),
+		killAfter: int64(killAfter),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+func (t *nodeTransport) Nodes() int { return len(t.addrs) }
+
+func (t *nodeTransport) Recv(id int, timeout time.Duration) (dist.Frame, error) {
+	return t.mb.Recv(id, timeout)
+}
+
+// acceptLoop accepts inbound peer connections and spawns one reader
+// per connection.
+func (t *nodeTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.readLoop(c)
+	}
+}
+
+// readLoop decodes frames off one inbound connection into the mailbox.
+// A frame that fails validation poisons only its connection; the
+// protocol's re-request layer recovers the lost chunks over a fresh
+// dial from the sender.
+func (t *nodeTransport) readLoop(c net.Conn) {
+	defer t.wg.Done()
+	defer c.Close()
+	br := bufio.NewReaderSize(c, sockBufSize)
+	for {
+		f, err := dist.ReadFrame(br)
+		if err != nil {
+			return // EOF, peer close, severed socket, or corrupt stream
+		}
+		if f.To != t.id {
+			continue // misrouted frame: drop at the trust boundary
+		}
+		if t.mb.Deliver(f) != nil {
+			return // transport closed
+		}
+	}
+}
+
+// Send delivers f: by reference through the local mailbox when the
+// destination is this node, through the cached (re-dialed on demand)
+// peer connection otherwise. It is a one-frame run — a single send
+// path keeps the kill-switch and reset behavior identical everywhere.
+func (t *nodeTransport) Send(f dist.Frame) error {
+	return t.sendRun([]dist.Frame{f})
+}
+
+// SendBatch transmits a frame list, coalescing each run of equal-To
+// frames into buffered writes with one flush per peer (local frames
+// deliver directly). Equivalent to calling Send in order; the first
+// error is reported, later runs are still attempted.
+func (t *nodeTransport) SendBatch(fs []dist.Frame) error {
+	var firstErr error
+	for start := 0; start < len(fs); {
+		end := start + 1
+		for end < len(fs) && fs[end].To == fs[start].To {
+			end++
+		}
+		if err := t.sendRun(fs[start:end]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		start = end
+	}
+	return firstErr
+}
+
+// sendRun writes one same-destination run through the peer's buffered
+// writer and flushes once.
+func (t *nodeTransport) sendRun(fs []dist.Frame) error {
+	to := fs[0].To
+	if to == t.id {
+		return t.mb.DeliverBatch(fs)
+	}
+	if to < 0 || to >= len(t.addrs) {
+		return fmt.Errorf("proc: send to node %d of %d-node cluster", to, len(t.addrs))
+	}
+	select {
+	case <-t.closed:
+		return dist.ErrClosed
+	default:
+	}
+	p := t.pipe(to)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := t.dialLocked(p, to); err != nil {
+		return err
+	}
+	for i := range fs {
+		if t.tripKill(fs[i]) {
+			// The rest of the run is sacrificed with the sockets; the
+			// receiver's per-chunk re-requests recover it.
+			t.resetLocked(p)
+			return fmt.Errorf("proc: node %d: injected socket kill", t.id)
+		}
+		if err := dist.WriteFrame(p.w, fs[i]); err != nil {
+			t.resetLocked(p)
+			return t.sendErr(err)
+		}
+	}
+	if err := p.w.Flush(); err != nil {
+		t.resetLocked(p)
+		return t.sendErr(err)
+	}
+	return nil
+}
+
+// tripKill counts outgoing data frames and, exactly once, severs every
+// established outgoing connection just before the killAfter-th leaves —
+// the forced mid-stream socket failure of the reconnect scenario.
+// Resend traffic is exempt so recovery itself cannot re-trip the fault.
+func (t *nodeTransport) tripKill(f dist.Frame) bool {
+	if t.killAfter <= 0 || f.Kind == dist.KindResend {
+		return false
+	}
+	if t.nsent.Add(1) != t.killAfter {
+		return false
+	}
+	t.mu.Lock()
+	for c := range t.live {
+		c.Close() // in-flight writes fail; owners re-dial on next use
+	}
+	t.mu.Unlock()
+	return true
+}
+
+// dialLocked establishes the pipe's connection if needed; the caller
+// must hold p.mu.
+func (t *nodeTransport) dialLocked(p *pipe, to int) error {
+	if p.c != nil {
+		return nil
+	}
+	c, err := net.DialTimeout("tcp", t.addrs[to], dialTimeout)
+	if err != nil {
+		return t.sendErr(fmt.Errorf("dial node %d: %w", to, err))
+	}
+	// Registration and the closed check share one critical section:
+	// Close closes t.closed before it sweeps t.live, so a connection
+	// either registers in time to be swept or observes closed here —
+	// never neither.
+	t.mu.Lock()
+	select {
+	case <-t.closed:
+		t.mu.Unlock()
+		c.Close()
+		return dist.ErrClosed
+	default:
+	}
+	t.live[c] = struct{}{}
+	t.mu.Unlock()
+	p.c, p.w = c, bufio.NewWriterSize(c, sockBufSize)
+	return nil
+}
+
+// resetLocked drops a pipe's (possibly already severed) connection so
+// the next send re-dials; the caller must hold p.mu.
+func (t *nodeTransport) resetLocked(p *pipe) {
+	if p.c == nil {
+		return
+	}
+	p.c.Close()
+	t.mu.Lock()
+	delete(t.live, p.c)
+	t.mu.Unlock()
+	p.c, p.w = nil, nil
+}
+
+// sendErr maps write failures after Close to ErrClosed, so protocol
+// teardown is not reported as a network failure.
+func (t *nodeTransport) sendErr(err error) error {
+	select {
+	case <-t.closed:
+		return dist.ErrClosed
+	default:
+		return fmt.Errorf("proc: node %d send: %w", t.id, err)
+	}
+}
+
+// pipe returns the (possibly not yet dialed) pipe for the peer.
+func (t *nodeTransport) pipe(to int) *pipe {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.pipes[to]
+	if !ok {
+		p = &pipe{}
+		t.pipes[to] = p
+	}
+	return p
+}
+
+// Close tears down the listener, all connections, and the mailbox, and
+// waits for the reader goroutines to drain. Idempotent.
+func (t *nodeTransport) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		t.mb.Shutdown()
+		t.ln.Close()
+		t.mu.Lock()
+		for c := range t.live {
+			c.Close()
+		}
+		t.live = make(map[net.Conn]struct{})
+		t.mu.Unlock()
+		t.wg.Wait()
+	})
+	return nil
+}
+
+// interface conformance
+var (
+	_ dist.Transport   = (*nodeTransport)(nil)
+	_ dist.BatchSender = (*nodeTransport)(nil)
+)

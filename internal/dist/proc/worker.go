@@ -1,0 +1,275 @@
+package proc
+
+import (
+	"bufio"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// The worker side of the multi-process cluster runtime. A worker
+// process is spawned (or started by hand, see cmd/reproworker) with
+// three flags — the supervisor's control address, its node id, and the
+// hex-encoded cluster config — and then:
+//
+//  1. binds a data-plane TCP listener on loopback,
+//  2. dials the control address and sends KindHello (frame version,
+//     rsum level count, run-config digest, data-plane address),
+//  3. waits for KindJob (peer address table + its input shard; a
+//     KindError instead means the handshake was rejected),
+//  4. runs its node's role of the aggregation protocol over real
+//     sockets to its peers — the root also ships the finalized result
+//     back as KindResult —
+//  5. keeps serving per-chunk resend requests until KindShutdown, then
+//     closes the data plane and exits.
+
+// workerEnv marks a process as a spawned cluster worker when the
+// supervisor re-executes the current binary (the default when no
+// explicit reproworker binary is configured). MaybeWorkerMain checks
+// it; cmd/reproworker needs no marker.
+const workerEnv = "REPRO_WORKER_PROCESS"
+
+// Test hooks: REPROWORKER_HELLO_VERSION and REPROWORKER_HELLO_LEVELS
+// override the corresponding KindHello fields, and
+// REPROWORKER_TAMPER_DIGEST=1 flips the run-config digest — so the
+// handshake rejection paths are exercised through the real spawn, dial,
+// and reject machinery rather than a mocked frame. They are honored
+// only in re-exec-spawned workers (workerEnv set, the mode tests use):
+// the standalone reproworker binary must announce what it actually
+// speaks, and a hook variable stray in an operator's shell must not
+// mysteriously fail (or worse, falsify) production handshakes.
+const (
+	envHelloVersion = "REPROWORKER_HELLO_VERSION"
+	envHelloLevels  = "REPROWORKER_HELLO_LEVELS"
+	envTamperDigest = "REPROWORKER_TAMPER_DIGEST"
+)
+
+// MaybeWorkerMain turns the current process into a cluster worker and
+// never returns when it was spawned as one (workerEnv is set);
+// otherwise it returns immediately. Programs that use the process
+// cluster through re-execution — tests, reprobench, anything calling
+// the facade's WithProcessCluster without a separate reproworker
+// binary — must call it at the top of main (or TestMain), before flag
+// parsing.
+func MaybeWorkerMain() {
+	if os.Getenv(workerEnv) == "" {
+		return
+	}
+	os.Exit(WorkerMain(os.Args[1:]))
+}
+
+// WorkerMain parses worker flags from args, runs the worker loop, and
+// returns the process exit code. cmd/reproworker calls it directly.
+func WorkerMain(args []string) int {
+	fs := flag.NewFlagSet("reproworker", flag.ContinueOnError)
+	control := fs.String("control", "", "supervisor control address (host:port)")
+	id := fs.Int("id", -1, "this worker's cluster node id")
+	confHex := fs.String("conf", "", "hex-encoded cluster config (from the supervisor)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "reproworker: node %d: %v\n", *id, err)
+		return 1
+	}
+	if *control == "" || *confHex == "" {
+		fmt.Fprintln(os.Stderr, "reproworker: -control and -conf are required (workers are started by a proc.Cluster supervisor)")
+		return 2
+	}
+	raw, err := hex.DecodeString(*confHex)
+	if err != nil {
+		return fail(fmt.Errorf("decoding -conf: %w", err))
+	}
+	conf, err := decodeConf(raw)
+	if err != nil {
+		return fail(err)
+	}
+	if *id < 0 || *id >= conf.N {
+		return fail(fmt.Errorf("node id %d outside the %d-node cluster", *id, conf.N))
+	}
+	if err := runWorker(*control, *id, conf, raw); err != nil {
+		return fail(err)
+	}
+	return 0
+}
+
+// helloFields builds this worker's handshake fields, honoring the test
+// hooks that force mismatches.
+func helloFields(raw []byte) (version, levels byte, digest uint64) {
+	version, levels, digest = dist.FrameVersion, byte(core.DefaultLevels), confDigest(raw)
+	if os.Getenv(workerEnv) == "" {
+		return version, levels, digest // standalone binary: no hooks
+	}
+	if v := os.Getenv(envHelloVersion); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			version = byte(n)
+		}
+	}
+	if v := os.Getenv(envHelloLevels); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			levels = byte(n)
+		}
+	}
+	if os.Getenv(envTamperDigest) == "1" {
+		digest ^= 0xDEADBEEF
+	}
+	return version, levels, digest
+}
+
+// runWorker is the worker loop described in the package comment.
+func runWorker(control string, id int, conf clusterConf, raw []byte) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("binding data-plane listener: %w", err)
+	}
+	defer ln.Close()
+
+	cc, err := net.DialTimeout("tcp", control, dialTimeout)
+	if err != nil {
+		return fmt.Errorf("dialing supervisor %s: %w", control, err)
+	}
+	defer cc.Close()
+
+	version, levels, digest := helloFields(raw)
+	helloPayload := encodeHello(hello{
+		version: version,
+		levels:  levels,
+		digest:  digest,
+		addr:    ln.Addr().String(),
+	})
+	err = dist.WriteFrame(cc, dist.Frame{
+		Kind: dist.KindHello, From: id, Seq: ctrlSeqHello, Chunks: 1, Payload: helloPayload,
+	})
+	if err != nil {
+		return fmt.Errorf("sending hello: %w", err)
+	}
+
+	// Job (or rejection). Large shards arrive as a chunk stream over
+	// the control connection, reassembled by the same machinery the
+	// data plane uses — but under the default budget, not the run's
+	// ReassemblyBudget: that knob is the data plane's defense against
+	// hostile peers, while this stream comes from the supervisor that
+	// spawned us and must be able to carry a shard of any size the
+	// run has (capping it at the shuffle-message budget would reject
+	// legitimate jobs, not attackers).
+	br := bufio.NewReaderSize(cc, sockBufSize)
+	asm := dist.NewReassembler(0)
+	var theJob job
+	for {
+		f, err := dist.ReadFrame(br)
+		if err != nil {
+			return fmt.Errorf("control connection lost before job arrived: %w", err)
+		}
+		msg, complete, _, aerr := asm.Accept(f)
+		if aerr != nil {
+			return fmt.Errorf("reassembling control message: %w", aerr)
+		}
+		if !complete {
+			continue
+		}
+		if msg.Kind == dist.KindError {
+			return dist.DecodeErr(-1, msg.Payload) // handshake rejected
+		}
+		if msg.Kind != dist.KindJob {
+			continue // unknown-but-valid control kinds are ignored
+		}
+		theJob, err = decodeJob(conf.Op, msg.Payload)
+		if err != nil {
+			return err
+		}
+		break
+	}
+	if len(theJob.addrs) != conf.N {
+		return fmt.Errorf("job carries %d addresses for a %d-node cluster", len(theJob.addrs), conf.N)
+	}
+
+	killAfter := 0
+	if conf.KillAfter > 0 && conf.KillNode == id {
+		killAfter = conf.KillAfter
+	}
+	nt, err := newNodeTransport(id, theJob.addrs, ln, killAfter)
+	if err != nil {
+		return err
+	}
+	defer nt.Close()
+	var tr dist.Transport = nt
+	if conf.Faults.Active() {
+		// The fault decorator deliberately does not batch, so injected
+		// faults keep applying per chunk — across processes too.
+		tr = dist.NewFaultTransport(nt, conf.Faults)
+	}
+	cfg := conf.distConfig()
+
+	type outcome struct {
+		payload []byte
+		err     error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		switch conf.Op {
+		case opReduce:
+			payload, err := dist.RunReduceNode(id, theJob.vals, conf.Workers, conf.Topo, tr, cfg)
+			done <- outcome{payload: payload, err: err}
+		default: // opGroupBy (decodeConf rejected everything else)
+			groups, err := dist.RunGroupByNode(id, theJob.keys, theJob.vals, conf.Workers, tr, cfg)
+			done <- outcome{payload: dist.EncodeGroups(groups), err: err}
+		}
+	}()
+
+	// The root's role ends with a result it must report; everyone
+	// else's ends only when the transport closes, so their outcome is
+	// drained after shutdown. Node 0 is the root of every built-in
+	// topology and of the GROUP BY gather.
+	var out outcome
+	haveOut := false
+	if id == 0 {
+		out = <-done
+		haveOut = true
+		rf := dist.Frame{Kind: dist.KindResult, From: id, Seq: ctrlSeqResult, Payload: out.payload}
+		if out.err != nil {
+			rf = dist.Frame{Kind: dist.KindError, From: id, Seq: ctrlSeqResult, Payload: dist.EncodeErr(out.err)}
+		}
+		// Buffered like the supervisor's job dispatch: a chunked result
+		// leaves as few large writes, not one syscall per chunk.
+		bw := bufio.NewWriterSize(cc, sockBufSize)
+		for _, c := range dist.SplitFrame(rf, conf.MaxChunkPayload) {
+			if err := dist.WriteFrame(bw, c); err != nil {
+				return fmt.Errorf("reporting result: %w", err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("reporting result: %w", err)
+		}
+	}
+
+	// Stay up — serving data-plane resends through the protocol
+	// goroutine — until the supervisor says the run is over.
+	clean := false
+	for {
+		f, err := dist.ReadFrame(br)
+		if err != nil {
+			break // supervisor gone: treat as an unclean shutdown
+		}
+		if f.Kind == dist.KindShutdown {
+			clean = true
+			break
+		}
+	}
+	tr.Close() // unblocks the protocol goroutine of non-root nodes
+	if !haveOut {
+		out = <-done
+	}
+	if !clean {
+		if out.err != nil {
+			return fmt.Errorf("control connection lost (node role ended in: %v)", out.err)
+		}
+		return fmt.Errorf("control connection lost before shutdown")
+	}
+	return nil
+}

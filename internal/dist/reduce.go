@@ -59,8 +59,35 @@ type Config struct {
 	// even though each individual message fits (the sender-side check
 	// only rejects single messages that could never fit).
 	ReassemblyBudget int
+	// Procs, when positive, asks for a multi-process cluster of that
+	// many spawned worker OS processes instead of in-process
+	// goroutines. The operators in this package ignore it (they are
+	// the in-process engine both runtimes share); the repro facade
+	// routes a positive Procs to internal/dist/proc. It lives here so
+	// one Config describes a run completely — including in the
+	// run-config digest of the join handshake.
+	Procs int
 
 	gate *sendGate // test hook forcing a global send order
+}
+
+// Validate rejects Config values that could only fail later and deeper:
+// negative chunk payloads and reassembly budgets (zero means "default",
+// negative is always a bug — the facade also maps an explicit
+// non-positive option argument here), and negative process-cluster
+// sizes. Returning ErrConfig up front keeps the failure at the call
+// that made the mistake instead of inside a spawned run.
+func (c Config) Validate() error {
+	if c.MaxChunkPayload < 0 {
+		return fmt.Errorf("%w: max chunk payload must be a positive byte count (WithMaxChunkPayload requires bytes >= 1)", ErrConfig)
+	}
+	if c.ReassemblyBudget < 0 {
+		return fmt.Errorf("%w: reassembly budget must be a positive byte count (WithReassemblyBudget requires bytes >= 1)", ErrConfig)
+	}
+	if c.Procs < 0 {
+		return fmt.Errorf("%w: process cluster size must be >= 1 worker process (WithProcessCluster requires procs >= 1)", ErrConfig)
+	}
+	return nil
 }
 
 func (c Config) childDeadline() time.Duration {
@@ -211,6 +238,9 @@ func Reduce(shards [][]float64, workers int, topo Topology) (float64, error) {
 // every configuration: reproducibility comes from the canonical state
 // algebra, not from transport behavior.
 func ReduceConfig(shards [][]float64, workers int, topo Topology, cfg Config) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
 	n := len(shards)
 	if n == 0 {
 		return 0, ErrNoShards
@@ -229,7 +259,12 @@ func ReduceConfig(shards [][]float64, workers int, topo Topology, cfg Config) (f
 
 	root := make(chan result, 1)
 	for id := 0; id < n; id++ {
-		go reduceNode(id, shards[id], workers, topo, tr, cfg, root)
+		go func(id int) {
+			payload, err := RunReduceNode(id, shards[id], workers, topo, tr, cfg)
+			if topo.parent(id, n) < 0 {
+				root <- result{payload: payload, err: err}
+			}
+		}(id)
 	}
 
 	m := <-root
@@ -243,13 +278,22 @@ func ReduceConfig(shards [][]float64, workers int, topo Topology, cfg Config) (f
 	return final.Value(), nil
 }
 
-// reduceNode is the per-node protocol of the reduction tree: sum the
-// local shard, fold children's partials in arrival order (reassembled
-// from chunk streams, deduplicated, with a straggler deadline per
-// fan-in round), then ship the merged partial to the parent — and keep
-// serving retransmission requests, chunk by chunk, until the
-// coordinator tears the transport down.
-func reduceNode(id int, shard []float64, workers int, topo Topology, tr Transport, cfg Config, rootCh chan<- result) {
+// RunReduceNode executes node id's role of the reduction tree over an
+// externally owned transport: sum the local shard, fold children's
+// partials in arrival order (reassembled from chunk streams,
+// deduplicated, with a straggler deadline per fan-in round), then ship
+// the merged partial to the parent — and keep serving retransmission
+// requests, chunk by chunk, until the caller closes the transport.
+//
+// The root returns the final canonical state encoding as soon as every
+// child has reported (its role ends there: the root sends nothing, so
+// there is nothing for it to retransmit). Every other node returns only
+// after the transport is closed underneath it, with the error its role
+// ended in (already announced to its parent as a KindError) — nil for a
+// clean run. Exported for runtimes that place each node in its own OS
+// process (internal/dist/proc); ReduceConfig runs the same function on
+// one goroutine per node.
+func RunReduceNode(id int, shard []float64, workers int, topo Topology, tr Transport, cfg Config) ([]byte, error) {
 	acc := localPartial(shard, workers)
 	kids := childrenOf(topo, id, tr.Nodes())
 
@@ -326,11 +370,9 @@ func reduceNode(id int, shard []float64, workers int, topo Topology, tr Transpor
 	p := topo.parent(id, tr.Nodes())
 	if p < 0 {
 		if nodeErr != nil {
-			rootCh <- result{err: nodeErr}
-		} else {
-			rootCh <- result{payload: out.Payload}
+			return nil, nodeErr
 		}
-		return
+		return out.Payload, nil
 	}
 
 	out.To = p
@@ -350,7 +392,7 @@ func reduceNode(id int, shard []float64, workers int, topo Topology, tr Transpor
 	for {
 		f, err := tr.Recv(id, 0)
 		if err != nil {
-			return
+			return nil, nodeErr
 		}
 		if f.Kind == KindResend && f.From == p {
 			serveResend(tr, outChunks, f)

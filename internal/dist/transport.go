@@ -39,7 +39,28 @@ const (
 	// text.
 	KindError
 
-	kindMax = KindError
+	// Control-plane kinds of the multi-process cluster runtime
+	// (internal/dist/proc). They travel only on the supervisor↔worker
+	// control connections, never through the data-plane transports —
+	// but they share the frame codec, so the wire validation (and the
+	// chunking rules for large job specs and results) is identical.
+
+	// KindHello is the worker → supervisor join handshake: frame
+	// version, rsum level count, run-config digest, and the worker's
+	// data-plane listen address. A mismatch is rejected with a
+	// KindError carrying ErrHandshake.
+	KindHello
+	// KindJob carries the job spec (peer address table plus the
+	// worker's input shard) from the supervisor to a joined worker.
+	KindJob
+	// KindResult carries the root worker's finalized result back to
+	// the supervisor.
+	KindResult
+	// KindShutdown tells a worker the run is over: close the data
+	// plane and exit.
+	KindShutdown
+
+	kindMax = KindShutdown
 )
 
 // Frame is one wire message of the interconnect: a typed payload
@@ -125,7 +146,22 @@ var (
 	// ErrStraggler is returned when a child node stayed silent through
 	// every re-request deadline.
 	ErrStraggler = errors.New("dist: straggler child unresponsive after re-requests")
+	// ErrHandshake is returned when a worker's join handshake
+	// (KindHello) disagrees with the supervisor on the frame version,
+	// the rsum level count, or the run-config digest. A heterogeneous
+	// cluster is rejected at join time, before any data-plane traffic.
+	ErrHandshake = errors.New("dist: cluster join handshake rejected")
+	// ErrConfig is returned when a Config (or a facade DistOption that
+	// builds one) carries an invalid value — validated up front by the
+	// distributed operators so a bad knob fails the call immediately
+	// instead of deep inside a run.
+	ErrConfig = errors.New("dist: invalid configuration")
 )
+
+// FrameVersion is the wire-format version of the frame codec, exported
+// for the multi-process join handshake: workers announce the version
+// they speak in KindHello and the supervisor rejects mismatches.
+const FrameVersion = frameVersion
 
 // AppendFrame appends the wire encoding of f to dst and returns the
 // extended slice.
@@ -504,6 +540,7 @@ const (
 	errCodeStraggler
 	errCodeBadFrame
 	errCodeChunkBudget
+	errCodeHandshake
 )
 
 // encodeErr flattens an error for a KindError payload.
@@ -516,6 +553,8 @@ func encodeErr(err error) []byte {
 		code = errCodeBadFrame
 	case errors.Is(err, ErrChunkBudget):
 		code = errCodeChunkBudget
+	case errors.Is(err, ErrHandshake):
+		code = errCodeHandshake
 	}
 	return append([]byte{code}, err.Error()...)
 }
@@ -528,7 +567,14 @@ type remoteError struct {
 	sentinel error
 }
 
-func (e *remoteError) Error() string { return fmt.Sprintf("dist: node %d: %s", e.from, e.text) }
+func (e *remoteError) Error() string {
+	if e.from < 0 {
+		// Control-plane errors of the multi-process runtime: the peer is
+		// the supervisor, not a numbered cluster node.
+		return fmt.Sprintf("dist: supervisor: %s", e.text)
+	}
+	return fmt.Sprintf("dist: node %d: %s", e.from, e.text)
+}
 func (e *remoteError) Unwrap() error { return e.sentinel }
 
 // decodeErr inverts encodeErr for a frame received from a peer.
@@ -544,6 +590,8 @@ func decodeErr(from int, payload []byte) error {
 		e.sentinel = ErrBadFrame
 	case errCodeChunkBudget:
 		e.sentinel = ErrChunkBudget
+	case errCodeHandshake:
+		e.sentinel = ErrHandshake
 	}
 	return e
 }

@@ -39,6 +39,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/dist/proc"
 	"repro/internal/exact"
 	"repro/internal/hashagg"
 	"repro/internal/rsum"
@@ -231,6 +232,15 @@ var (
 	// ErrChunkBudget: buffering incoming message chunks would exceed
 	// the reassembly budget (see WithReassemblyBudget).
 	ErrChunkBudget = dist.ErrChunkBudget
+	// ErrConfig: a DistOption was built with an invalid value (a
+	// non-positive chunk payload, reassembly budget, or process
+	// count). Reported by the distributed operators before any run
+	// starts.
+	ErrConfig = dist.ErrConfig
+	// ErrHandshake: a worker process's join handshake disagreed with
+	// the supervisor on the frame version, rsum level count, or
+	// run-config digest (see WithProcessCluster).
+	ErrHandshake = dist.ErrHandshake
 )
 
 // FaultPlan configures the fault-injection decorator of the distributed
@@ -274,18 +284,31 @@ func WithStragglerDeadline(d time.Duration) DistOption {
 	return func(c *dist.Config) { c.ChildDeadline = d }
 }
 
+// poisonNonPositive maps an explicitly non-positive option argument to
+// a negative marker, so Config.Validate reports it as ErrConfig at the
+// next operation instead of the zero value silently selecting the
+// default (a classic way to fail deep inside a run later).
+func poisonNonPositive(v int) int {
+	if v <= 0 {
+		return -1
+	}
+	return v
+}
+
 // WithMaxChunkPayload caps the payload bytes of one wire frame: a
 // logical message (a partial state, a shuffle frame of ⟨key, state⟩
 // pairs, a gather of finalized groups) larger than this travels as a
 // stream of chunk frames that the receiver reassembles — out-of-order,
 // duplicated, and individually re-requested chunks included — before
-// any protocol code sees the payload. The default (and maximum) is the
-// 16 MiB frame ceiling, so workloads whose messages always fit in one
-// frame produce exactly the single-frame traffic they did before
-// chunking existed. Chunking never changes result bits; it only decides
-// how many wire frames carry the same canonical bytes.
+// any protocol code sees the payload. The maximum (and the default,
+// when this option is not used) is the 16 MiB frame ceiling, so
+// workloads whose messages always fit in one frame produce exactly the
+// single-frame traffic they did before chunking existed. Chunking
+// never changes result bits; it only decides how many wire frames
+// carry the same canonical bytes. bytes must be positive: a
+// non-positive value fails the operation immediately with ErrConfig.
 func WithMaxChunkPayload(bytes int) DistOption {
-	return func(c *dist.Config) { c.MaxChunkPayload = bytes }
+	return func(c *dist.Config) { c.MaxChunkPayload = poisonNonPositive(bytes) }
 }
 
 // WithReassemblyBudget caps the bytes a node buffers for incomplete
@@ -294,10 +317,40 @@ func WithMaxChunkPayload(bytes int) DistOption {
 // its own doing, on the receiver when a hostile peer tries to declare
 // its way past the node's memory. The budget is shared across all
 // streams a node is concurrently reassembling, so when lowering it
-// allow for fan-in × the largest expected message.
+// allow for fan-in × the largest expected message. bytes must be
+// positive: a non-positive value fails the operation immediately with
+// ErrConfig.
 func WithReassemblyBudget(bytes int) DistOption {
-	return func(c *dist.Config) { c.ReassemblyBudget = bytes }
+	return func(c *dist.Config) { c.ReassemblyBudget = poisonNonPositive(bytes) }
 }
+
+// WithProcessCluster runs the distributed operation across procs
+// spawned worker OS processes — a real multi-process cluster speaking
+// the v2 frame codec over TCP sockets — instead of in-process
+// goroutines. Each worker joins through a handshake (frame version,
+// rsum level count, run-config digest; mismatches fail with
+// ErrHandshake), executes its node's protocol role, reconnects through
+// socket failures via the per-chunk resend path, and exits on
+// shutdown. The result bits are identical to every in-process
+// transport. When procs differs from the number of input shards, the
+// shards are re-dealt round-robin across the procs worker nodes
+// (reproducibility makes re-dealing invisible in the bits).
+//
+// The worker binary is resolved in order: the REPROWORKER_BIN
+// environment variable (pointing at a built cmd/reproworker), else the
+// current binary re-executed — which requires main (or TestMain) to
+// call InitWorkerProcess first. procs must be positive: a non-positive
+// value fails the operation immediately with ErrConfig.
+func WithProcessCluster(procs int) DistOption {
+	return func(c *dist.Config) { c.Procs = poisonNonPositive(procs) }
+}
+
+// InitWorkerProcess turns the current process into a cluster worker
+// and never returns when it was spawned as one by WithProcessCluster's
+// supervisor; otherwise it returns immediately. Call it at the top of
+// main (before flag parsing) in any program that uses
+// WithProcessCluster without a separate reproworker binary.
+func InitWorkerProcess() { proc.MaybeWorkerMain() }
 
 func distConfig(opts []DistOption) dist.Config {
 	var cfg dist.Config
@@ -317,7 +370,13 @@ func distConfig(opts []DistOption) dist.Config {
 // topology, worker count, message arrival order, transport
 // (WithTCPTransport), and fault plan (WithFaults).
 func DistributedSum(shards [][]float64, workers int, topo Topology, opts ...DistOption) (float64, error) {
-	return dist.ReduceConfig(shards, workers, topo, distConfig(opts))
+	cfg := distConfig(opts)
+	if cfg.Procs != 0 {
+		// proc validates the config, so a poisoned WithProcessCluster
+		// argument surfaces as ErrConfig here too.
+		return proc.Reduce(shards, workers, topo, cfg, proc.Options{})
+	}
+	return dist.ReduceConfig(shards, workers, topo, cfg)
 }
 
 // DistributedGroupBySum computes a reproducible GROUP BY SUM over rows
@@ -329,7 +388,14 @@ func DistributedSum(shards [][]float64, workers int, topo Topology, opts ...Dist
 // rows, for every sharding, cluster size, worker count, transport, and
 // fault plan.
 func DistributedGroupBySum(shardKeys [][]uint32, shardVals [][]float64, workers int, opts ...DistOption) ([]Group, error) {
-	gs, err := dist.AggregateByKeyConfig(shardKeys, shardVals, workers, distConfig(opts))
+	cfg := distConfig(opts)
+	var gs []dist.Group
+	var err error
+	if cfg.Procs != 0 {
+		gs, err = proc.AggregateByKey(shardKeys, shardVals, workers, cfg, proc.Options{})
+	} else {
+		gs, err = dist.AggregateByKeyConfig(shardKeys, shardVals, workers, cfg)
+	}
 	if err != nil {
 		return nil, err
 	}
