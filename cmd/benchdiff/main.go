@@ -50,7 +50,9 @@ func load(path string) (report, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return r, fmt.Errorf("%s: %w", path, err)
 	}
-	if r.Schema != 1 {
+	// Schema 2 added the multi-aggregate groupby cells; the cell fields
+	// benchdiff reads are unchanged, so both schemas diff the same way.
+	if r.Schema != 1 && r.Schema != 2 {
 		return r, fmt.Errorf("%s: unsupported schema %d", path, r.Schema)
 	}
 	return r, nil

@@ -13,6 +13,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/dist"
 	"repro/internal/rsum"
+	"repro/internal/tpch"
 	"repro/internal/workload"
 )
 
@@ -148,6 +149,7 @@ type benchCell struct {
 	Name        string  `json:"name"`
 	Transport   string  `json:"transport,omitempty"`
 	Chunks      string  `json:"chunks,omitempty"`
+	Aggs        string  `json:"aggs,omitempty"`
 	Rows        int     `json:"rows,omitempty"`
 	RowsPerSec  float64 `json:"rows_per_sec,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -157,7 +159,9 @@ type benchCell struct {
 
 // benchReport is the BENCH_dist.json schema. No timestamps: the file is
 // committed as a baseline and should not churn without a measurement
-// change.
+// change. Schema 2 added the multi-aggregate shuffle cells (the
+// `groupby/.../q1agg` names and the `aggs` cell field); schema 1 files
+// remain readable by cmd/benchdiff.
 type benchReport struct {
 	Schema    int         `json:"schema"`
 	Generator string      `json:"generator"`
@@ -169,8 +173,9 @@ type benchReport struct {
 
 // runDistBenchJSON measures the dist data plane's benchmark cells —
 // the GROUP BY shuffle per transport (chan vs TCP) in single- and
-// multi-chunk regimes, the reduction per transport, and the per-key
-// state-encode micro path — and writes them as JSON. B/op and
+// multi-chunk regimes for both a single-SUM and a TPC-H Q1-shaped
+// multi-aggregate catalog, the reduction per transport, and the
+// per-key state-encode micro path — and writes them as JSON. B/op and
 // allocs/op come from testing.Benchmark, so the committed baseline
 // pins the allocation profile of the hot path, not just its speed.
 func runDistBenchJSON(cfg config) {
@@ -179,7 +184,7 @@ func runDistBenchJSON(cfg config) {
 		rows = 1 << 17 // bounded: these cells run under testing.Benchmark's ~1s budget each
 	}
 	report := benchReport{
-		Schema:    1,
+		Schema:    2,
 		Generator: "reprobench dist",
 		Go:        runtime.Version(),
 		Rows:      rows,
@@ -211,11 +216,12 @@ func runDistBenchJSON(cfg config) {
 		}
 		return res
 	}
-	add := func(name, transport, chunks string, cellRows int, res testing.BenchmarkResult) {
+	add := func(name, transport, chunks, aggs string, cellRows int, res testing.BenchmarkResult) {
 		cell := benchCell{
 			Name:        name,
 			Transport:   transport,
 			Chunks:      chunks,
+			Aggs:        aggs,
 			Rows:        cellRows,
 			NsPerOp:     float64(res.NsPerOp()),
 			BytesPerOp:  res.AllocedBytesPerOp(),
@@ -248,14 +254,29 @@ func runDistBenchJSON(cfg config) {
 	}
 	const nodes = 4
 	vals := workload.Values64(cfg.seed+4, rows, workload.MixedMag)
+	// The multi-aggregate cells shuffle TPC-H Q1's catalog shape —
+	// 4×SUM, 3×AVG, COUNT over five value columns — so the baseline pins
+	// the spec-tagged tuple plane, not just the single-SUM frames.
+	q1specs := tpch.Q1Specs(2)
+	q1cols := make([][]float64, 5)
+	for c := range q1cols {
+		q1cols[c] = workload.Values64(cfg.seed+5+uint64(c), rows, workload.MixedMag)
+	}
 	for _, m := range modes {
 		keys := workload.Keys(cfg.seed+3, rows, m.distinct)
 		lk := make([][]uint32, nodes)
 		lv := make([][]float64, nodes)
+		lc := make([][][]float64, nodes)
+		for d := range lc {
+			lc[d] = make([][]float64, len(q1cols))
+		}
 		for i := range keys {
 			d := i % nodes
 			lk[d] = append(lk[d], keys[i])
 			lv[d] = append(lv[d], vals[i])
+			for c := range q1cols {
+				lc[d][c] = append(lc[d][c], q1cols[c][i])
+			}
 		}
 		for _, tr := range transports {
 			dcfg := dist.Config{NewTransport: tr.factory, MaxChunkPayload: m.chunkPayload}
@@ -264,7 +285,14 @@ func runDistBenchJSON(cfg config) {
 				_, err := dist.AggregateByKeyConfig(lk, lv, 2, dcfg)
 				return err
 			})
-			add(name, tr.name, m.name, rows, res)
+			add(name, tr.name, m.name, "sum", rows, res)
+
+			name += "/q1agg"
+			res = measure(name, func() error {
+				_, err := dist.AggregateTuplesConfig(lk, lc, 2, q1specs, dcfg)
+				return err
+			})
+			add(name, tr.name, m.name, "q1", rows, res)
 		}
 	}
 
@@ -279,7 +307,7 @@ func runDistBenchJSON(cfg config) {
 			_, err := dist.ReduceConfig(shards, 2, dist.Binomial, dcfg)
 			return err
 		})
-		add(name, tr.name, "single", rows, res)
+		add(name, tr.name, "single", "", rows, res)
 	}
 
 	// Micro: the per-key state encode of the shuffle frame build — the
@@ -304,7 +332,7 @@ func runDistBenchJSON(cfg config) {
 		}
 		return nil
 	})
-	add("state_encode/append", "", "", states, res)
+	add("state_encode/append", "", "", "", states, res)
 	res = measure("state_encode/marshal", func() error {
 		buf = buf[:0]
 		for j := range encStates {
@@ -316,7 +344,7 @@ func runDistBenchJSON(cfg config) {
 		}
 		return nil
 	})
-	add("state_encode/marshal", "", "", states, res)
+	add("state_encode/marshal", "", "", "", states, res)
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -9,6 +9,8 @@ import (
 	"repro/internal/bench"
 	"repro/internal/dist"
 	"repro/internal/dist/proc"
+	"repro/internal/engine"
+	"repro/internal/tpch"
 	"repro/internal/workload"
 )
 
@@ -155,7 +157,64 @@ func runDistProcs(cfg config) {
 	compareGroups(fail, "socket-kill scenario", out, ref)
 	fmt.Printf("socket-kill-and-reconnect (%d procs, multi-chunk, faults): recovered, %d groups bit-identical\n\n",
 		killProcs, len(out))
+
+	runQ1Procs(cfg, opt, fail)
 	fmt.Printf("cross-process matrix: all cells bit-identical to the in-process reference\n\n")
+}
+
+// runQ1Procs — the TPC-H Q1 equivalence cell: the full multi-aggregate
+// query (4×SUM, 3×AVG, COUNT over five shuffled columns) executed by a
+// 4-process cluster, every output column compared bit-for-bit against
+// the local single-process engine. This is the end-to-end proof that
+// the spec catalog survives the control plane, real sockets, and the
+// gather path with the engine's exact bits.
+func runQ1Procs(cfg config, opt proc.Options, fail func(string, ...any)) {
+	const levels = 2
+	tbl := tpch.GenLineitem(0.002, cfg.seed)
+	want, _, err := tpch.RunQ1(tbl, engine.GroupByConfig{Kind: engine.SumRepro, Levels: levels})
+	if err != nil {
+		fail("q1 local engine reference: %v", err)
+	}
+	keys, cols, err := tpch.Q1Input(tbl)
+	if err != nil {
+		fail("q1 input: %v", err)
+	}
+	const q1Procs = 4
+	sk, sc := tpch.ShardQ1Input(keys, cols, q1Procs)
+	dcfg := dist.Config{ChildDeadline: 200 * time.Millisecond, MaxResend: -1, MaxChunkPayload: 4096}
+	var got []tpch.Q1Group
+	dur := bench.Measure(func() {
+		tuples, err := proc.AggregateTuples(sk, sc, 2, tpch.Q1Specs(levels), dcfg, opt)
+		if err != nil {
+			fail("q1 cross-process: %v", err)
+		}
+		got, err = tpch.Q1FromTuples(tuples)
+		if err != nil {
+			fail("q1 cross-process finalize: %v", err)
+		}
+	})
+	if len(got) != len(want) {
+		fail("q1 cross-process: %d group rows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.ReturnFlag != w.ReturnFlag || g.LineStatus != w.LineStatus || g.Count != w.Count {
+			fail("q1 cross-process row %d: %c%c/%d, want %c%c/%d",
+				i, g.ReturnFlag, g.LineStatus, g.Count, w.ReturnFlag, w.LineStatus, w.Count)
+		}
+		for c, pair := range [][2]float64{
+			{g.SumQty, w.SumQty}, {g.SumBasePrice, w.SumBasePrice},
+			{g.SumDiscPrice, w.SumDiscPrice}, {g.SumCharge, w.SumCharge},
+			{g.AvgQty, w.AvgQty}, {g.AvgPrice, w.AvgPrice}, {g.AvgDisc, w.AvgDisc},
+		} {
+			if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+				fail("q1 cross-process row %c%c column %d: %016x, want %016x — cluster result differs from the local engine",
+					g.ReturnFlag, g.LineStatus, c, math.Float64bits(pair[0]), math.Float64bits(pair[1]))
+			}
+		}
+	}
+	fmt.Printf("tpch q1 (%d procs, multi-chunk, %d lineitem rows, %d ms): %d group rows, all 8 output columns bit-identical to the local engine\n\n",
+		q1Procs, tbl.NumRows(), dur.Milliseconds(), len(got))
 }
 
 func compareGroups(fail func(string, ...any), name string, got, want []dist.Group) {

@@ -110,6 +110,18 @@ func EncodeGroups(gs []Group) []byte { return encodeGroups(gs) }
 // DecodeGroups inverts EncodeGroups.
 func DecodeGroups(buf []byte) []Group { return decodeGroups(buf) }
 
+// EncodeTupleGroups flattens finalized multi-aggregate groups into the
+// gather wire layout (4-byte key, then one 8-byte float64 per spec) —
+// also the result payload of a multi-process GROUP BY. A single-spec
+// list reproduces EncodeGroups's bytes.
+func EncodeTupleGroups(gs []TupleGroup, nspecs int) []byte { return encodeTupleGroups(gs, nspecs) }
+
+// DecodeTupleGroups inverts EncodeTupleGroups, rejecting payloads whose
+// length is not an exact multiple of the record size.
+func DecodeTupleGroups(buf []byte, nspecs int) ([]TupleGroup, error) {
+	return decodeTupleGroups(buf, nspecs)
+}
+
 // Active reports whether the plan injects any fault at all.
 func (p FaultPlan) Active() bool { return p.active() }
 

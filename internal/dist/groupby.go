@@ -11,10 +11,19 @@ import (
 	"repro/internal/hashagg"
 	"repro/internal/partition"
 	"repro/internal/rsum"
+	"repro/internal/sqlagg"
 )
 
-// newPartial initializes the per-key payload of the aggregation tables.
+// newPartial initializes a bare SUM partial state (the payload of the
+// single-aggregate fast helpers and the hot-path benchmarks).
 func newPartial() rsum.State64 { return rsum.NewState64(levels) }
+
+// sumSpecs is the spec list of the classic GROUP BY SUM: one
+// reproducible SUM over column 0, at the distributed plane's level
+// count. Its wire tuples are byte-identical to the pre-spec frames.
+func sumSpecs() []sqlagg.AggSpec {
+	return []sqlagg.AggSpec{{Kind: sqlagg.AggSum, Levels: levels, Col: 0}}
+}
 
 // shuffleFanout is the radix fan-out of the hash shuffle. Keys are
 // routed by partition.Do on their low byte; partition p is owned by
@@ -32,6 +41,71 @@ const (
 	seqShuffle = 0 // sender → owner: per-key partial states
 	seqGather  = 1 // owner → root: finalized groups
 )
+
+// TupleGroup is one output row of a multi-aggregate GROUP BY: the group
+// key plus one finalized value per aggregate spec, in spec order.
+type TupleGroup struct {
+	Key  uint32
+	Aggs []float64
+}
+
+// aggTuple is the per-key payload of the aggregation tables: one
+// aggregate state per spec, in spec order. It is Resettable so reused
+// hashagg tables recycle the states in place.
+type aggTuple struct {
+	states []sqlagg.AggState
+}
+
+// Reset empties every state, keeping its configuration.
+func (t *aggTuple) Reset() {
+	for _, st := range t.states {
+		st.Reset()
+	}
+}
+
+// tuplePlan is the precomputed per-spec layout shared by the combine
+// and merge sides of one GROUP BY: the column each spec reads, the
+// fixed encoded size of each state, and their total (the wire tuple
+// width). Specs must be validated before building a plan.
+type tuplePlan struct {
+	specs []sqlagg.AggSpec
+	sizes []int
+	width int
+}
+
+func newTuplePlan(specs []sqlagg.AggSpec) (*tuplePlan, error) {
+	states, err := sqlagg.NewStates(specs)
+	if err != nil {
+		return nil, err
+	}
+	p := &tuplePlan{specs: specs, sizes: make([]int, len(states))}
+	for i, st := range states {
+		p.sizes[i] = st.EncodedSize()
+		p.width += p.sizes[i]
+	}
+	return p, nil
+}
+
+// newTuple instantiates an empty tuple for the plan; specs were
+// validated when the plan was built, so construction cannot fail.
+func (p *tuplePlan) newTuple() aggTuple {
+	states := make([]sqlagg.AggState, len(p.specs))
+	for i, sp := range p.specs {
+		states[i], _ = sp.New()
+	}
+	return aggTuple{states: states}
+}
+
+// maxCol returns the highest column index any spec reads.
+func (p *tuplePlan) maxCol() int {
+	m := 0
+	for _, sp := range p.specs {
+		if sp.Col > m {
+			m = sp.Col
+		}
+	}
+	return m
+}
 
 // appendPair appends one ⟨key, partial state⟩ pair to a shuffle frame:
 // 4-byte little-endian key, 4-byte length, then the canonical state
@@ -62,6 +136,41 @@ func appendPairState(frame []byte, key uint32, st *rsum.State64) ([]byte, error)
 	return out, nil
 }
 
+// appendTuple extends the in-place encode to a tuple of states: the
+// spec-ordered state encodings are appended back to back after the pair
+// header, and the pair length is patched in afterwards. A single-SUM
+// plan reproduces appendPairState's bytes exactly.
+func appendTuple(frame []byte, key uint32, tup *aggTuple) ([]byte, error) {
+	start := len(frame)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], key)
+	frame = append(frame, hdr[:]...)
+	var err error
+	for _, st := range tup.states {
+		if frame, err = st.AppendBinary(frame); err != nil {
+			return frame, err
+		}
+	}
+	binary.LittleEndian.PutUint32(frame[start+4:], uint32(len(frame)-start-8))
+	return frame, nil
+}
+
+// mergeTuple folds one encoded spec-ordered tuple into the owner's
+// states, walking the concatenation by the plan's fixed state sizes.
+func (p *tuplePlan) mergeTuple(tup *aggTuple, enc []byte) error {
+	if len(enc) != p.width {
+		return fmt.Errorf("%w: tuple is %d bytes, plan width %d", errFrame, len(enc), p.width)
+	}
+	off := 0
+	for i, sz := range p.sizes {
+		if err := tup.states[i].MergeBinary(enc[off : off+sz]); err != nil {
+			return err
+		}
+		off += sz
+	}
+	return nil
+}
+
 // walkFrame decodes a shuffle frame, invoking fn for every pair.
 func walkFrame(frame []byte, fn func(key uint32, state []byte) error) error {
 	for len(frame) > 0 {
@@ -83,16 +192,9 @@ func walkFrame(frame []byte, fn func(key uint32, state []byte) error) error {
 }
 
 // AggregateByKey computes a reproducible distributed GROUP BY SUM.
-// Node i holds the rows ⟨localKeys[i][j], localVals[i][j]⟩. Each node
-// radix-partitions its rows by key (the hash shuffle), pre-aggregates
-// every partition into per-key partial states (a combiner), and ships
-// the serialized states to the partition's owner node. Owners merge
-// incoming partials in (nondeterministic) arrival order, finalize, and
-// the root gathers all groups, sorted by key.
-//
-// The result is bit-identical for every distribution of the same
-// multiset of rows across any number of nodes, every worker count, and
-// every message arrival order.
+// Node i holds the rows ⟨localKeys[i][j], localVals[i][j]⟩. It is
+// AggregateTuples with the single-SUM spec list; see there for the
+// protocol.
 func AggregateByKey(localKeys [][]uint32, localVals [][]float64, workers int) ([]Group, error) {
 	return AggregateByKeyConfig(localKeys, localVals, workers, Config{})
 }
@@ -101,19 +203,49 @@ func AggregateByKey(localKeys [][]uint32, localVals [][]float64, workers int) ([
 // interconnect (see Config); the group list carries the same bits for
 // every transport and fault plan.
 func AggregateByKeyConfig(localKeys [][]uint32, localVals [][]float64, workers int, cfg Config) ([]Group, error) {
+	if len(localVals) != len(localKeys) {
+		return nil, fmt.Errorf("%w: %d key shards vs %d value shards",
+			ErrShardMismatch, len(localKeys), len(localVals))
+	}
+	cols := make([][][]float64, len(localVals))
+	for i, vals := range localVals {
+		cols[i] = [][]float64{vals}
+	}
+	tuples, err := AggregateTuplesConfig(localKeys, cols, workers, sumSpecs(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	groups := make([]Group, len(tuples))
+	for i, t := range tuples {
+		groups[i] = Group{Key: t.Key, Sum: t.Aggs[0]}
+	}
+	return groups, nil
+}
+
+// AggregateTuples computes a reproducible distributed multi-aggregate
+// GROUP BY. Node i holds the rows of shard i: localKeys[i] are the
+// group keys and localCols[i] the value columns; each spec names one
+// aggregate over one column, and each output row carries the finalized
+// values in spec order. The result is bit-identical for every
+// distribution of the same multiset of rows across any number of
+// nodes, every worker count, and every message arrival order.
+func AggregateTuples(localKeys [][]uint32, localCols [][][]float64, workers int, specs []sqlagg.AggSpec) ([]TupleGroup, error) {
+	return AggregateTuplesConfig(localKeys, localCols, workers, specs, Config{})
+}
+
+// AggregateTuplesConfig is AggregateTuples over an explicitly
+// configured interconnect (see Config).
+func AggregateTuplesConfig(localKeys [][]uint32, localCols [][][]float64, workers int, specs []sqlagg.AggSpec, cfg Config) ([]TupleGroup, error) {
 	n := len(localKeys)
 	if n == 0 {
 		return nil, ErrNoShards
 	}
-	if len(localVals) != n {
-		return nil, fmt.Errorf("%w: %d key shards vs %d value shards",
-			ErrShardMismatch, n, len(localVals))
+	if len(localCols) != n {
+		return nil, fmt.Errorf("%w: %d key shards vs %d column shards",
+			ErrShardMismatch, n, len(localCols))
 	}
-	for i := range localKeys {
-		if len(localKeys[i]) != len(localVals[i]) {
-			return nil, fmt.Errorf("%w: shard %d has %d keys but %d values",
-				ErrShardMismatch, i, len(localKeys[i]), len(localVals[i]))
-		}
+	if err := ValidateShardColumns(localKeys, localCols, specs); err != nil {
+		return nil, err
 	}
 	if workers < 1 {
 		return nil, fmt.Errorf("%w (got %d)", ErrWorkers, workers)
@@ -127,12 +259,12 @@ func AggregateByKeyConfig(localKeys [][]uint32, localVals [][]float64, workers i
 	}
 	defer tr.Close()
 
-	rootCh := make(chan result, 1)
+	rootCh := make(chan tupleResult, 1)
 	for id := 0; id < n; id++ {
 		go func(id int) {
-			groups, err := RunGroupByNode(id, localKeys[id], localVals[id], workers, tr, cfg)
+			groups, err := RunGroupByNode(id, localKeys[id], localCols[id], workers, specs, tr, cfg)
 			if id == 0 {
-				rootCh <- result{groups: groups, err: err}
+				rootCh <- tupleResult{groups: groups, err: err}
 			}
 		}(id)
 	}
@@ -143,20 +275,61 @@ func AggregateByKeyConfig(localKeys [][]uint32, localVals [][]float64, workers i
 	return m.groups, nil
 }
 
+type tupleResult struct {
+	groups []TupleGroup
+	err    error
+}
+
+// ValidateShardColumns checks the shard shape of a multi-aggregate
+// GROUP BY input: specs must be valid, every column of a shard must be
+// as long as its key slice, and every shard with rows must carry every
+// column any spec reads. Shards without rows may omit their columns.
+func ValidateShardColumns(localKeys [][]uint32, localCols [][][]float64, specs []sqlagg.AggSpec) error {
+	if len(specs) == 0 {
+		return fmt.Errorf("%w: empty spec list", sqlagg.ErrBadSpec)
+	}
+	maxCol := 0
+	for _, sp := range specs {
+		if err := sp.Validate(); err != nil {
+			return err
+		}
+		if sp.Col > maxCol {
+			maxCol = sp.Col
+		}
+	}
+	for i := range localKeys {
+		if len(localKeys[i]) == 0 && len(localCols[i]) == 0 {
+			continue
+		}
+		if len(localCols[i]) <= maxCol {
+			return fmt.Errorf("%w: shard %d has %d columns but a spec reads column %d",
+				ErrShardMismatch, i, len(localCols[i]), maxCol)
+		}
+		for c, col := range localCols[i] {
+			if len(col) != len(localKeys[i]) {
+				return fmt.Errorf("%w: shard %d column %d has %d values for %d keys",
+					ErrShardMismatch, i, c, len(col), len(localKeys[i]))
+			}
+		}
+	}
+	return nil
+}
+
 // RunGroupByNode executes node id's role of the distributed GROUP BY
-// over an externally owned transport: combine the local shard, ship one
+// over an externally owned transport: combine the local shard into
+// per-key tuples of aggregate states (one state per spec), ship one
 // shuffle message to every owner (chunked when large), merge the
 // messages addressed to this node (exactly one per sender, reassembled
 // and deduplicated), finalize, and ship the finalized groups to the
 // root. The root (node 0) additionally collects every owner's gather
-// message and returns the sorted global result — which it can do as
-// soon as all gathers are in, because a gather proves its owner needed
-// no more resends. Every other node keeps serving chunk re-requests and
-// returns only after the transport is closed underneath it, with the
-// error its role ended in (already announced on the wire) — nil for a
-// clean run. Exported for multi-process runtimes (internal/dist/proc);
-// AggregateByKeyConfig runs the same function on one goroutine per
-// node.
+// message and merges the per-owner sorted runs into the global result —
+// which it can do as soon as all gathers are in, because a gather
+// proves its owner needed no more resends. Every other node keeps
+// serving chunk re-requests and returns only after the transport is
+// closed underneath it, with the error its role ended in (already
+// announced on the wire) — nil for a clean run. Exported for
+// multi-process runtimes (internal/dist/proc); AggregateTuplesConfig
+// runs the same function on one goroutine per node.
 //
 // Like the reduction tree, the shuffle has straggler handling: a
 // receiver that makes no progress for ChildDeadline re-requests what is
@@ -164,9 +337,16 @@ func AggregateByKeyConfig(localKeys [][]uint32, localVals [][]float64, workers i
 // partially received ones — every node caches its outgoing chunk lists
 // and retransmits on demand, and a permanently silent peer surfaces
 // ErrStraggler instead of a hang.
-func RunGroupByNode(id int, keys []uint32, vals []float64, workers int, tr Transport, cfg Config) ([]Group, error) {
+func RunGroupByNode(id int, keys []uint32, cols [][]float64, workers int, specs []sqlagg.AggSpec, tr Transport, cfg Config) ([]TupleGroup, error) {
 	n := tr.Nodes()
-	frames, cerr := combineShard(keys, vals, n, workers, cfg.maxMessage())
+	plan, cerr := newTuplePlan(specs)
+	if cerr == nil {
+		cerr = ValidateShardColumns([][]uint32{keys}, [][][]float64{cols}, specs)
+	}
+	var frames [][]byte
+	if cerr == nil {
+		frames, cerr = combineShard(keys, cols, plan, n, workers, cfg.maxMessage())
+	}
 
 	// outShuffle caches the outgoing shuffle chunks per destination —
 	// the combiner's frame, or its failure on the same stream. First
@@ -194,11 +374,20 @@ func RunGroupByNode(id int, keys []uint32, vals []float64, workers int, tr Trans
 	}
 	cfg.gate.done()
 
-	// Owner role: merge incoming per-key partials in arrival order.
-	// The root interleaves this with collecting gather messages, which
-	// may overtake shuffle messages on a reordering transport.
-	states := hashagg.New(64, hashagg.Identity, newPartial)
+	// Owner role: merge incoming per-key tuples in arrival order. The
+	// root interleaves this with collecting gather messages, which may
+	// overtake shuffle messages on a reordering transport.
+	var states *hashagg.Table[aggTuple]
+	if plan != nil {
+		states = hashagg.New(64, hashagg.Identity, plan.newTuple)
+	}
 	var ownErr error
+	if cerr != nil {
+		// A node that cannot even plan its tuples still walks the full
+		// protocol (its failure is already cached on every stream), but
+		// must not touch the nil table.
+		ownErr = cerr
+	}
 	var outGather []Frame // cached gather chunks, once built (non-root)
 	asm := newReassembler(cfg.reassemblyBudget())
 	shuffleHeard := make(map[int]bool, n)
@@ -209,7 +398,7 @@ func RunGroupByNode(id int, keys []uint32, vals []float64, workers int, tr Trans
 		wantGathers = n - 1 // every other owner's finalized groups
 	}
 	resends := 0
-	for len(shuffleHeard) < n || len(gatherHeard) < wantGathers {
+	for ownErr == nil && (len(shuffleHeard) < n || len(gatherHeard) < wantGathers) {
 		f, rerr := tr.Recv(id, cfg.childDeadline())
 		switch {
 		case errors.Is(rerr, ErrTimeout):
@@ -237,9 +426,7 @@ func RunGroupByNode(id int, keys []uint32, vals []float64, workers int, tr Trans
 		case rerr != nil:
 			// Transport closed underneath an unfinished protocol; keep
 			// any more specific error already recorded.
-			if ownErr == nil {
-				ownErr = rerr
-			}
+			ownErr = rerr
 		case f.Kind == KindResend:
 			// A peer is missing (part of) one of our slots; retransmit
 			// the requested chunks from cache. A gather re-request
@@ -263,52 +450,39 @@ func RunGroupByNode(id int, keys []uint32, vals []float64, workers int, tr Trans
 			case msg.Seq == seqShuffle && msg.Kind == KindGroups:
 				shuffleHeard[msg.From] = true
 				ownErr = walkFrame(msg.Payload, func(key uint32, enc []byte) error {
-					if e := states.Upsert(key).MergeBinary(enc); e != nil {
+					if e := plan.mergeTuple(states.Upsert(key), enc); e != nil {
 						return fmt.Errorf("dist: node %d merging group %d from node %d: %w", id, key, msg.From, e)
 					}
 					return nil
 				})
 			case msg.Seq == seqShuffle && msg.Kind == KindError:
 				shuffleHeard[msg.From] = true
-				if ownErr == nil {
-					ownErr = decodeErr(msg.From, msg.Payload)
-				}
+				ownErr = decodeErr(msg.From, msg.Payload)
 			case msg.Seq == seqGather && msg.Kind == KindGather && id == 0:
 				gatherHeard[msg.From] = true
 				gathers = append(gathers, msg.Payload)
 			case msg.Seq == seqGather && msg.Kind == KindError && id == 0:
 				gatherHeard[msg.From] = true
-				if ownErr == nil {
-					ownErr = decodeErr(msg.From, msg.Payload)
-				}
+				ownErr = decodeErr(msg.From, msg.Payload)
 			}
 		}
-		// Any recorded error ends the collection, like reduceNode: the
-		// node announces the failure (error gather below) rather than
-		// idling through re-request rounds it no longer issues, and the
-		// coordinator's Close unblocks everyone else.
-		if ownErr != nil {
-			break
-		}
 	}
 
-	// Finalize this owner's groups (disjoint from every other owner's).
-	var local []Group
+	// Finalize this owner's groups (disjoint from every other owner's)
+	// into a key-sorted run.
+	var local []TupleGroup
 	if ownErr == nil {
-		local = make([]Group, 0, states.Len())
-		states.ForEach(func(key uint32, st *rsum.State64) {
-			local = append(local, Group{Key: key, Sum: st.Value()})
-		})
-		slices.SortFunc(local, func(a, b Group) int { return cmp.Compare(a.Key, b.Key) })
+		local = finalizeTuples(states, len(specs))
 	}
 
-	if ownErr == nil && id != 0 && len(local)*12 > cfg.maxMessage() {
+	recSize := gatherRecordSize(len(specs))
+	if ownErr == nil && id != 0 && len(local)*recSize > cfg.maxMessage() {
 		ownErr = fmt.Errorf("%w: gather message from node %d would be %d bytes (max message %d)",
-			ErrChunkBudget, id, len(local)*12, cfg.maxMessage())
+			ErrChunkBudget, id, len(local)*recSize, cfg.maxMessage())
 	}
 
 	if id != 0 {
-		out := Frame{Kind: KindGather, From: id, To: 0, Seq: seqGather, Payload: encodeGroups(local)}
+		out := Frame{Kind: KindGather, From: id, To: 0, Seq: seqGather, Payload: encodeTupleGroups(local, len(specs))}
 		if ownErr != nil {
 			out = Frame{Kind: KindError, From: id, To: 0, Seq: seqGather, Payload: encodeErr(ownErr)}
 		}
@@ -334,25 +508,98 @@ func RunGroupByNode(id int, keys []uint32, vals []float64, workers int, tr Trans
 		}
 	}
 
-	// Root gather: owners hold disjoint key sets, so the global result
-	// is the sorted concatenation of the per-owner group lists.
+	// Root gather: owners hold disjoint key sets and each gather
+	// payload arrives as a key-sorted run, so the global result is a
+	// k-way merge of the runs — no global sort (the old concatenate-
+	// and-sort re-sorted every group on every query).
 	if ownErr != nil {
 		return nil, ownErr
 	}
-	all := local
+	runs := make([][]TupleGroup, 0, len(gathers)+1)
+	runs = append(runs, local)
 	for _, payload := range gathers {
-		all = append(all, decodeGroups(payload)...)
+		run, derr := decodeTupleGroups(payload, len(specs))
+		if derr != nil {
+			return nil, fmt.Errorf("dist: root decoding gather: %w", derr)
+		}
+		runs = append(runs, run)
 	}
-	slices.SortFunc(all, func(a, b Group) int { return cmp.Compare(a.Key, b.Key) })
-	return all, nil
+	return mergeSortedRuns(runs), nil
+}
+
+// finalizeTuples drains an owner table into a key-sorted group run.
+func finalizeTuples(states *hashagg.Table[aggTuple], nspecs int) []TupleGroup {
+	local := make([]TupleGroup, 0, states.Len())
+	vals := make([]float64, 0, states.Len()*nspecs)
+	states.ForEach(func(key uint32, tup *aggTuple) {
+		for _, st := range tup.states {
+			vals = append(vals, st.Value())
+		}
+		local = append(local, TupleGroup{Key: key, Aggs: vals[len(vals)-nspecs:]})
+	})
+	slices.SortFunc(local, func(a, b TupleGroup) int { return cmp.Compare(a.Key, b.Key) })
+	return local
+}
+
+// mergeSortedRuns merges key-sorted runs over pairwise disjoint key
+// sets into one key-sorted result. Runs are small in number (one per
+// node), so a linear scan per output group beats heap bookkeeping.
+func mergeSortedRuns(runs [][]TupleGroup) []TupleGroup {
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]TupleGroup, 0, total)
+	heads := make([]int, len(runs))
+	for len(out) < total {
+		best := -1
+		var bestKey uint32
+		for r := range runs {
+			if heads[r] < len(runs[r]) {
+				if k := runs[r][heads[r]].Key; best < 0 || k < bestKey {
+					best, bestKey = r, k
+				}
+			}
+		}
+		out = append(out, runs[best][heads[best]])
+		heads[best]++
+	}
+	return out
 }
 
 // combineShard partitions one node's rows by key and pre-aggregates
-// each partition into per-key partial states, returning one encoded
-// logical shuffle payload per destination node. maxMessage is the
-// configuration's Config.maxMessage bound.
-func combineShard(keys []uint32, vals []float64, n, workers, maxMessage int) ([][]byte, error) {
-	out := partition.Do(keys, vals, 0, shuffleFanout, workers)
+// each partition into per-key tuples of partial states, returning one
+// encoded logical shuffle payload per destination node. maxMessage is
+// the configuration's Config.maxMessage bound.
+func combineShard(keys []uint32, cols [][]float64, plan *tuplePlan, n, workers, maxMessage int) ([][]byte, error) {
+	// Single-column plans partition the values themselves, so the
+	// pre-aggregation pass reads them sequentially; multi-column plans
+	// partition row indices and gather from the columns per spec.
+	var out partition.Output[float64]
+	var idx partition.Output[int32]
+	single := len(cols) == 1
+	if single {
+		out = partition.Do(keys, cols[0], 0, shuffleFanout, workers)
+	} else {
+		rows := make([]int32, len(keys))
+		for i := range rows {
+			rows[i] = int32(i)
+		}
+		idx = partition.Do(keys, rows, 0, shuffleFanout, workers)
+	}
+	numPartitions := func() int {
+		if single {
+			return out.NumPartitions()
+		}
+		return idx.NumPartitions()
+	}()
+	distinctBound := func(p int) int {
+		if single {
+			return out.DistinctBound(p, shuffleFanout)
+		}
+		return idx.DistinctBound(p, shuffleFanout)
+	}
+
 	frames := make([][]byte, n)
 
 	// Size the aggregation table once, for the largest distinct-key
@@ -363,8 +610,8 @@ func combineShard(keys []uint32, vals []float64, n, workers, maxMessage int) ([]
 	// per destination, sizing each frame buffer in one allocation.
 	hint := 0
 	est := make([]int, n)
-	for p := 0; p < out.NumPartitions(); p++ {
-		b := out.DistinctBound(p, shuffleFanout)
+	for p := 0; p < numPartitions; p++ {
+		b := distinctBound(p)
 		if b > hint {
 			hint = b
 		}
@@ -375,41 +622,59 @@ func combineShard(keys []uint32, vals []float64, n, workers, maxMessage int) ([]
 	}
 
 	// One table, reused across partitions: Clear keeps the slot arrays
-	// allocated, so per-partition pre-aggregation costs no allocation
-	// after the first partition.
-	table := hashagg.New(hint, hashagg.Identity, newPartial)
-	proto := newPartial()
-	pairSize := 8 + proto.EncodedSize() // key + length prefix + canonical state
+	// allocated and Reset recycles the tuple states in place, so
+	// per-partition pre-aggregation costs no allocation after the first
+	// partition.
+	table := hashagg.New(hint, hashagg.Identity, plan.newTuple)
+	pairSize := 8 + plan.width // key + length prefix + tuple of states
 	for d := range frames {
 		if est[d] > 0 {
 			frames[d] = make([]byte, 0, est[d]*pairSize)
 		}
 	}
-	for p := 0; p < out.NumPartitions(); p++ {
-		pk, pv := out.Partition(p)
-		if len(pk) == 0 {
-			continue
-		}
-		// Pre-aggregate the partition: one partial state per distinct
-		// key. Slot order fixes the frame layout, but the owner's
-		// per-key merges commute, so layout is immaterial to the final
-		// bits.
-		table.Clear()
-		for i, k := range pk {
-			table.Upsert(k).Add(pv[i])
-		}
+	for p := 0; p < numPartitions; p++ {
 		d := p % n
-		// Per-key partial states encode directly into the destination
-		// frame buffer. Its capacity was pre-sized from the summed
+		// Pre-aggregate the partition: one tuple of partial states per
+		// distinct key. Slot order fixes the frame layout, but the
+		// owner's per-key merges commute, so layout is immaterial to
+		// the final bits.
+		if single {
+			pk, pv := out.Partition(p)
+			if len(pk) == 0 {
+				continue
+			}
+			table.Clear()
+			for i, k := range pk {
+				tup := table.Upsert(k)
+				for _, st := range tup.states {
+					st.Add(pv[i])
+				}
+			}
+		} else {
+			pk, pi := idx.Partition(p)
+			if len(pk) == 0 {
+				continue
+			}
+			table.Clear()
+			for i, k := range pk {
+				tup := table.Upsert(k)
+				row := pi[i]
+				for si, st := range tup.states {
+					st.Add(cols[plan.specs[si].Col][row])
+				}
+			}
+		}
+		// Per-key tuples encode directly into the destination frame
+		// buffer. Its capacity was pre-sized from the summed
 		// distinct-key bounds, which never undercount, so the encode
 		// loop is allocation-free; if the bound were ever wrong, append
-		// inside appendPairState grows geometrically as usual.
+		// inside appendTuple grows geometrically as usual.
 		var encErr error
-		table.ForEach(func(key uint32, st *rsum.State64) {
+		table.ForEach(func(key uint32, tup *aggTuple) {
 			if encErr != nil {
 				return
 			}
-			frames[d], encErr = appendPairState(frames[d], key, st)
+			frames[d], encErr = appendTuple(frames[d], key, tup)
 		})
 		if encErr != nil {
 			return nil, encErr
@@ -455,4 +720,51 @@ func decodeGroups(buf []byte) []Group {
 		buf = buf[12:]
 	}
 	return gs
+}
+
+// gatherRecordSize is the fixed byte width of one finalized group in a
+// gather message: the key plus one float64 per spec.
+func gatherRecordSize(nspecs int) int { return 4 + 8*nspecs }
+
+// encodeTupleGroups flattens finalized multi-aggregate groups for the
+// gather message: 4-byte key, then 8-byte float64 bits per spec. A
+// single-spec list reproduces encodeGroups's bytes.
+func encodeTupleGroups(gs []TupleGroup, nspecs int) []byte {
+	rec := gatherRecordSize(nspecs)
+	buf := make([]byte, 0, len(gs)*rec)
+	var scratch [4]byte
+	for _, g := range gs {
+		binary.LittleEndian.PutUint32(scratch[:], g.Key)
+		buf = append(buf, scratch[:]...)
+		for _, v := range g.Aggs {
+			var vb [8]byte
+			binary.LittleEndian.PutUint64(vb[:], math.Float64bits(v))
+			buf = append(buf, vb[:]...)
+		}
+	}
+	return buf
+}
+
+// decodeTupleGroups inverts encodeTupleGroups. The payload length must
+// be an exact multiple of the record size (the payload crosses the
+// process boundary in proc clusters). All aggregate values share one
+// flat backing array.
+func decodeTupleGroups(buf []byte, nspecs int) ([]TupleGroup, error) {
+	rec := gatherRecordSize(nspecs)
+	if nspecs < 1 || len(buf)%rec != 0 {
+		return nil, fmt.Errorf("%w: gather payload of %d bytes for %d specs", errFrame, len(buf), nspecs)
+	}
+	count := len(buf) / rec
+	gs := make([]TupleGroup, count)
+	backing := make([]float64, count*nspecs)
+	for i := range gs {
+		p := buf[i*rec:]
+		gs[i].Key = binary.LittleEndian.Uint32(p)
+		aggs := backing[i*nspecs : (i+1)*nspecs : (i+1)*nspecs]
+		for s := range aggs {
+			aggs[s] = math.Float64frombits(binary.LittleEndian.Uint64(p[4+8*s:]))
+		}
+		gs[i].Aggs = aggs
+	}
+	return gs, nil
 }

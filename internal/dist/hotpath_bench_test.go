@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/hashagg"
 	"repro/internal/rsum"
+	"repro/internal/sqlagg"
 )
 
 // Hot-path benchmarks of the shuffle data plane. The "legacy" variants
@@ -73,6 +74,93 @@ func BenchmarkShuffleEncode(b *testing.B) {
 			}
 		}
 	})
+}
+
+// benchTuplePlan is a Q1-shaped aggregate catalog for the multi-
+// aggregate benchmark cells: two SUMs, an AVG, and the row COUNT over
+// two value columns.
+func benchTuplePlan(b *testing.B) *tuplePlan {
+	b.Helper()
+	plan, err := newTuplePlan([]sqlagg.AggSpec{
+		{Kind: sqlagg.AggSum, Levels: levels, Col: 0},
+		{Kind: sqlagg.AggSum, Levels: levels, Col: 1},
+		{Kind: sqlagg.AggAvg, Levels: levels, Col: 0},
+		{Kind: sqlagg.AggCount, Levels: levels, Col: 0},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan
+}
+
+// BenchmarkTupleEncode measures encoding one pre-aggregated table of
+// multi-aggregate state tuples into a shuffle frame — the spec-tagged
+// generalization of BenchmarkShuffleEncode's append cell. It must stay
+// allocation-free with frame capacity (TestRootMergeAllocBound and
+// TestTupleEncodeZeroAlloc pin the exact alloc counts).
+func BenchmarkTupleEncode(b *testing.B) {
+	const groups = 4096
+	plan := benchTuplePlan(b)
+	table := hashagg.New(groups, hashagg.Identity, plan.newTuple)
+	for k := 0; k < groups; k++ {
+		tup := table.Upsert(uint32(k) * 256)
+		for i := range tup.states {
+			tup.states[i].Add(float64(k)*1.5 + 0.25)
+			tup.states[i].Add(0x1p-40 * float64(k+1))
+		}
+	}
+	want := groups * (8 + plan.width)
+
+	frame := make([]byte, 0, want)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame = frame[:0]
+		var err error
+		table.ForEach(func(key uint32, tup *aggTuple) {
+			if err == nil {
+				frame, err = appendTuple(frame, key, tup)
+			}
+		})
+		if err != nil || len(frame) != want {
+			b.Fatalf("frame %d bytes, err %v", len(frame), err)
+		}
+	}
+}
+
+// TestRootMergeAllocBound pins the root's gather merge: combining the
+// per-owner key-sorted runs into the final result is a k-way merge that
+// allocates exactly its output slice and the per-run cursor array —
+// never a re-sort of every group (the shape this replaced). A
+// regression that reintroduces per-group allocation or a global sort
+// trips this count.
+func TestRootMergeAllocBound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation behavior")
+	}
+	const runsN, perRun = 4, 1000
+	runs := make([][]TupleGroup, runsN)
+	for r := range runs {
+		for i := 0; i < perRun; i++ {
+			key := uint32(i*runsN + r) // disjoint, interleaved key sets
+			runs[r] = append(runs[r], TupleGroup{Key: key, Aggs: []float64{float64(key)}})
+		}
+	}
+	var out []TupleGroup
+	allocs := testing.AllocsPerRun(20, func() {
+		out = mergeSortedRuns(runs)
+	})
+	if len(out) != runsN*perRun {
+		t.Fatalf("merged %d groups, want %d", len(out), runsN*perRun)
+	}
+	for i := range out {
+		if out[i].Key != uint32(i) {
+			t.Fatalf("merge order broken at %d: key %d", i, out[i].Key)
+		}
+	}
+	if allocs > 2 {
+		t.Fatalf("root merge: %v allocs/op, want <= 2 (output slice + cursors)", allocs)
+	}
 }
 
 // legacyReassemble is the pre-optimization receive path: buffer chunks

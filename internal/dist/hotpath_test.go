@@ -9,6 +9,7 @@ import (
 	"repro/internal/hashagg"
 	"repro/internal/partition"
 	"repro/internal/rsum"
+	"repro/internal/sqlagg"
 	"repro/internal/workload"
 )
 
@@ -50,6 +51,55 @@ func TestShuffleEncodeZeroAlloc(t *testing.T) {
 	}
 	if allocs != 0 {
 		t.Fatalf("shuffle encode loop: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestTupleEncodeZeroAlloc extends the zero-allocation pin to the
+// multi-aggregate shuffle path: encoding a table of state tuples (a
+// Q1-shaped catalog: SUMs, AVGs, COUNT, and a MIN for the fixed-size
+// path) into a frame with capacity must not touch the heap.
+func TestTupleEncodeZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation behavior")
+	}
+	specs := []sqlagg.AggSpec{
+		{Kind: sqlagg.AggSum, Levels: levels, Col: 0},
+		{Kind: sqlagg.AggSum, Levels: levels, Col: 1},
+		{Kind: sqlagg.AggAvg, Levels: levels, Col: 0},
+		{Kind: sqlagg.AggCount, Levels: levels, Col: 0},
+		{Kind: sqlagg.AggMin, Levels: levels, Col: 1},
+	}
+	plan, err := newTuplePlan(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := hashagg.New(256, hashagg.Identity, plan.newTuple)
+	for k := uint32(0); k < 200; k++ {
+		tup := table.Upsert(k * 64)
+		for i, sp := range plan.specs {
+			tup.states[i].Add(float64(k)*1.5 - float64(sp.Col))
+		}
+	}
+	frame := make([]byte, 0, table.Len()*(8+plan.width))
+	var encErr error
+	encode := func() {
+		frame = frame[:0]
+		table.ForEach(func(key uint32, tup *aggTuple) {
+			if encErr != nil {
+				return
+			}
+			frame, encErr = appendTuple(frame, key, tup)
+		})
+	}
+	allocs := testing.AllocsPerRun(100, encode)
+	if encErr != nil {
+		t.Fatal(encErr)
+	}
+	if len(frame) != table.Len()*(8+plan.width) {
+		t.Fatalf("frame is %d bytes, want %d", len(frame), table.Len()*(8+plan.width))
+	}
+	if allocs != 0 {
+		t.Fatalf("tuple encode loop: %v allocs/op, want 0", allocs)
 	}
 }
 
@@ -220,7 +270,11 @@ func TestCombineShardMatchesLegacyEncoding(t *testing.T) {
 	keys := workload.Keys(5, rows, 700)
 	vals := workload.Values64(6, rows, workload.MixedMag)
 
-	frames, err := combineShard(keys, vals, nodes, 2, Config{}.maxMessage())
+	plan, err := newTuplePlan(sumSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := combineShard(keys, [][]float64{vals}, plan, nodes, 2, Config{}.maxMessage())
 	if err != nil {
 		t.Fatal(err)
 	}

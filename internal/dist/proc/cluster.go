@@ -40,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/rsum"
+	"repro/internal/sqlagg"
 )
 
 // Options configures the supervisor side of a multi-process run. The
@@ -121,9 +122,9 @@ func Reduce(shards [][]float64, workers int, topo dist.Topology, cfg dist.Config
 			perNode[i%n] = append(perNode[i%n], s...)
 		}
 	}
-	conf := newConf(opReduce, topo, n, workers, cfg, opt)
+	conf := newConf(opReduce, topo, n, workers, nil, cfg, opt)
 	payload, err := runCluster(conf, opt, func(id int, addrs []string) []byte {
-		return encodeJob(opReduce, addrs, nil, perNode[id])
+		return encodeJob(opReduce, addrs, nil, [][]float64{perNode[id]})
 	})
 	if err != nil {
 		return 0, err
@@ -138,49 +139,95 @@ func Reduce(shards [][]float64, workers int, topo dist.Topology, cfg dist.Config
 // AggregateByKey computes the reproducible distributed GROUP BY SUM
 // across spawned worker processes — the multi-process counterpart of
 // dist.AggregateByKeyConfig, bit-identical to it for every sharding,
-// topology of arrival, chunk regime, and injected failure.
+// topology of arrival, chunk regime, and injected failure. It is the
+// single-aggregate special case of AggregateTuples.
 func AggregateByKey(shardKeys [][]uint32, shardVals [][]float64, workers int, cfg dist.Config, opt Options) ([]dist.Group, error) {
+	if len(shardVals) != len(shardKeys) {
+		return nil, fmt.Errorf("%w: %d key shards vs %d value shards",
+			dist.ErrShardMismatch, len(shardKeys), len(shardVals))
+	}
+	shardCols := make([][][]float64, len(shardVals))
+	for i, vals := range shardVals {
+		shardCols[i] = [][]float64{vals}
+	}
+	specs := []sqlagg.AggSpec{{Kind: sqlagg.AggSum, Levels: core.DefaultLevels, Col: 0}}
+	tuples, err := AggregateTuples(shardKeys, shardCols, workers, specs, cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	groups := make([]dist.Group, len(tuples))
+	for i, t := range tuples {
+		groups[i] = dist.Group{Key: t.Key, Sum: t.Aggs[0]}
+	}
+	return groups, nil
+}
+
+// AggregateTuples computes a reproducible distributed multi-aggregate
+// GROUP BY across spawned worker processes — the multi-process
+// counterpart of dist.AggregateTuplesConfig, bit-identical to it for
+// every sharding, chunk regime, and injected failure. Each shard
+// carries its keys plus one value column per distinct column the
+// aggregate catalog reads; the specs travel inside the digested run
+// config, so a worker holding a different catalog is rejected at the
+// join handshake.
+func AggregateTuples(shardKeys [][]uint32, shardCols [][][]float64, workers int, specs []sqlagg.AggSpec, cfg dist.Config, opt Options) ([]dist.TupleGroup, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if len(shardKeys) == 0 {
 		return nil, dist.ErrNoShards
 	}
-	if len(shardVals) != len(shardKeys) {
-		return nil, fmt.Errorf("%w: %d key shards vs %d value shards",
-			dist.ErrShardMismatch, len(shardKeys), len(shardVals))
+	if len(shardCols) != len(shardKeys) {
+		return nil, fmt.Errorf("%w: %d key shards vs %d column shards",
+			dist.ErrShardMismatch, len(shardKeys), len(shardCols))
 	}
-	for i := range shardKeys {
-		if len(shardKeys[i]) != len(shardVals[i]) {
-			return nil, fmt.Errorf("%w: shard %d has %d keys but %d values",
-				dist.ErrShardMismatch, i, len(shardKeys[i]), len(shardVals[i]))
-		}
+	if err := dist.ValidateShardColumns(shardKeys, shardCols, specs); err != nil {
+		return nil, err
 	}
 	if workers < 1 {
 		return nil, fmt.Errorf("%w (got %d)", dist.ErrWorkers, workers)
 	}
-	n := clusterSize(cfg, len(shardKeys))
-	perKeys, perVals := shardKeys, shardVals
-	if n != len(shardKeys) {
-		perKeys = make([][]uint32, n)
-		perVals = make([][]float64, n)
-		for i := range shardKeys {
-			perKeys[i%n] = append(perKeys[i%n], shardKeys[i]...)
-			perVals[i%n] = append(perVals[i%n], shardVals[i]...)
+	// Ship exactly the columns the catalog reads: validation already
+	// guaranteed every shard with rows has them, and columns past the
+	// highest bound one are dead weight on the wire.
+	ncols := 0
+	for _, s := range specs {
+		if s.Col+1 > ncols {
+			ncols = s.Col + 1
 		}
 	}
-	conf := newConf(opGroupBy, dist.Binomial, n, workers, cfg, opt)
+	n := clusterSize(cfg, len(shardKeys))
+	perKeys := make([][]uint32, n)
+	perCols := make([][][]float64, n)
+	for i := range perCols {
+		perCols[i] = make([][]float64, ncols)
+	}
+	for i := range shardKeys {
+		node := i % n
+		perKeys[node] = append(perKeys[node], shardKeys[i]...)
+		if len(shardKeys[i]) == 0 {
+			continue // empty shards may omit columns
+		}
+		for c := 0; c < ncols; c++ {
+			perCols[node][c] = append(perCols[node][c], shardCols[i][c]...)
+		}
+	}
+	conf := newConf(opGroupBy, dist.Binomial, n, workers, specs, cfg, opt)
 	payload, err := runCluster(conf, opt, func(id int, addrs []string) []byte {
-		return encodeJob(opGroupBy, addrs, perKeys[id], perVals[id])
+		return encodeJob(opGroupBy, addrs, perKeys[id], perCols[id])
 	})
 	if err != nil {
 		return nil, err
 	}
-	return dist.DecodeGroups(payload), nil
+	tuples, err := dist.DecodeTupleGroups(payload, len(specs))
+	if err != nil {
+		return nil, fmt.Errorf("proc: decoding root result: %w", err)
+	}
+	return tuples, nil
 }
 
 // newConf assembles the digested run configuration.
-func newConf(op byte, topo dist.Topology, n, workers int, cfg dist.Config, opt Options) clusterConf {
+func newConf(op byte, topo dist.Topology, n, workers int, specs []sqlagg.AggSpec, cfg dist.Config, opt Options) clusterConf {
 	conf := clusterConf{
 		Op:               op,
 		Topo:             topo,
@@ -191,6 +238,7 @@ func newConf(op byte, topo dist.Topology, n, workers int, cfg dist.Config, opt O
 		ChildDeadline:    cfg.ChildDeadline,
 		MaxResend:        cfg.MaxResend,
 		KillNode:         -1,
+		Specs:            specs,
 	}
 	if cfg.Faults != nil {
 		conf.Faults = *cfg.Faults

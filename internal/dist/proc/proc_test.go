@@ -6,11 +6,13 @@ import (
 	"io"
 	"math"
 	"os"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/sqlagg"
 	"repro/internal/workload"
 )
 
@@ -282,13 +284,18 @@ func TestSpecRoundTrip(t *testing.T) {
 		KillNode: 2, KillAfter: 7,
 		Faults: dist.FaultPlan{Seed: 42, DropProb: 0.25, MaxDrops: 2,
 			RetryDelay: time.Millisecond, DupProb: 0.5, MaxDelay: time.Millisecond, Reorder: true},
+		Specs: []sqlagg.AggSpec{
+			{Kind: sqlagg.AggSum, Levels: 2, Col: 0},
+			{Kind: sqlagg.AggAvg, Levels: 2, Col: 3},
+			{Kind: sqlagg.AggCount, Levels: 2, Col: 0},
+		},
 	}
 	raw := encodeConf(conf)
 	back, err := decodeConf(raw)
 	if err != nil {
 		t.Fatalf("decodeConf: %v", err)
 	}
-	if back != conf {
+	if !reflect.DeepEqual(back, conf) {
 		t.Fatalf("conf round trip: got %+v, want %+v", back, conf)
 	}
 	if _, err := decodeConf(raw[:len(raw)-1]); err == nil {
@@ -300,12 +307,14 @@ func TestSpecRoundTrip(t *testing.T) {
 		t.Error("digest ignores a field change")
 	}
 
-	jb := encodeJob(opGroupBy, []string{"127.0.0.1:1", "127.0.0.1:22"}, []uint32{5, 6, 7}, []float64{1.5, -2, math.Inf(1)})
+	jb := encodeJob(opGroupBy, []string{"127.0.0.1:1", "127.0.0.1:22"}, []uint32{5, 6, 7},
+		[][]float64{{1.5, -2, math.Inf(1)}, {4, 5, 6}})
 	j, err := decodeJob(opGroupBy, jb)
 	if err != nil {
 		t.Fatalf("decodeJob: %v", err)
 	}
-	if len(j.addrs) != 2 || j.addrs[1] != "127.0.0.1:22" || len(j.keys) != 3 || j.keys[2] != 7 || !math.IsInf(j.vals[2], 1) {
+	if len(j.addrs) != 2 || j.addrs[1] != "127.0.0.1:22" || len(j.keys) != 3 || j.keys[2] != 7 ||
+		len(j.cols) != 2 || !math.IsInf(j.cols[0][2], 1) || j.cols[1][1] != 5 {
 		t.Fatalf("job round trip mismatch: %+v", j)
 	}
 	if _, err := decodeJob(opGroupBy, jb[:len(jb)-3]); err == nil {
@@ -313,14 +322,25 @@ func TestSpecRoundTrip(t *testing.T) {
 	}
 	// A hostile row count must fail validation, not overflow the
 	// rows×width length check into a huge (or panicking) allocation.
-	huge := append([]byte{0, 0}, make([]byte, 8)...)
+	huge := append([]byte{0, 0}, make([]byte, 10)...)
 	binary.LittleEndian.PutUint64(huge[2:], 1<<61)
+	huge[10] = 1 // one column
 	if _, err := decodeJob(opReduce, huge); err == nil {
 		t.Error("2^61-row job decoded without error")
 	}
 	binary.LittleEndian.PutUint64(huge[2:], uint64(1<<63)) // negative int64
 	if _, err := decodeJob(opGroupBy, huge); err == nil {
 		t.Error("negative-row job decoded without error")
+	}
+	// A reduction job must carry exactly one column, and hostile column
+	// counts are rejected before any allocation.
+	twoCol := encodeJob(opReduce, []string{"127.0.0.1:1"}, nil, [][]float64{{1}, {2}})
+	if _, err := decodeJob(opReduce, twoCol); err == nil {
+		t.Error("two-column reduction job decoded without error")
+	}
+	noCol := encodeJob(opGroupBy, []string{"127.0.0.1:1"}, nil, nil)
+	if _, err := decodeJob(opGroupBy, noCol); err == nil {
+		t.Error("zero-column job decoded without error")
 	}
 
 	h := hello{version: 2, levels: 2, digest: 0xABCDEF, addr: "127.0.0.1:999"}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/sqlagg"
 )
 
 // Wire encodings of the control plane: the cluster config every member
@@ -25,8 +26,14 @@ const (
 
 // specVersion versions the clusterConf encoding. It is the first byte
 // of the blob, so a digest mismatch also covers spec-format drift
-// between supervisor and worker builds.
-const specVersion = 1
+// between supervisor and worker builds. Version 2 added the aggregate
+// spec catalog (multi-aggregate GROUP BY) and multi-column jobs.
+const specVersion = 2
+
+// maxJobCols bounds the column count a job payload may declare; it
+// matches the aggregate catalog's spec limit, since a catalog can bind
+// at most that many distinct columns.
+const maxJobCols = 256
 
 // clusterConf is the run configuration every cluster member must hold
 // an identical copy of: the operation, the cluster shape, and every
@@ -53,6 +60,13 @@ type clusterConf struct {
 	KillAfter int
 
 	Faults dist.FaultPlan
+
+	// Specs is the aggregate catalog of a GROUP BY run: which aggregate
+	// states each node builds per key, in output order. It rides in the
+	// canonical conf encoding, so the join-handshake digest rejects a
+	// worker whose catalog (kinds, level counts, or column bindings)
+	// differs from the supervisor's. Empty for a reduction.
+	Specs []sqlagg.AggSpec
 }
 
 // distConfig is the dist.Config a worker derives from the agreed
@@ -97,6 +111,12 @@ func encodeConf(c clusterConf) []byte {
 		b = append(b, 1)
 	} else {
 		b = append(b, 0)
+	}
+	if c.Op == opGroupBy {
+		// The catalog encodes with resolved level counts (EncodeSpecs is
+		// canonical), so two supervisors describing the same run produce
+		// the same digest regardless of how they spelled the defaults.
+		b, _ = sqlagg.EncodeSpecs(b, c.Specs)
 	}
 	return b
 }
@@ -163,11 +183,17 @@ func decodeConf(raw []byte) (clusterConf, error) {
 	if r.err != nil {
 		return c, r.err
 	}
-	if len(r.b) != 0 {
-		return c, fmt.Errorf("proc: %d trailing bytes after cluster config", len(r.b))
-	}
 	if c.Op != opReduce && c.Op != opGroupBy {
 		return c, fmt.Errorf("proc: unknown operation %d in cluster config", c.Op)
+	}
+	if c.Op == opGroupBy {
+		specs, err := sqlagg.DecodeSpecs(r.b)
+		if err != nil {
+			return c, fmt.Errorf("proc: cluster config aggregate catalog: %w", err)
+		}
+		c.Specs = specs
+	} else if len(r.b) != 0 {
+		return c, fmt.Errorf("proc: %d trailing bytes after cluster config", len(r.b))
 	}
 	if !c.Topo.Valid() {
 		return c, fmt.Errorf("proc: unknown topology %d in cluster config", int(c.Topo))
@@ -246,22 +272,28 @@ func decodeHello(payload []byte) (hello, error) {
 }
 
 // job is the decoded KindJob payload: the cluster's data-plane address
-// table plus this worker's input shard (keys empty for a reduction).
+// table plus this worker's input shard. A reduction carries a single
+// value column in cols[0] and no keys; a GROUP BY carries keys plus one
+// column per distinct input column its aggregate catalog reads.
 type job struct {
 	addrs []string
 	keys  []uint32
-	vals  []float64
+	cols  [][]float64
 }
 
 // encodeJob flattens a job: [2B addr count] addrs (2B length-prefixed
-// each), then for GROUP BY [8B row count] keys (4B each) + vals (8B
-// each), for a reduction [8B value count] vals (8B each).
-func encodeJob(op byte, addrs []string, keys []uint32, vals []float64) []byte {
+// each), [8B row count], [2B column count], then for GROUP BY the keys
+// (4B each), then each column's values (8B each), column-major.
+func encodeJob(op byte, addrs []string, keys []uint32, cols [][]float64) []byte {
+	rows := 0
+	if len(cols) > 0 {
+		rows = len(cols[0])
+	}
 	size := 2
 	for _, a := range addrs {
 		size += 2 + len(a)
 	}
-	size += 8 + len(vals)*8 + len(keys)*4
+	size += 8 + 2 + len(keys)*4 + len(cols)*rows*8
 	b := make([]byte, 0, size)
 	var u16 [2]byte
 	binary.LittleEndian.PutUint16(u16[:], uint16(len(addrs)))
@@ -271,7 +303,9 @@ func encodeJob(op byte, addrs []string, keys []uint32, vals []float64) []byte {
 		b = append(b, u16[:]...)
 		b = append(b, a...)
 	}
-	b = appendI64(b, int64(len(vals)))
+	b = appendI64(b, int64(rows))
+	binary.LittleEndian.PutUint16(u16[:], uint16(len(cols)))
+	b = append(b, u16[:]...)
 	if op == opGroupBy {
 		for _, k := range keys {
 			var u32 [4]byte
@@ -279,8 +313,10 @@ func encodeJob(op byte, addrs []string, keys []uint32, vals []float64) []byte {
 			b = append(b, u32[:]...)
 		}
 	}
-	for _, v := range vals {
-		b = appendU64(b, math.Float64bits(v))
+	for _, col := range cols {
+		for _, v := range col {
+			b = appendU64(b, math.Float64bits(v))
+		}
 	}
 	return b
 }
@@ -307,21 +343,29 @@ func decodeJob(op byte, payload []byte) (job, error) {
 		j.addrs = append(j.addrs, string(payload[:alen]))
 		payload = payload[alen:]
 	}
-	if len(payload) < 8 {
+	if len(payload) < 10 {
 		return j, fmt.Errorf("proc: truncated job row count")
 	}
 	rows := int(int64(binary.LittleEndian.Uint64(payload)))
-	payload = payload[8:]
+	ncols := int(binary.LittleEndian.Uint16(payload[8:]))
+	payload = payload[10:]
+	if ncols < 1 || ncols > maxJobCols {
+		return j, fmt.Errorf("proc: job declares %d columns", ncols)
+	}
+	if op == opReduce && ncols != 1 {
+		return j, fmt.Errorf("proc: reduction job declares %d columns, want 1", ncols)
+	}
 	// Bound the declared count by the bytes actually present before any
 	// multiplication or allocation: a hostile 2^61-row count must fail
 	// this check, not overflow `rows × width` into a passing comparison
-	// and panic in make().
-	width := 8
+	// and panic in make(). ncols is already capped, so rows × width
+	// cannot overflow either.
+	width := 8 * ncols
 	if op == opGroupBy {
 		width += 4
 	}
 	if rows < 0 || rows > len(payload)/width || len(payload) != rows*width {
-		return j, fmt.Errorf("proc: job declares %d rows but carries %d payload bytes", rows, len(payload))
+		return j, fmt.Errorf("proc: job declares %d rows × %d columns but carries %d payload bytes", rows, ncols, len(payload))
 	}
 	if op == opGroupBy {
 		j.keys = make([]uint32, rows)
@@ -330,9 +374,14 @@ func decodeJob(op byte, payload []byte) (job, error) {
 		}
 		payload = payload[rows*4:]
 	}
-	j.vals = make([]float64, rows)
-	for i := range j.vals {
-		j.vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+	flat := make([]float64, ncols*rows)
+	j.cols = make([][]float64, ncols)
+	for c := range j.cols {
+		col := flat[c*rows : (c+1)*rows : (c+1)*rows]
+		for i := range col {
+			col[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[(c*rows+i)*8:]))
+		}
+		j.cols[c] = col
 	}
 	return j, nil
 }

@@ -214,11 +214,11 @@ func runWorker(control string, id int, conf clusterConf, raw []byte) error {
 	go func() {
 		switch conf.Op {
 		case opReduce:
-			payload, err := dist.RunReduceNode(id, theJob.vals, conf.Workers, conf.Topo, tr, cfg)
+			payload, err := dist.RunReduceNode(id, theJob.cols[0], conf.Workers, conf.Topo, tr, cfg)
 			done <- outcome{payload: payload, err: err}
 		default: // opGroupBy (decodeConf rejected everything else)
-			groups, err := dist.RunGroupByNode(id, theJob.keys, theJob.vals, conf.Workers, tr, cfg)
-			done <- outcome{payload: dist.EncodeGroups(groups), err: err}
+			groups, err := dist.RunGroupByNode(id, theJob.keys, theJob.cols, conf.Workers, conf.Specs, tr, cfg)
+			done <- outcome{payload: dist.EncodeTupleGroups(groups, len(conf.Specs)), err: err}
 		}
 	}()
 

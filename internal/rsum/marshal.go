@@ -101,6 +101,28 @@ func (s *State32) AppendBinary(dst []byte) ([]byte, error) {
 
 var errCorrupt = errors.New("rsum: corrupt state encoding")
 
+// EncodedLen64 returns the total byte length of the State64 encoding
+// that starts at data[0], validating the version/kind/level prefix. It
+// lets composite aggregate encodings (a tuple of states, a state
+// followed by a row count) find the boundary of an embedded state
+// without decoding it.
+func EncodedLen64(data []byte) (int, error) {
+	if len(data) < headerSize {
+		return 0, errCorrupt
+	}
+	if data[0] != stateVersion {
+		return 0, fmt.Errorf("rsum: unsupported state version %d", data[0])
+	}
+	if data[1] != kindState64 {
+		return 0, fmt.Errorf("rsum: expected State64 encoding, got kind %d", data[1])
+	}
+	levels := int(data[2])
+	if levels < 1 || levels > MaxLevels {
+		return 0, errCorrupt
+	}
+	return headerSize + levels*levelSize64, nil
+}
+
 // MarshalBinary implements encoding.BinaryMarshaler. The encoding is
 // canonical: states that Equal() each other marshal identically.
 func (s *State64) MarshalBinary() ([]byte, error) {
@@ -145,6 +167,9 @@ func (s *State64) UnmarshalBinary(data []byte) error {
 	}
 	if len(data) != headerSize+levels*levelSize64 {
 		return errCorrupt
+	}
+	if data[3]&^flagInit != 0 {
+		return errCorrupt // unknown flag bits: encoding is canonical
 	}
 	var t State64
 	t.levels = int8(levels)
@@ -207,8 +232,10 @@ func (t *State64) validate() error {
 			continue
 		}
 		ufp := floatbits.Pow2_64(le)
-		// Live running sums stay within their binade: [1, 2)·ufp.
-		if !(t.s[l] >= ufp && t.s[l] < 2*ufp) {
+		// Canonical (propagated) running sums sit in the carry-free
+		// window [1.5, 1.75)·ufp, so decoding then re-encoding is a
+		// byte-level fixpoint.
+		if !(t.s[l] >= 1.5*ufp && t.s[l] < 1.75*ufp) {
 			return errCorrupt
 		}
 	}
@@ -259,6 +286,9 @@ func (s *State32) UnmarshalBinary(data []byte) error {
 	if len(data) != headerSize+levels*levelSize32 {
 		return errCorrupt
 	}
+	if data[3]&^flagInit != 0 {
+		return errCorrupt // unknown flag bits: encoding is canonical
+	}
 	var t State32
 	t.levels = int8(levels)
 	t.init = data[3]&flagInit != 0
@@ -300,7 +330,7 @@ func (t *State32) validate() error {
 			continue
 		}
 		ufp := floatbits.Pow2_32(le)
-		if !(t.s[l] >= ufp && t.s[l] < 2*ufp) {
+		if !(t.s[l] >= 1.5*ufp && t.s[l] < 1.75*ufp) {
 			return errCorrupt
 		}
 	}

@@ -1,0 +1,69 @@
+package sqlagg
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzAggStateDecode drives arbitrary bytes through every registered
+// aggregate decoder. The contract at the trust boundary: malformed
+// bytes error, never panic; accepted bytes are in canonical form, so
+// re-encoding reproduces them exactly; and MergeBinary accepts exactly
+// what UnmarshalBinary accepts (modulo level mismatches).
+func FuzzAggStateDecode(f *testing.F) {
+	seedSpecs := []AggSpec{
+		{Kind: AggSum, Levels: 2},
+		{Kind: AggCount},
+		{Kind: AggAvg, Levels: 3},
+		{Kind: AggVarSamp, Levels: 2},
+		{Kind: AggMin},
+		{Kind: AggMax},
+	}
+	for _, sp := range seedSpecs {
+		st, err := sp.New()
+		if err != nil {
+			f.Fatal(err)
+		}
+		st.Add(1.5)
+		st.Add(-2.25)
+		enc, err := st.AppendBinary(nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 64, 2, 1})
+
+	decodeSpecs := allSpecs(2)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, sp := range decodeSpecs {
+			st, err := sp.New()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.UnmarshalBinary(data); err != nil {
+				continue
+			}
+			re, err := st.AppendBinary(nil)
+			if err != nil {
+				t.Fatalf("%s: re-encode of accepted bytes failed: %v", sp.Kind, err)
+			}
+			if !bytes.Equal(re, data) {
+				t.Fatalf("%s: accepted non-canonical encoding", sp.Kind)
+			}
+			fresh, _ := sp.New()
+			fresh.Add(0.5)
+			// Merging may reject level mismatches but must not panic.
+			_ = fresh.MergeBinary(data)
+			_ = st.Value()
+		}
+		// Spec lists cross the same boundary via the job blob.
+		if specs, err := DecodeSpecs(data); err == nil {
+			re, err := EncodeSpecs(nil, specs)
+			if err != nil || !bytes.Equal(re, data) {
+				t.Fatal("DecodeSpecs accepted non-canonical spec list")
+			}
+		}
+	})
+}

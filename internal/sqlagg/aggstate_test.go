@@ -1,0 +1,384 @@
+package sqlagg
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// allSpecs returns one spec of every registered built-in kind.
+func allSpecs(levels int) []AggSpec {
+	return []AggSpec{
+		{Kind: AggSum, Levels: levels},
+		{Kind: AggCount, Levels: levels},
+		{Kind: AggAvg, Levels: levels},
+		{Kind: AggVarPop, Levels: levels},
+		{Kind: AggVarSamp, Levels: levels},
+		{Kind: AggStddevPop, Levels: levels},
+		{Kind: AggStddevSamp, Levels: levels},
+		{Kind: AggMin, Levels: levels},
+		{Kind: AggMax, Levels: levels},
+	}
+}
+
+func TestAggSpecValidate(t *testing.T) {
+	good := AggSpec{Kind: AggSum, Levels: 3, Col: 7}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []AggSpec{
+		{Kind: 0},
+		{Kind: 99},
+		{Kind: AggSum, Levels: -1},
+		{Kind: AggSum, Levels: core.MaxLevels + 1},
+		{Kind: AggSum, Col: -1},
+		{Kind: AggSum, Col: maxSpecCol + 1},
+	} {
+		if err := bad.Validate(); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("Validate(%+v) = %v, want ErrBadSpec", bad, err)
+		}
+	}
+	if (AggSpec{Kind: AggAvg}).ResolvedLevels() != core.DefaultLevels {
+		t.Error("Levels 0 should resolve to the default")
+	}
+}
+
+func TestAggKindString(t *testing.T) {
+	for k, want := range map[AggKind]string{
+		AggSum: "SUM", AggCount: "COUNT", AggAvg: "AVG",
+		AggVarPop: "VAR_POP", AggStddevSamp: "STDDEV_SAMP",
+		AggMin: "MIN", AggMax: "MAX",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", byte(k), k, want)
+		}
+	}
+	if AggKind(200).String() != "AggKind(200)" {
+		t.Errorf("unregistered kind String() = %q", AggKind(200).String())
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	for _, kind := range []AggKind{0, AggSum} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(kind %d) should panic", byte(kind))
+				}
+			}()
+			Register(kind, "DUP", func(int) AggState { return new(countState) })
+		}()
+	}
+}
+
+func TestSpecsWireRoundTrip(t *testing.T) {
+	specs := []AggSpec{
+		{Kind: AggSum, Levels: 3, Col: 2},
+		{Kind: AggCount},
+		{Kind: AggAvg, Col: 65535},
+	}
+	blob, err := EncodeSpecs(nil, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSpecs(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []AggSpec{
+		{Kind: AggSum, Levels: 3, Col: 2},
+		{Kind: AggCount, Levels: core.DefaultLevels},
+		{Kind: AggAvg, Levels: core.DefaultLevels, Col: 65535},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d specs", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("spec %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Implicit and explicit default levels must encode identically:
+	// the proc handshake digests this blob.
+	explicit, err := EncodeSpecs(nil, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, explicit) {
+		t.Error("Levels 0 and explicit default encode differently")
+	}
+}
+
+func TestDecodeSpecsRejectsMalformed(t *testing.T) {
+	good, _ := EncodeSpecs(nil, []AggSpec{{Kind: AggSum}})
+	for name, blob := range map[string][]byte{
+		"empty":      {},
+		"short":      {1},
+		"zero count": {0, 0},
+		"truncated":  good[:len(good)-1],
+		"trailing":   append(append([]byte{}, good...), 0),
+		"bad kind":   {1, 0, 99, 2, 0, 0},
+		"bad levels": {1, 0, byte(AggSum), 7, 0, 0},
+		"huge count": {255, 255},
+	} {
+		if _, err := DecodeSpecs(blob); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("%s: DecodeSpecs = %v, want ErrBadSpec", name, err)
+		}
+	}
+}
+
+// TestAggStateRoundTrip checks, for every kind: encode → decode → Value
+// is bit-identical, EncodedSize matches the appended length and is
+// data-independent, and AppendBinary is append-only.
+func TestAggStateRoundTrip(t *testing.T) {
+	xs := workload.Values64(3, 500, workload.MixedMag)
+	for _, spec := range allSpecs(3) {
+		st, err := spec.New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		emptySize := st.EncodedSize()
+		for _, x := range xs {
+			st.Add(x)
+		}
+		if st.EncodedSize() != emptySize {
+			t.Errorf("%s: EncodedSize depends on data", spec.Kind)
+		}
+		prefix := []byte{0xAA, 0xBB}
+		enc, err := st.AppendBinary(append([]byte{}, prefix...))
+		if err != nil {
+			t.Fatalf("%s: AppendBinary: %v", spec.Kind, err)
+		}
+		if !bytes.Equal(enc[:2], prefix) {
+			t.Fatalf("%s: AppendBinary clobbered the prefix", spec.Kind)
+		}
+		body := enc[2:]
+		if len(body) != st.EncodedSize() {
+			t.Fatalf("%s: encoded %d bytes, EncodedSize %d", spec.Kind, len(body), st.EncodedSize())
+		}
+		back, _ := spec.New()
+		if err := back.UnmarshalBinary(body); err != nil {
+			t.Fatalf("%s: UnmarshalBinary: %v", spec.Kind, err)
+		}
+		if math.Float64bits(back.Value()) != math.Float64bits(st.Value()) {
+			t.Errorf("%s: round-trip Value %v vs %v", spec.Kind, back.Value(), st.Value())
+		}
+		re, err := back.AppendBinary(nil)
+		if err != nil || !bytes.Equal(re, body) {
+			t.Errorf("%s: re-encoding differs (err=%v)", spec.Kind, err)
+		}
+	}
+}
+
+// TestAggStateSplitMerge checks the distributed contract: splitting the
+// input, shipping encoded partials, and merging (both in memory and via
+// MergeBinary) is bit-identical to sequential accumulation.
+func TestAggStateSplitMerge(t *testing.T) {
+	xs := workload.Values64(7, 2000, workload.MixedMag)
+	for _, spec := range allSpecs(2) {
+		whole, _ := spec.New()
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		parts := make([]AggState, 4)
+		for i := range parts {
+			parts[i], _ = spec.New()
+		}
+		for i, x := range xs {
+			parts[i%4].Add(x)
+		}
+		// In-memory merge tree.
+		mem, _ := spec.New()
+		for _, p := range parts {
+			if err := mem.MergeFrom(p); err != nil {
+				t.Fatalf("%s: MergeFrom: %v", spec.Kind, err)
+			}
+		}
+		// Wire merge, reversed order (merge must be order-independent).
+		wire, _ := spec.New()
+		for i := len(parts) - 1; i >= 0; i-- {
+			enc, err := parts[i].AppendBinary(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := wire.MergeBinary(enc); err != nil {
+				t.Fatalf("%s: MergeBinary: %v", spec.Kind, err)
+			}
+		}
+		wb, sb, mb := math.Float64bits(whole.Value()), math.Float64bits(mem.Value()), math.Float64bits(wire.Value())
+		if wb != sb || wb != mb {
+			t.Errorf("%s: sequential %x, merged %x, wire %x", spec.Kind, wb, sb, mb)
+		}
+	}
+}
+
+func TestAggStateReset(t *testing.T) {
+	for _, spec := range allSpecs(2) {
+		st, _ := spec.New()
+		st.Add(1)
+		st.Add(2)
+		st.Reset()
+		fresh, _ := spec.New()
+		a, _ := st.AppendBinary(nil)
+		b, _ := fresh.AppendBinary(nil)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: Reset state encodes differently from fresh", spec.Kind)
+		}
+	}
+}
+
+func TestAggStateMergeMismatch(t *testing.T) {
+	sum2, _ := AggSpec{Kind: AggSum, Levels: 2}.New()
+	sum3, _ := AggSpec{Kind: AggSum, Levels: 3}.New()
+	cnt, _ := AggSpec{Kind: AggCount}.New()
+	mn, _ := AggSpec{Kind: AggMin}.New()
+	mx, _ := AggSpec{Kind: AggMax}.New()
+	vp, _ := AggSpec{Kind: AggVarPop}.New()
+	vs, _ := AggSpec{Kind: AggVarSamp}.New()
+	avg2, _ := AggSpec{Kind: AggAvg, Levels: 2}.New()
+	avg3, _ := AggSpec{Kind: AggAvg, Levels: 3}.New()
+	for name, pair := range map[string][2]AggState{
+		"sum levels":  {sum2, sum3},
+		"sum vs cnt":  {sum2, cnt},
+		"cnt vs sum":  {cnt, sum2},
+		"min vs max":  {mn, mx},
+		"pop vs samp": {vp, vs},
+		"avg levels":  {avg2, avg3},
+		"avg vs var":  {avg2, vp},
+	} {
+		if err := pair[0].MergeFrom(pair[1]); !errors.Is(err, ErrMergeMismatch) {
+			t.Errorf("%s: MergeFrom = %v, want ErrMergeMismatch", name, err)
+		}
+	}
+	// Level mismatches must also fail across the wire.
+	enc, _ := sum3.AppendBinary(nil)
+	if err := sum2.MergeBinary(enc); err == nil {
+		t.Error("SUM MergeBinary accepted mismatched levels")
+	}
+	encAvg, _ := avg3.AppendBinary(nil)
+	if err := avg2.MergeBinary(encAvg); !errors.Is(err, ErrMergeMismatch) {
+		t.Error("AVG MergeBinary accepted mismatched levels")
+	}
+	vp3, _ := AggSpec{Kind: AggVarPop, Levels: 3}.New()
+	ev, _ := vp3.AppendBinary(nil)
+	if err := vp.MergeBinary(ev); !errors.Is(err, ErrMergeMismatch) {
+		t.Error("VAR MergeBinary accepted mismatched levels")
+	}
+}
+
+func TestCountStateCountsRows(t *testing.T) {
+	st, _ := AggSpec{Kind: AggCount}.New()
+	for _, x := range []float64{math.NaN(), math.Inf(1), 0, -5} {
+		st.Add(x)
+	}
+	if st.Value() != 4 {
+		t.Errorf("COUNT = %v", st.Value())
+	}
+	if _, err := (AggSpec{Kind: AggCount}).StateSize(); err != nil {
+		t.Fatal(err)
+	}
+	// Negative counts are rejected at the trust boundary.
+	neg := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+	if err := st.UnmarshalBinary(neg); !errors.Is(err, ErrBadState) {
+		t.Errorf("negative count decode = %v", err)
+	}
+}
+
+func TestMinMaxSemantics(t *testing.T) {
+	mn, _ := AggSpec{Kind: AggMin}.New()
+	mx, _ := AggSpec{Kind: AggMax}.New()
+	if !math.IsNaN(mn.Value()) || !math.IsNaN(mx.Value()) {
+		t.Error("empty MIN/MAX should be NaN (SQL NULL)")
+	}
+	for _, x := range []float64{3, -7, 2} {
+		mn.Add(x)
+		mx.Add(x)
+	}
+	if mn.Value() != -7 || mx.Value() != 3 {
+		t.Errorf("MIN=%v MAX=%v", mn.Value(), mx.Value())
+	}
+	// Signed-zero ties are deterministic: MIN picks −0, MAX picks +0.
+	zmin, _ := AggSpec{Kind: AggMin}.New()
+	zmax, _ := AggSpec{Kind: AggMax}.New()
+	for _, x := range []float64{0, math.Copysign(0, -1)} {
+		zmin.Add(x)
+		zmax.Add(x)
+	}
+	if !math.Signbit(zmin.Value()) || math.Signbit(zmax.Value()) {
+		t.Error("signed-zero tie not canonical")
+	}
+	// NaN inputs absorb, and any NaN payload encodes canonically.
+	nanA, _ := AggSpec{Kind: AggMax}.New()
+	nanB, _ := AggSpec{Kind: AggMax}.New()
+	nanA.Add(math.NaN())
+	nanA.Add(5)
+	nanB.Add(math.Float64frombits(0x7FF0000000000042)) // a different NaN payload
+	if !math.IsNaN(nanA.Value()) {
+		t.Error("NaN did not absorb MAX")
+	}
+	ea, _ := nanA.AppendBinary(nil)
+	eb, _ := nanB.AppendBinary(nil)
+	if !bytes.Equal(ea, eb) {
+		t.Error("NaN payloads encode non-canonically")
+	}
+}
+
+func TestMinMaxDecodeRejectsMalformed(t *testing.T) {
+	st, _ := AggSpec{Kind: AggMin}.New()
+	nonCanonicalNaN := make([]byte, 9)
+	nonCanonicalNaN[0] = 1
+	for i := 1; i < 9; i++ {
+		nonCanonicalNaN[i] = 0xFF
+	}
+	emptyNonzero := make([]byte, 9)
+	emptyNonzero[3] = 1
+	for name, blob := range map[string][]byte{
+		"short":             {1, 0},
+		"long":              make([]byte, 10),
+		"bad flag":          append([]byte{2}, make([]byte, 8)...),
+		"non-canonical NaN": nonCanonicalNaN,
+		"empty nonzero":     emptyNonzero,
+	} {
+		if err := st.UnmarshalBinary(blob); !errors.Is(err, ErrBadState) {
+			t.Errorf("%s: decode = %v, want ErrBadState", name, err)
+		}
+	}
+}
+
+// TestSumStateMatchesCoreSum pins the SUM state to the engine-side
+// accumulator: the two stacks must produce bit-identical sums for the
+// distributed Q1 equivalence to hold.
+func TestSumStateMatchesCoreSum(t *testing.T) {
+	xs := workload.Values64(11, 3000, workload.MixedMag)
+	st, _ := AggSpec{Kind: AggSum, Levels: 2}.New()
+	acc := core.NewSum64(2)
+	for _, x := range xs {
+		st.Add(x)
+		acc.Add(x)
+	}
+	if math.Float64bits(st.Value()) != math.Float64bits(acc.Value()) {
+		t.Fatalf("sumState %v vs core.Sum64 %v", st.Value(), acc.Value())
+	}
+}
+
+func TestTupleSize(t *testing.T) {
+	specs := []AggSpec{{Kind: AggSum, Levels: 2}, {Kind: AggCount}, {Kind: AggAvg, Levels: 2}}
+	got, err := TupleSize(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SUM: 20+2·16 = 52; COUNT: 8; AVG: 52+8 = 60.
+	if want := 52 + 8 + 60; got != want {
+		t.Errorf("TupleSize = %d, want %d", got, want)
+	}
+	if _, err := TupleSize(nil); !errors.Is(err, ErrBadSpec) {
+		t.Error("TupleSize(nil) should fail")
+	}
+	if _, err := NewStates(make([]AggSpec, maxSpecs+1)); !errors.Is(err, ErrBadSpec) {
+		t.Error("NewStates over limit should fail")
+	}
+}

@@ -1,0 +1,78 @@
+package tpch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/engine"
+)
+
+// q1RowsBitEqual fails the test if two Q1 result sets differ in any bit
+// of any of the eight output columns.
+func q1RowsBitEqual(t *testing.T, label string, got, want []Q1Group) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d groups, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.ReturnFlag != w.ReturnFlag || g.LineStatus != w.LineStatus || g.Count != w.Count {
+			t.Fatalf("%s: group row %d is %c%c/%d, want %c%c/%d",
+				label, i, g.ReturnFlag, g.LineStatus, g.Count, w.ReturnFlag, w.LineStatus, w.Count)
+		}
+		for _, pair := range [][2]float64{
+			{g.SumQty, w.SumQty}, {g.SumBasePrice, w.SumBasePrice},
+			{g.SumDiscPrice, w.SumDiscPrice}, {g.SumCharge, w.SumCharge},
+			{g.AvgQty, w.AvgQty}, {g.AvgPrice, w.AvgPrice}, {g.AvgDisc, w.AvgDisc},
+		} {
+			if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+				t.Fatalf("%s: group %c%c: aggregate %v != %v (bit mismatch)",
+					label, g.ReturnFlag, g.LineStatus, pair[0], pair[1])
+			}
+		}
+	}
+}
+
+// TestQ1DistMatchesEngine: the spec-list formulation of Q1, run through
+// the distributed multi-aggregate GROUP BY, is bit-identical to RunQ1
+// on the local engine at the same level count — for one shard and for
+// a multi-shard round-robin deal.
+func TestQ1DistMatchesEngine(t *testing.T) {
+	tbl := GenLineitem(0.001, 11)
+	const levels = 2
+	want, _, err := RunQ1(tbl, engine.GroupByConfig{Kind: engine.SumRepro, Levels: levels})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	keys, cols, err := Q1Input(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := Q1Specs(levels)
+
+	for _, shards := range []int{1, 4} {
+		sk, sc := ShardQ1Input(keys, cols, shards)
+		tuples, err := dist.AggregateTuples(sk, sc, 2, specs)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		got, err := Q1FromTuples(tuples)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		q1RowsBitEqual(t, "dist Q1", got, want)
+	}
+}
+
+// TestQ1FromTuplesRejectsMalformed: tuple rows with the wrong aggregate
+// arity or an out-of-domain key error instead of fabricating rows.
+func TestQ1FromTuplesRejectsMalformed(t *testing.T) {
+	if _, err := Q1FromTuples([]dist.TupleGroup{{Key: 0, Aggs: make([]float64, 3)}}); err == nil {
+		t.Error("short tuple accepted")
+	}
+	if _, err := Q1FromTuples([]dist.TupleGroup{{Key: 99, Aggs: make([]float64, 8)}}); err == nil {
+		t.Error("out-of-domain key accepted")
+	}
+}

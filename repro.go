@@ -406,6 +406,57 @@ func DistributedGroupBySum(shardKeys [][]uint32, shardVals [][]float64, workers 
 	return out, nil
 }
 
+// AggKind identifies one aggregate function of the distributed
+// multi-aggregate GROUP BY catalog.
+type AggKind = sqlagg.AggKind
+
+// The aggregate catalog: every kind an AggSpec can name. The
+// floating-point aggregates are built on reproducible summation, so
+// each finalized value is bit-identical for every execution of the
+// same input multiset.
+const (
+	AggSum        = sqlagg.AggSum        // SUM(col)
+	AggCount      = sqlagg.AggCount      // COUNT(*)
+	AggAvg        = sqlagg.AggAvg        // AVG(col)
+	AggVarPop     = sqlagg.AggVarPop     // VAR_POP(col)
+	AggVarSamp    = sqlagg.AggVarSamp    // VAR_SAMP(col)
+	AggStddevPop  = sqlagg.AggStddevPop  // STDDEV_POP(col)
+	AggStddevSamp = sqlagg.AggStddevSamp // STDDEV_SAMP(col)
+	AggMin        = sqlagg.AggMin        // MIN(col)
+	AggMax        = sqlagg.AggMax        // MAX(col)
+)
+
+// AggSpec is one aggregate of a multi-aggregate GROUP BY: which
+// function (Kind), at which accuracy level (Levels, 0 = DefaultLevels),
+// over which input column (Col). The spec list is a run's aggregate
+// catalog: it travels inside the digested cluster configuration, so a
+// worker process holding a different catalog fails the join handshake
+// with ErrHandshake instead of diverging mid-run.
+type AggSpec = sqlagg.AggSpec
+
+// TupleGroup is one row of a multi-aggregate GROUP BY result: the key
+// and one finalized float64 per spec, in spec order.
+type TupleGroup = dist.TupleGroup
+
+// DistributedAggregateByKey computes a reproducible multi-aggregate
+// GROUP BY over rows sharded across a cluster: shardKeys[i] holds node
+// i's keys and shardCols[i][c] its c-th value column (every column the
+// specs read must be present and as long as the keys; shards with no
+// rows may omit columns). Each spec contributes one output column, in
+// order. Like DistributedGroupBySum, the rows are hash-shuffled to
+// unique owner nodes, senders pre-aggregate per-key state tuples, and
+// owners merge shipped tuples in arrival order; the returned groups
+// are sorted by key and bit-identical for every sharding, cluster
+// size, worker count, transport (WithTCPTransport), process cluster
+// (WithProcessCluster), and fault plan (WithFaults).
+func DistributedAggregateByKey(shardKeys [][]uint32, shardCols [][][]float64, workers int, specs []AggSpec, opts ...DistOption) ([]TupleGroup, error) {
+	cfg := distConfig(opts)
+	if cfg.Procs != 0 {
+		return proc.AggregateTuples(shardKeys, shardCols, workers, specs, cfg, proc.Options{})
+	}
+	return dist.AggregateTuplesConfig(shardKeys, shardCols, workers, specs, cfg)
+}
+
 // DotProduct returns the bit-reproducible dot product Σ x[i]·y[i] with
 // DefaultLevels, using error-free product transformation (each product's
 // rounding error is recovered with an FMA and folded into the sum), so
