@@ -14,6 +14,12 @@
 // generous -tolerance, so only an unambiguous regression fails the
 // night, not runner noise).
 //
+// A comparison in which NO cell name matches between the two reports
+// gates nothing — which is how a silent schema or cell-name drift turns
+// the bench trajectory into an empty gate that "passes" every night.
+// Zero overlap is therefore a hard error (exit 1) under -strict or
+// -tolerance, and loudly warned about even in warn-only mode.
+//
 // Usage:
 //
 //	benchdiff [-rows-tol 0.25] [-allocs-tol 0.10] [-strict] [-tolerance pct] baseline.json new.json
@@ -23,6 +29,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 )
 
@@ -50,18 +57,74 @@ func load(path string) (report, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return r, fmt.Errorf("%s: %w", path, err)
 	}
-	// Schema 2 added the multi-aggregate groupby cells; the cell fields
-	// benchdiff reads are unchanged, so both schemas diff the same way.
-	if r.Schema != 1 && r.Schema != 2 {
+	// Schema 2 added the multi-aggregate groupby cells and schema 3 the
+	// serving-layer cells; the cell fields benchdiff reads are unchanged,
+	// so all schemas diff the same way.
+	if r.Schema < 1 || r.Schema > 3 {
 		return r, fmt.Errorf("%s: unsupported schema %d", path, r.Schema)
 	}
 	return r, nil
 }
 
+// diff compares cur against base cell by cell, printing the table to w.
+// It returns the number of cells flagged as regressed and the number of
+// cells matched by name — matched == 0 means the comparison gated
+// nothing at all, which callers must treat as a failure of the
+// comparison itself, not a pass.
+func diff(w io.Writer, base, cur report, rowsTol, allocsTol float64) (regressions, matched int) {
+	if base.Rows != cur.Rows {
+		fmt.Fprintf(w, "note: row counts differ (baseline %d, new %d); throughput deltas are not comparable\n",
+			base.Rows, cur.Rows)
+	}
+	baseBy := make(map[string]cell, len(base.Cells))
+	for _, c := range base.Cells {
+		baseBy[c.Name] = c
+	}
+	fmt.Fprintf(w, "%-28s %14s %14s %8s %10s %10s %8s\n",
+		"cell", "base rows/s", "new rows/s", "Δ", "base allocs", "new allocs", "Δ")
+	for _, c := range cur.Cells {
+		b, ok := baseBy[c.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-28s %s\n", c.Name, "(new cell, no baseline)")
+			continue
+		}
+		matched++
+		delete(baseBy, c.Name)
+		rowsDelta, allocsDelta := "-", "-"
+		flagged := ""
+		if b.RowsPerSec > 0 && c.RowsPerSec > 0 {
+			d := c.RowsPerSec/b.RowsPerSec - 1
+			rowsDelta = fmt.Sprintf("%+.0f%%", d*100)
+			if d < -rowsTol {
+				flagged = "  << rows/s regression"
+			}
+		}
+		if b.AllocsPerOp > 0 || c.AllocsPerOp > 0 {
+			d := float64(c.AllocsPerOp-b.AllocsPerOp) / float64(max(b.AllocsPerOp, 1))
+			allocsDelta = fmt.Sprintf("%+.0f%%", d*100)
+			// The >1 absolute guard tolerates ±1 jitter on noisy cells,
+			// but never on a zero-alloc baseline: 0 → 1 allocs/op is
+			// exactly the regression the trajectory exists to catch.
+			if d > allocsTol && (b.AllocsPerOp == 0 || c.AllocsPerOp-b.AllocsPerOp > 1) {
+				flagged += "  << allocs/op regression"
+			}
+		}
+		if flagged != "" {
+			regressions++
+		}
+		fmt.Fprintf(w, "%-28s %14.0f %14.0f %8s %10d %10d %8s%s\n",
+			c.Name, b.RowsPerSec, c.RowsPerSec, rowsDelta, b.AllocsPerOp, c.AllocsPerOp, allocsDelta, flagged)
+	}
+	for name := range baseBy {
+		fmt.Fprintf(w, "%-28s %s\n", name, "(baseline cell missing from new run)")
+	}
+	return regressions, matched
+}
+
 func main() {
 	rowsTol := flag.Float64("rows-tol", 0.25, "tolerated fractional rows/s regression")
 	allocsTol := flag.Float64("allocs-tol", 0.10, "tolerated fractional allocs/op increase")
-	strict := flag.Bool("strict", false, "exit non-zero on flagged regressions")
+	strict := flag.Bool("strict", false, "exit non-zero on flagged regressions (and on zero cell overlap)")
 	tolerance := flag.Float64("tolerance", -1, "percent rows/s regression tolerated before gating (sets -rows-tol to pct/100 and implies -strict; 0 gates on any regression)")
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -88,52 +151,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	if base.Rows != cur.Rows {
-		fmt.Printf("note: row counts differ (baseline %d, new %d); throughput deltas are not comparable\n",
-			base.Rows, cur.Rows)
-	}
 
-	baseBy := make(map[string]cell, len(base.Cells))
-	for _, c := range base.Cells {
-		baseBy[c.Name] = c
-	}
-	regressions := 0
-	fmt.Printf("%-28s %14s %14s %8s %10s %10s %8s\n",
-		"cell", "base rows/s", "new rows/s", "Δ", "base allocs", "new allocs", "Δ")
-	for _, c := range cur.Cells {
-		b, ok := baseBy[c.Name]
-		if !ok {
-			fmt.Printf("%-28s %s\n", c.Name, "(new cell, no baseline)")
-			continue
+	regressions, matched := diff(os.Stdout, base, cur, *rowsTol, *allocsTol)
+
+	if matched == 0 {
+		// An empty intersection compares nothing: every baseline cell is
+		// "missing" and every new cell is "new", so no regression can
+		// ever be flagged. Under a gating run that must be a hard error,
+		// or a renamed cell set silently retires the whole gate.
+		fmt.Fprintf(os.Stderr, "benchdiff: no overlapping cells between %s (%d cells) and %s (%d cells) — nothing was compared\n",
+			flag.Arg(0), len(base.Cells), flag.Arg(1), len(cur.Cells))
+		if *strict {
+			os.Exit(1)
 		}
-		delete(baseBy, c.Name)
-		rowsDelta, allocsDelta := "-", "-"
-		flagged := ""
-		if b.RowsPerSec > 0 && c.RowsPerSec > 0 {
-			d := c.RowsPerSec/b.RowsPerSec - 1
-			rowsDelta = fmt.Sprintf("%+.0f%%", d*100)
-			if d < -*rowsTol {
-				flagged = "  << rows/s regression"
-			}
-		}
-		if b.AllocsPerOp > 0 || c.AllocsPerOp > 0 {
-			d := float64(c.AllocsPerOp-b.AllocsPerOp) / float64(max(b.AllocsPerOp, 1))
-			allocsDelta = fmt.Sprintf("%+.0f%%", d*100)
-			// The >1 absolute guard tolerates ±1 jitter on noisy cells,
-			// but never on a zero-alloc baseline: 0 → 1 allocs/op is
-			// exactly the regression the trajectory exists to catch.
-			if d > *allocsTol && (b.AllocsPerOp == 0 || c.AllocsPerOp-b.AllocsPerOp > 1) {
-				flagged += "  << allocs/op regression"
-			}
-		}
-		if flagged != "" {
-			regressions++
-		}
-		fmt.Printf("%-28s %14.0f %14.0f %8s %10d %10d %8s%s\n",
-			c.Name, b.RowsPerSec, c.RowsPerSec, rowsDelta, b.AllocsPerOp, c.AllocsPerOp, allocsDelta, flagged)
-	}
-	for name := range baseBy {
-		fmt.Printf("%-28s %s\n", name, "(baseline cell missing from new run)")
+		fmt.Println("warn-only mode: exiting 0 despite zero overlap (pass -strict to gate)")
+		return
 	}
 	if regressions > 0 {
 		fmt.Printf("\n%d cell(s) regressed beyond tolerance (rows/s %.0f%%, allocs/op %.0f%%)\n",

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -13,6 +14,8 @@ import (
 	"repro/internal/bench"
 	"repro/internal/dist"
 	"repro/internal/rsum"
+	"repro/internal/serve"
+	"repro/internal/sqlagg"
 	"repro/internal/tpch"
 	"repro/internal/workload"
 )
@@ -155,13 +158,19 @@ type benchCell struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"b_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Serving-layer cells only (schema 3): sustained queries per second
+	// and the cache-hit ratio observed during the measurement.
+	QPS           float64 `json:"qps,omitempty"`
+	CacheHitRatio float64 `json:"cache_hit,omitempty"`
 }
 
 // benchReport is the BENCH_dist.json schema. No timestamps: the file is
 // committed as a baseline and should not churn without a measurement
 // change. Schema 2 added the multi-aggregate shuffle cells (the
-// `groupby/.../q1agg` names and the `aggs` cell field); schema 1 files
-// remain readable by cmd/benchdiff.
+// `groupby/.../q1agg` names and the `aggs` cell field); schema 3 added
+// the serving-layer cells (`serve/...` names with the `qps` and
+// `cache_hit` fields); older-schema files remain readable by
+// cmd/benchdiff.
 type benchReport struct {
 	Schema    int         `json:"schema"`
 	Generator string      `json:"generator"`
@@ -184,7 +193,7 @@ func runDistBenchJSON(cfg config) {
 		rows = 1 << 17 // bounded: these cells run under testing.Benchmark's ~1s budget each
 	}
 	report := benchReport{
-		Schema:    2,
+		Schema:    3,
 		Generator: "reprobench dist",
 		Go:        runtime.Version(),
 		Rows:      rows,
@@ -345,6 +354,65 @@ func runDistBenchJSON(cfg config) {
 		return nil
 	})
 	add("state_encode/marshal", "", "", "", states, res)
+
+	// Serving layer (schema 3): one GROUP BY answered by a resident
+	// query server — cold cache (every op recomputes) vs warm cache
+	// (every op a hit) on the local engine, plus a cold cell through the
+	// distributed backend. Each cell also records sustained QPS and the
+	// observed cache-hit ratio, and every answer across all three cells
+	// must be byte-identical.
+	sds, sdsErr := serve.SyntheticDataset(cfg.seed+9, rows, 4096, 2, workload.MixedMag, serve.DatasetOptions{})
+	if sdsErr != nil {
+		fail("serve dataset: %v", sdsErr)
+	}
+	squery := serve.GroupBy(
+		sqlagg.AggSpec{Kind: sqlagg.AggSum, Col: 0},
+		sqlagg.AggSpec{Kind: sqlagg.AggAvg, Col: 1},
+		sqlagg.AggSpec{Kind: sqlagg.AggCount},
+	)
+	serveCells := []struct {
+		name string
+		opts serve.Options
+		warm bool
+	}{
+		{"serve/local/cold", serve.Options{CacheEntries: -1}, false},
+		{"serve/local/warm", serve.Options{}, true},
+		{"serve/cluster/cold", serve.Options{Distributed: true, CacheEntries: -1}, false},
+	}
+	var serveRef []byte
+	for _, sc := range serveCells {
+		srv, err := serve.NewServer(sds, sc.opts)
+		if err != nil {
+			fail("%s: %v", sc.name, err)
+		}
+		if sc.warm {
+			if _, err := srv.Do(squery); err != nil {
+				fail("%s: prewarm: %v", sc.name, err)
+			}
+		}
+		res := measure(sc.name, func() error {
+			r, err := srv.Do(squery)
+			if err != nil {
+				return err
+			}
+			if serveRef == nil {
+				serveRef = r.Bytes
+			} else if !bytes.Equal(serveRef, r.Bytes) {
+				return fmt.Errorf("result bytes diverged from the reference answer")
+			}
+			return nil
+		})
+		st := srv.Stats()
+		srv.Close()
+		add(sc.name, "", "", "", rows, res)
+		cell := &report.Cells[len(report.Cells)-1]
+		if res.NsPerOp() > 0 {
+			cell.QPS = 1e9 / float64(res.NsPerOp())
+		}
+		if st.CacheHits+st.CacheMisses > 0 {
+			cell.CacheHitRatio = float64(st.CacheHits) / float64(st.CacheHits+st.CacheMisses)
+		}
+	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -8,7 +8,8 @@
 //	reprobench [flags] <experiment>
 //
 // Experiments: fig4, tab2, fig6, fig7, fig8, fig9, fig10, tab3, tab4,
-// fig11, fig12, pagerank, q6, dist (transport sweep), all.
+// fig11, fig12, pagerank, q6, dist (transport sweep), serve (query
+// server sweep), all.
 //
 // Flags:
 //
@@ -61,7 +62,7 @@ func main() {
 	}
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: reprobench [flags] <fig4|tab2|fig6|fig7|fig8|fig9|fig10|tab3|tab4|fig11|fig12|pagerank|q6|dist|all>")
+		fmt.Fprintln(os.Stderr, "usage: reprobench [flags] <fig4|tab2|fig6|fig7|fig8|fig9|fig10|tab3|tab4|fig11|fig12|pagerank|q6|dist|serve|all>")
 		os.Exit(2)
 	}
 
@@ -82,11 +83,12 @@ func main() {
 		"pagerank": runPageRank,
 		"q6":       runQ6,
 		"dist":     runDist,
+		"serve":    runServe,
 	}
 	name := flag.Arg(0)
 	if name == "all" {
 		for _, k := range []string{"fig4", "tab2", "fig6", "fig7", "fig8", "fig9",
-			"fig10", "tab3", "tab4", "fig11", "fig12", "pagerank", "q6", "dist"} {
+			"fig10", "tab3", "tab4", "fig11", "fig12", "pagerank", "q6", "dist", "serve"} {
 			run[k](cfg)
 		}
 		return

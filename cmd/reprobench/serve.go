@@ -1,0 +1,119 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/serve"
+	"repro/internal/sqlagg"
+	"repro/internal/workload"
+)
+
+// runServe — serving-layer throughput sweep (extension; not a paper
+// figure): a query server over resident data, hammered by concurrent
+// clients across backends (local partitioned engine vs distributed
+// tuple plane) and cache temperatures. Reports sustained QPS and the
+// cache-hit ratio per cell, and verifies that every cell's result
+// digest is identical — the serving layer's reproducibility claim
+// under real concurrency.
+func runServe(cfg config) {
+	rows := cfg.n
+	if rows > 1<<20 {
+		rows = 1 << 20
+	}
+	clientsSweep := []int{1, 8, 32}
+	queriesPer := 64
+	if cfg.quick {
+		clientsSweep = []int{1, 8}
+		queriesPer = 16
+	}
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "reprobench serve: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	ds, err := serve.SyntheticDataset(cfg.seed, rows, 4096, 2, workload.MixedMag, serve.DatasetOptions{})
+	if err != nil {
+		fail("dataset: %v", err)
+	}
+	query := serve.GroupBy(
+		sqlagg.AggSpec{Kind: sqlagg.AggSum, Col: 0},
+		sqlagg.AggSpec{Kind: sqlagg.AggAvg, Col: 1},
+		sqlagg.AggSpec{Kind: sqlagg.AggCount},
+	)
+
+	backends := []struct {
+		name string
+		opts serve.Options
+	}{
+		{"local", serve.Options{}},
+		{"cluster", serve.Options{Distributed: true}},
+	}
+
+	t := bench.NewTable("Serving sweep: GROUP BY QPS over resident rows (digests identical across all cells)",
+		"backend", "cache", "clients", "qps", "hit ratio")
+	var ref []byte
+	for _, be := range backends {
+		for _, temperature := range []string{"cold", "warm"} {
+			for _, clients := range clientsSweep {
+				opts := be.opts
+				opts.MaxConcurrent = clients
+				opts.MaxQueue = clients * queriesPer
+				opts.QueueTimeout = time.Minute
+				if temperature == "cold" {
+					opts.CacheEntries = -1
+				}
+				srv, err := serve.NewServer(ds, opts)
+				if err != nil {
+					fail("server: %v", err)
+				}
+				if temperature == "warm" {
+					if _, err := srv.Do(query); err != nil {
+						fail("prewarm: %v", err)
+					}
+				}
+				var bad atomic.Int64
+				var wg sync.WaitGroup
+				start := time.Now()
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for i := 0; i < queriesPer; i++ {
+							r, err := srv.Do(query)
+							if err != nil {
+								fail("query: %v", err)
+							}
+							if ref == nil {
+								ref = r.Bytes
+							} else if string(r.Bytes) != string(ref) {
+								bad.Add(1)
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				elapsed := time.Since(start)
+				if bad.Load() != 0 {
+					fail("%s/%s/%d clients: %d responses diverged from the reference bytes",
+						be.name, temperature, clients, bad.Load())
+				}
+				total := clients * queriesPer
+				st := srv.Stats()
+				hitRatio := 0.0
+				if st.CacheHits+st.CacheMisses > 0 {
+					hitRatio = float64(st.CacheHits) / float64(st.CacheHits+st.CacheMisses)
+				}
+				t.AddRow(be.name, temperature, clients,
+					float64(total)/elapsed.Seconds(), fmt.Sprintf("%.2f", hitRatio))
+				srv.Close()
+			}
+		}
+	}
+	t.Fprint(os.Stdout)
+	fmt.Printf("serving sweep: every response byte-identical across backends, temperatures, and client counts\n\n")
+}

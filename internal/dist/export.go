@@ -91,6 +91,13 @@ func (mb *Mailboxes) Shutdown() { mb.m.close() }
 // transports do.
 func (mb *Mailboxes) Done() <-chan struct{} { return mb.m.closed }
 
+// RetainPayload returns f with its payload copied into a buffer the
+// frame owns — the copy-on-retain side of the ReadFrameBuf handoff
+// rule, for external socket read loops (the multi-process runtime's
+// data and control planes) that reuse a connection read buffer and hand
+// frames to a retaining component such as Mailboxes or a Reassembler.
+func RetainPayload(f Frame) Frame { return retainPayload(f) }
+
 // EncodeErr flattens an error into a KindError payload, preserving the
 // wire-crossing sentinels (ErrStraggler, ErrBadFrame, ErrChunkBudget,
 // ErrHandshake) as a leading code byte so errors.Is survives the trust

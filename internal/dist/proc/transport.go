@@ -106,19 +106,26 @@ func (t *nodeTransport) acceptLoop() {
 // A frame that fails validation poisons only its connection; the
 // protocol's re-request layer recovers the lost chunks over a fresh
 // dial from the sender.
+//
+// Like TCPTransport, frames are read into one per-connection buffer
+// reused across iterations; decoded payloads alias it, so the frame is
+// handed to the retaining mailbox only after RetainPayload copies the
+// payload out (the ReadFrameBuf ownership rule).
 func (t *nodeTransport) readLoop(c net.Conn) {
 	defer t.wg.Done()
 	defer c.Close()
 	br := bufio.NewReaderSize(c, sockBufSize)
+	var buf []byte // connection read buffer; decoded payloads alias it
 	for {
-		f, err := dist.ReadFrame(br)
+		f, nbuf, err := dist.ReadFrameBuf(br, buf)
 		if err != nil {
 			return // EOF, peer close, severed socket, or corrupt stream
 		}
+		buf = nbuf
 		if f.To != t.id {
 			continue // misrouted frame: drop at the trust boundary
 		}
-		if t.mb.Deliver(f) != nil {
+		if t.mb.Deliver(dist.RetainPayload(f)) != nil {
 			return // transport closed
 		}
 	}

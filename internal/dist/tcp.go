@@ -98,19 +98,28 @@ func (t *TCPTransport) acceptLoop(id int, ln net.Listener) {
 // connection: the reader stops, and recovery stays with the protocol's
 // re-request layer — which, since chunking, re-requests only the
 // chunks that were lost with the connection.
+//
+// Frames are read into one per-connection buffer reused across
+// iterations (ReadFrameBuf), so the steady-state read path allocates
+// only what it retains: decoded payloads alias the read buffer and are
+// copied exactly once (retainPayload) before the mailbox — which holds
+// them until the protocol consumes them — takes the frame. Misrouted
+// and payload-free frames never pay the copy.
 func (t *TCPTransport) readLoop(id int, c net.Conn) {
 	defer t.wg.Done()
 	defer c.Close()
 	br := bufio.NewReaderSize(c, sockBufSize)
+	var buf []byte // connection read buffer; every decoded payload aliases it
 	for {
-		f, err := ReadFrame(br)
+		f, nbuf, err := ReadFrameBuf(br, buf)
 		if err != nil {
 			return // EOF, peer close, or corrupt stream
 		}
+		buf = nbuf
 		if f.To != id {
 			continue // misrouted frame: drop at the trust boundary
 		}
-		if t.deliver(f) != nil {
+		if t.deliver(retainPayload(f)) != nil {
 			return // transport closed
 		}
 	}

@@ -301,26 +301,62 @@ func WriteFrame(w io.Writer, f Frame) error {
 
 // ReadFrame reads exactly one frame from r, validating it like
 // DecodeFrame. io.EOF is returned unchanged when the stream ends
-// cleanly between frames.
+// cleanly between frames. The frame is read into a fresh buffer every
+// call, so the returned payload is owned by the caller and may be
+// retained indefinitely.
 func ReadFrame(r io.Reader) (Frame, error) {
+	f, _, err := ReadFrameBuf(r, nil)
+	return f, err
+}
+
+// ReadFrameBuf is ReadFrame with a caller-managed read buffer: the
+// frame is read into buf (reusing its capacity, growing it only when
+// the frame does not fit) and the grown-or-reused buffer is returned
+// for the next call. On a steady-state connection this makes frame
+// reads allocation-free.
+//
+// Payload-ownership handoff rule: the returned frame's payload ALIASES
+// the returned buffer, so it is valid only until the next ReadFrameBuf
+// (or any other write) on that buffer. A component that retains the
+// payload past that point — a mailbox queue, a reassembly stash, a
+// resend cache — must copy it first (copy-on-retain). The socket read
+// loops of TCPTransport and the multi-process runtime enforce this rule
+// at the mailbox boundary; TestReadFrameBufOwnership pins it down.
+func ReadFrameBuf(r io.Reader, buf []byte) (Frame, []byte, error) {
 	var hdr [frameHdrSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
-			return Frame{}, io.EOF
+			return Frame{}, buf, io.EOF
 		}
-		return Frame{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+		return Frame{}, buf, fmt.Errorf("%w: %v", ErrBadFrame, err)
 	}
 	plen := binary.LittleEndian.Uint32(hdr[24:])
 	if plen > MaxFramePayload {
-		return Frame{}, fmt.Errorf("%w: payload length %d exceeds limit", ErrBadFrame, plen)
+		return Frame{}, buf, fmt.Errorf("%w: payload length %d exceeds limit", ErrBadFrame, plen)
 	}
-	buf := make([]byte, frameHdrSize+int(plen)+frameCRCSize)
+	total := frameHdrSize + int(plen) + frameCRCSize
+	if cap(buf) < total {
+		buf = make([]byte, total)
+	}
+	buf = buf[:total]
 	copy(buf, hdr[:])
 	if _, err := io.ReadFull(r, buf[frameHdrSize:]); err != nil {
-		return Frame{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+		return Frame{}, buf, fmt.Errorf("%w: %v", ErrBadFrame, err)
 	}
 	f, _, err := DecodeFrame(buf)
-	return f, err
+	return f, buf, err
+}
+
+// retainPayload returns f with its payload copied into a buffer f owns
+// — the copy-on-retain side of the ReadFrameBuf handoff rule, applied
+// by the socket read loops immediately before a frame crosses into the
+// mailbox (which retains it until the protocol consumes it, long after
+// the connection read buffer has been overwritten by the next frame).
+func retainPayload(f Frame) Frame {
+	if len(f.Payload) > 0 {
+		f.Payload = append(make([]byte, 0, len(f.Payload)), f.Payload...)
+	}
+	return f
 }
 
 // Transport is the interconnect of an n-node simulated cluster. A

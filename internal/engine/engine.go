@@ -11,6 +11,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -151,8 +152,14 @@ func (t *Table) Columns() []string {
 
 // Profiler accumulates per-operator CPU time. The paper's Table IV
 // splits query time into "Aggregations" and "Other"; operators report
-// under a label and the query harness groups them.
+// under a label and the query harness groups them. A Profiler is safe
+// for concurrent use: a long-lived query server shares one profiler
+// across every in-flight query, and operators running in parallel
+// charge their labels under the profiler's lock. (The fn passed to
+// Measure runs outside the lock, so profiled operators never serialize
+// on each other.)
 type Profiler struct {
+	mu     sync.Mutex
 	labels []string
 	times  []time.Duration
 	index  map[string]int
@@ -173,6 +180,8 @@ func (p *Profiler) Measure(label string, fn func()) {
 
 // Addt charges a duration to label.
 func (p *Profiler) Addt(label string, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	i, ok := p.index[label]
 	if !ok {
 		i = len(p.labels)
@@ -185,6 +194,8 @@ func (p *Profiler) Addt(label string, d time.Duration) {
 
 // Get returns the accumulated time for label.
 func (p *Profiler) Get(label string) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if i, ok := p.index[label]; ok {
 		return p.times[i]
 	}
@@ -193,6 +204,8 @@ func (p *Profiler) Get(label string) time.Duration {
 
 // Total returns the total accumulated time.
 func (p *Profiler) Total() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	var t time.Duration
 	for _, d := range p.times {
 		t += d
@@ -201,4 +214,8 @@ func (p *Profiler) Total() time.Duration {
 }
 
 // Labels returns the labels in first-use order.
-func (p *Profiler) Labels() []string { return append([]string(nil), p.labels...) }
+func (p *Profiler) Labels() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.labels...)
+}

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestProfilerConcurrent charges labels from many goroutines at once —
+// the access pattern of a query server sharing one profiler across
+// concurrent queries. Under -race this is the regression test for the
+// formerly unsynchronized Measure/Addt slice and map mutation; in any
+// mode it asserts no charge is lost or misfiled.
+func TestProfilerConcurrent(t *testing.T) {
+	const (
+		goroutines = 32
+		charges    = 200
+		unit       = time.Microsecond
+	)
+	p := NewProfiler()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Every goroutine charges a shared label (maximal contention
+			// on one slot), its own label (map growth under contention),
+			// and reads while others write.
+			own := fmt.Sprintf("op-%d", g)
+			for i := 0; i < charges; i++ {
+				p.Addt("aggregation", unit)
+				p.Addt(own, unit)
+				p.Measure("measured", func() {})
+				_ = p.Get("aggregation")
+				_ = p.Total()
+				_ = p.Labels()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got, want := p.Get("aggregation"), goroutines*charges*unit; got != want {
+		t.Errorf("shared label accumulated %v, want %v", got, want)
+	}
+	for g := 0; g < goroutines; g++ {
+		label := fmt.Sprintf("op-%d", g)
+		if got, want := p.Get(label), time.Duration(charges)*unit; got != want {
+			t.Errorf("label %s accumulated %v, want %v", label, got, want)
+		}
+	}
+	// goroutines own labels + "aggregation" + "measured".
+	if got := len(p.Labels()); got != goroutines+2 {
+		t.Errorf("got %d labels, want %d", got, goroutines+2)
+	}
+	if p.Total() < goroutines*charges*2*unit {
+		t.Errorf("total %v below the deterministic floor %v", p.Total(), goroutines*charges*2*unit)
+	}
+}

@@ -1,0 +1,483 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/engine"
+	"repro/internal/sqlagg"
+)
+
+// Options configures a Server.
+type Options struct {
+	// MaxConcurrent caps the queries executing at once (default 4).
+	MaxConcurrent int
+	// MaxQueue caps the queries waiting for an execution slot beyond
+	// the executing ones (default 64). A query arriving to a full queue
+	// fails immediately with ErrOverloaded. Negative disables queueing:
+	// every query that cannot start at once is ErrOverloaded.
+	MaxQueue int
+	// QueueTimeout bounds a queued query's wait for a slot (default
+	// 2s); expiry fails the query with ErrQueueTimeout.
+	QueueTimeout time.Duration
+	// MemoryBudget caps one query's estimated working memory in bytes
+	// (default 1 GiB; see Dataset.EstimateBytes). Estimates above it
+	// fail with ErrOverBudget before execution. Negative disables the
+	// check.
+	MemoryBudget int
+	// CacheEntries caps the result cache (default 256 entries).
+	// Negative disables caching.
+	CacheEntries int
+	// Workers is the per-query engine parallelism (default GOMAXPROCS).
+	Workers int
+	// Distributed routes GROUP BY queries through the distributed tuple
+	// plane over the pre-sharded layout instead of the local partitioned
+	// engine. Window queries always run locally. The bits are identical
+	// either way; this is a placement decision.
+	Distributed bool
+	// Dist configures the distributed backend's interconnect (transport
+	// factory, chunking, fault plan, …). The in-process transports
+	// only: the process-cluster field (Procs) is rejected by NewServer.
+	Dist dist.Config
+	// VerifyCache recomputes every cache hit and fails the query if the
+	// cached bytes differ from the recomputation — the determinism
+	// invariant checked at runtime. For tests and debugging; it defeats
+	// the cache's purpose (hits pay a full execution).
+	VerifyCache bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxConcurrent == 0 {
+		o.MaxConcurrent = 4
+	}
+	if o.MaxQueue == 0 {
+		o.MaxQueue = 64
+	}
+	if o.QueueTimeout == 0 {
+		o.QueueTimeout = 2 * time.Second
+	}
+	if o.MemoryBudget == 0 {
+		o.MemoryBudget = 1 << 30
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 256
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of a server's counters.
+type Stats struct {
+	// Served counts successfully answered queries (hits included).
+	Served uint64
+	// CacheHits and CacheMisses split the served GROUP BY / window
+	// queries by whether the result cache answered them.
+	CacheHits   uint64
+	CacheMisses uint64
+	// RejectedBudget counts ErrOverBudget rejections, RejectedQueue
+	// counts ErrOverloaded, RejectedTimeout counts ErrQueueTimeout.
+	RejectedBudget  uint64
+	RejectedQueue   uint64
+	RejectedTimeout uint64
+	// Inflight is the number of queries executing right now;
+	// PeakInflight the highest concurrency the server has sustained.
+	Inflight     int64
+	PeakInflight int64
+	// CacheEntries is the current result-cache population.
+	CacheEntries int
+}
+
+// Server is a long-lived query server over one resident Dataset. It is
+// safe for concurrent use: any number of goroutines may call Do at
+// once; admission control bounds how many execute simultaneously.
+type Server struct {
+	ds  *Dataset
+	opt Options
+
+	slots  chan struct{} // execution-slot semaphore (cap MaxConcurrent)
+	queued atomic.Int64  // queries waiting for a slot
+
+	cache *resultCache
+
+	// prof accumulates per-phase serving time across all queries — one
+	// shared profiler, charged concurrently (engine.Profiler is
+	// goroutine-safe).
+	prof *engine.Profiler
+
+	served, hits, misses          atomic.Uint64
+	rejBudget, rejQueue, rejTimer atomic.Uint64
+	inflight, peakInflight        atomic.Int64
+
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	// execGate, when non-nil, runs at the top of every admitted
+	// execution — a test hook for holding queries in flight.
+	execGate func()
+}
+
+// NewServer starts a server over ds. The dataset must outlive the
+// server and stay unmutated.
+func NewServer(ds *Dataset, opts Options) (*Server, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("%w: nil dataset", ErrDataset)
+	}
+	o := opts.withDefaults()
+	if o.MaxConcurrent < 0 {
+		return nil, fmt.Errorf("%w: MaxConcurrent %d", ErrDataset, o.MaxConcurrent)
+	}
+	if o.Dist.Procs != 0 {
+		return nil, fmt.Errorf("%w: the serving layer does not support the process-cluster backend", ErrDataset)
+	}
+	s := &Server{
+		ds:     ds,
+		opt:    o,
+		slots:  make(chan struct{}, o.MaxConcurrent),
+		prof:   engine.NewProfiler(),
+		closed: make(chan struct{}),
+	}
+	if o.CacheEntries > 0 {
+		s.cache = newResultCache(o.CacheEntries)
+	}
+	return s, nil
+}
+
+// Dataset returns the server's resident data.
+func (s *Server) Dataset() *Dataset { return s.ds }
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Served:          s.served.Load(),
+		CacheHits:       s.hits.Load(),
+		CacheMisses:     s.misses.Load(),
+		RejectedBudget:  s.rejBudget.Load(),
+		RejectedQueue:   s.rejQueue.Load(),
+		RejectedTimeout: s.rejTimer.Load(),
+		Inflight:        s.inflight.Load(),
+		PeakInflight:    s.peakInflight.Load(),
+	}
+	if s.cache != nil {
+		st.CacheEntries = s.cache.len()
+	}
+	return st
+}
+
+// Profile returns the accumulated per-phase serving time, in
+// first-use order.
+func (s *Server) Profile() (labels []string, times []time.Duration) {
+	labels = s.prof.Labels()
+	times = make([]time.Duration, len(labels))
+	for i, l := range labels {
+		times[i] = s.prof.Get(l)
+	}
+	return labels, times
+}
+
+// Close shuts the server down: queued queries fail with
+// ErrServerClosed, new queries are rejected. Idempotent. In-flight
+// executions run to completion (their callers still hold slots).
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() { close(s.closed) })
+	return nil
+}
+
+// Do answers one query. The pipeline is: validate and canonically
+// encode; price the query against the memory budget (ErrOverBudget);
+// consult the result cache; admit (bounded slots, bounded queue with
+// timeout — ErrOverloaded / ErrQueueTimeout); execute on the selected
+// backend; cache and return the canonical result bytes.
+//
+// Cache hits are answered without taking an execution slot: a hit does
+// no data work, so making it wait behind executing queries would only
+// add latency. Budget pricing still runs first — whether a query is
+// answerable is a property of the query, not of the cache's mood.
+func (s *Server) Do(q Query) (*Result, error) {
+	select {
+	case <-s.closed:
+		return nil, ErrServerClosed
+	default:
+	}
+
+	if err := q.validate(s.ds.Cols()); err != nil {
+		return nil, err
+	}
+	enc, err := q.Encode()
+	if err != nil {
+		return nil, err
+	}
+
+	if s.opt.MemoryBudget >= 0 {
+		est, err := s.ds.EstimateBytes(q)
+		if err != nil {
+			return nil, err
+		}
+		if est > s.opt.MemoryBudget {
+			s.rejBudget.Add(1)
+			return nil, fmt.Errorf("%w: estimated %d bytes over budget %d (distinct-key bound %d)",
+				ErrOverBudget, est, s.opt.MemoryBudget, s.ds.distinctBound)
+		}
+	}
+
+	key := cacheKey(s.ds.version, enc)
+	if s.cache != nil {
+		if cached, ok := s.cache.get(key); ok {
+			if s.opt.VerifyCache {
+				fresh, err := s.admitAndExecute(q)
+				if err != nil {
+					return nil, err
+				}
+				if !bytes.Equal(cached, fresh) {
+					return nil, fmt.Errorf("serve: cache hit diverged from recomputation for query %x — determinism invariant broken", enc)
+				}
+			}
+			s.hits.Add(1)
+			s.served.Add(1)
+			return &Result{Query: q, Version: s.ds.version, Bytes: cached, CacheHit: true}, nil
+		}
+	}
+
+	out, err := s.admitAndExecute(q)
+	if err != nil {
+		return nil, err
+	}
+	if s.cache != nil {
+		s.cache.put(key, out)
+		s.misses.Add(1)
+	}
+	s.served.Add(1)
+	return &Result{Query: q, Version: s.ds.version, Bytes: out}, nil
+}
+
+// admitAndExecute runs the admission gate, then executes q on the
+// configured backend and returns the canonical result bytes.
+func (s *Server) admitAndExecute(q Query) ([]byte, error) {
+	select {
+	case s.slots <- struct{}{}:
+		// Free slot: start immediately.
+	default:
+		// All slots busy: join the bounded wait queue.
+		if s.queued.Add(1) > int64(s.opt.MaxQueue) {
+			s.queued.Add(-1)
+			s.rejQueue.Add(1)
+			return nil, fmt.Errorf("%w: %d executing, %d queued", ErrOverloaded, s.opt.MaxConcurrent, s.opt.MaxQueue)
+		}
+		timer := time.NewTimer(s.opt.QueueTimeout)
+		select {
+		case s.slots <- struct{}{}:
+			s.queued.Add(-1)
+			timer.Stop()
+		case <-timer.C:
+			s.queued.Add(-1)
+			s.rejTimer.Add(1)
+			return nil, fmt.Errorf("%w after %v", ErrQueueTimeout, s.opt.QueueTimeout)
+		case <-s.closed:
+			s.queued.Add(-1)
+			timer.Stop()
+			return nil, ErrServerClosed
+		}
+	}
+	defer func() { <-s.slots }()
+
+	cur := s.inflight.Add(1)
+	for {
+		peak := s.peakInflight.Load()
+		if cur <= peak || s.peakInflight.CompareAndSwap(peak, cur) {
+			break
+		}
+	}
+	defer s.inflight.Add(-1)
+
+	if s.execGate != nil {
+		s.execGate()
+	}
+	return s.execute(q)
+}
+
+// execute runs q on the selected backend. Every path ends in the same
+// canonical encoding, so backends are interchangeable bit for bit.
+func (s *Server) execute(q Query) (out []byte, err error) {
+	switch q.Kind {
+	case QueryGroupBy:
+		var gs []dist.TupleGroup
+		if s.opt.Distributed {
+			s.prof.Measure("exec/groupby/cluster", func() {
+				gs, err = dist.AggregateTuplesConfig(s.ds.shardKeys, s.ds.shardCols, s.opt.Workers, q.Specs, s.opt.Dist)
+			})
+		} else {
+			s.prof.Measure("exec/groupby/local", func() {
+				gs, err = s.groupByLocal(q.Specs)
+			})
+		}
+		if err != nil {
+			return nil, fmt.Errorf("serve: group by: %w", err)
+		}
+		s.prof.Measure("encode/groups", func() {
+			out = dist.EncodeTupleGroups(gs, len(q.Specs))
+		})
+		return out, nil
+	case QueryWindowTotals:
+		// Window totals run on the serving node for every backend: the
+		// output is row-aligned, and its per-key totals come from the
+		// same reproducible states, so the bits match regardless.
+		s.prof.Measure("exec/window", func() {
+			totals := sqlagg.WindowTotals(s.ds.keys, s.ds.cols[q.Col], resolvedLevels(q.Levels))
+			out = encodeTotals(totals)
+		})
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown query kind %d", ErrBadQuery, byte(q.Kind))
+	}
+}
+
+// groupByLocal is the local GROUP BY engine: each resident partition is
+// aggregated independently (keys only collide within their partition),
+// a worker pool walks the partitions, and the per-partition group lists
+// are concatenated and key-sorted. Group tables are sized from
+// DistinctBound, so they never rehash mid-partition. The result bits
+// are identical to the distributed plane's: the aggregate states are
+// order-independent, so it does not matter which backend folded which
+// row first.
+func (s *Server) groupByLocal(specs []sqlagg.AggSpec) ([]dist.TupleGroup, error) {
+	nparts := s.ds.part.NumPartitions()
+	perPart := make([][]dist.TupleGroup, nparts)
+	errs := make([]error, nparts)
+
+	workers := s.opt.Workers
+	if workers > nparts {
+		workers = nparts
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				p := int(next.Add(1)) - 1
+				if p >= nparts {
+					return
+				}
+				perPart[p], errs[p] = s.aggPartition(p, specs)
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := 0
+	for p := range perPart {
+		if errs[p] != nil {
+			return nil, errs[p]
+		}
+		total += len(perPart[p])
+	}
+	out := make([]dist.TupleGroup, 0, total)
+	for p := range perPart {
+		out = append(out, perPart[p]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// aggPartition folds one resident partition into finalized groups.
+func (s *Server) aggPartition(p int, specs []sqlagg.AggSpec) ([]dist.TupleGroup, error) {
+	pk, _ := s.ds.part.Partition(p)
+	if len(pk) == 0 {
+		return nil, nil
+	}
+	base := s.ds.part.Off[p]
+	bound := s.ds.part.DistinctBound(p, uint32(s.ds.fanout))
+
+	idx := make(map[uint32]int, bound)
+	order := make([]uint32, 0, bound)
+	tuples := make([][]sqlagg.AggState, 0, bound)
+	for i, k := range pk {
+		j, ok := idx[k]
+		if !ok {
+			sts, err := sqlagg.NewStates(specs)
+			if err != nil {
+				return nil, err
+			}
+			j = len(tuples)
+			idx[k] = j
+			order = append(order, k)
+			tuples = append(tuples, sts)
+		}
+		row := base + i
+		for si := range specs {
+			tuples[j][si].Add(s.ds.pcols[specs[si].Col][row])
+		}
+	}
+
+	gs := make([]dist.TupleGroup, len(tuples))
+	for j := range tuples {
+		aggs := make([]float64, len(specs))
+		for si := range specs {
+			aggs[si] = tuples[j][si].Value()
+		}
+		gs[j] = dist.TupleGroup{Key: order[j], Aggs: aggs}
+	}
+	return gs, nil
+}
+
+// cacheKey prefixes the canonical query encoding with the dataset
+// version: a result is a pure function of exactly that pair.
+func cacheKey(version uint64, enc []byte) string {
+	k := make([]byte, 8+len(enc))
+	for i := 0; i < 8; i++ {
+		k[i] = byte(version >> (8 * i))
+	}
+	copy(k[8:], enc)
+	return string(k)
+}
+
+// resultCache is a bounded map from (version, query) to canonical
+// result bytes with FIFO eviction — recency tracking buys nothing when
+// every entry is equally valid forever (the dataset is immutable;
+// entries never go stale, they only compete for space).
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	m     map[string][]byte
+	order []string
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, m: make(map[string][]byte, max)}
+}
+
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	return v, ok
+}
+
+func (c *resultCache) put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.m[key]; dup {
+		return // a concurrent miss already stored the identical bytes
+	}
+	if len(c.m) >= c.max {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.m, oldest)
+	}
+	c.m[key] = val
+	c.order = append(c.order, key)
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
