@@ -1,0 +1,115 @@
+package repro
+
+import (
+	"repro/internal/dist/proc"
+	"repro/internal/workload"
+)
+
+// The cluster API: a long-lived handle over a real multi-process
+// cluster that runs a sequence of typed aggregation jobs with
+// bit-identical results to the in-process engine. The one-shot
+// distributed operators (DistributedSum, DistributedGroupBySum,
+// DistributedAggregateByKey with WithProcessCluster) are thin wrappers
+// that form a cluster, run one job, and tear it down; this API keeps
+// the cluster — its worker processes, sockets, and handshakes — alive
+// across jobs, admits operator-started workers (reproworker -join),
+// and with ClusterSpec.ReplaceDead survives worker death mid-run.
+
+// ErrClusterClosed is returned by Cluster.Run on a closed cluster.
+var ErrClusterClosed = proc.ErrClusterClosed
+
+// ClusterSpec configures NewCluster: the cluster size, how many slots
+// are left open for remote joiners, standby capacity for mid-run
+// replacement, the control listen address, and liveness timing. Every
+// field is validated at construction with a typed ErrConfig naming
+// the field.
+type ClusterSpec = proc.ClusterSpec
+
+// ClusterOptions configures worker spawning: the reproworker binary
+// (default: REPROWORKER_BIN, else the current binary re-executed —
+// see InitWorkerProcess), extra environment, and stderr routing.
+type ClusterOptions = proc.Options
+
+// Cluster is a long-lived multi-process cluster accepting Jobs. It is
+// safe for concurrent use; jobs submitted while one is running queue
+// in arrival order. Construct with NewCluster, release with Close.
+type Cluster = proc.Cluster
+
+// Job is one unit of cluster work: a reduction (no Specs) or a
+// multi-aggregate GROUP BY (one output column per AggSpec), over an
+// input Source, with per-node engine parallelism Workers.
+type Job = proc.Job
+
+// JobResult is one finished Job: the canonical result bytes plus the
+// decoded sum (reductions) or groups (GROUP BY), and how many workers
+// had to be replaced mid-run to produce it (always with bit-identical
+// results — that is the point).
+type JobResult = proc.Result
+
+// ClusterStats is a point-in-time snapshot of a cluster's membership
+// counters.
+type ClusterStats = proc.ClusterStats
+
+// Source is a Job's input. Raw sources (ValueShards, RowShards) ship
+// the rows inside the job dispatch; declarative sources
+// (SyntheticSource, TPCHQ1Source) ship only a description — O(1)
+// dispatch bytes regardless of data size — and every worker
+// materializes its slice locally.
+type Source = proc.Source
+
+// ValueShards is a raw reduction input: one value slice per shard,
+// re-dealt round-robin when the shard count differs from the cluster
+// size (reproducibility makes re-dealing invisible in the bits).
+func ValueShards(shards [][]float64) Source { return proc.ValueShards(shards) }
+
+// RowShards is a raw GROUP BY input: shardKeys[i] holds shard i's keys
+// and shardCols[i][c] its c-th value column.
+func RowShards(shardKeys [][]uint32, shardCols [][][]float64) Source {
+	return proc.RowShards(shardKeys, shardCols)
+}
+
+// SyntheticSource is a declarative generator input: each worker
+// materializes the full deterministic dataset from the spec and keeps
+// its round-robin slice of the rows.
+func SyntheticSource(spec SyntheticSpec) Source { return proc.SyntheticSource(spec) }
+
+// TPCHQ1Source is a declarative TPC-H input: each worker generates the
+// seeded lineitem table, evaluates Q1's scan side, and keeps its slice.
+// Pair it with Q1 aggregate specs (tpch.Q1Specs via cmd/reprobench, or
+// your own catalog over the six Q1 columns).
+func TPCHQ1Source(rows int, seed uint64) Source { return proc.TPCHQ1Source(rows, seed) }
+
+// SyntheticSpec describes a deterministic synthetic dataset: row
+// count, key domain (0 = keyless reduction input), and seeded value
+// columns. Equal specs materialize equal datasets on every machine —
+// which is what lets a job ship the spec instead of the rows.
+type SyntheticSpec = workload.Spec
+
+// SyntheticColumn is one value column of a SyntheticSpec.
+type SyntheticColumn = workload.ColSpec
+
+// ValueDist selects a SyntheticColumn's value distribution.
+type ValueDist = workload.ValueDist
+
+// Value distributions for SyntheticColumn.
+const (
+	Uniform12 = workload.Uniform12 // uniform in [1, 2): benign, equal magnitudes
+	Exp1      = workload.Exp1      // exponential, mean 1
+	MixedMag  = workload.MixedMag  // signed, spanning ~24 binades — cancellation-heavy
+)
+
+// NewCluster forms a cluster: spawns spec.Nodes−spec.Join local
+// workers (plus spec.SpawnStandby standbys), listens on spec.Addr for
+// remote joiners, and verifies every arrival's handshake (frame codec
+// version, rsum level count, digested run configuration) before
+// admission. The distributed interconnect options (WithMaxChunkPayload,
+// WithFaults, WithStragglerDeadline, …) configure the data plane of
+// every job the cluster runs; WithProcessCluster is meaningless here
+// (the spec's Nodes rules) and WithTCPTransport/WithChanTransport are
+// ignored (a process cluster always speaks real sockets).
+func NewCluster(spec ClusterSpec, opts ...DistOption) (*Cluster, error) {
+	for _, o := range opts {
+		o(&spec.Config)
+	}
+	return proc.NewCluster(spec)
+}

@@ -57,10 +57,11 @@ func load(path string) (report, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return r, fmt.Errorf("%s: %w", path, err)
 	}
-	// Schema 2 added the multi-aggregate groupby cells and schema 3 the
-	// serving-layer cells; the cell fields benchdiff reads are unchanged,
-	// so all schemas diff the same way.
-	if r.Schema < 1 || r.Schema > 3 {
+	// Schema 2 added the multi-aggregate groupby cells, schema 3 the
+	// serving-layer cells, and schema 4 the cluster dispatch cells; the
+	// cell fields benchdiff reads are unchanged, so all schemas diff the
+	// same way.
+	if r.Schema < 1 || r.Schema > 4 {
 		return r, fmt.Errorf("%s: unsupported schema %d", path, r.Schema)
 	}
 	return r, nil

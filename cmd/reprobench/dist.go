@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/dist"
+	"repro/internal/dist/proc"
 	"repro/internal/rsum"
 	"repro/internal/serve"
 	"repro/internal/sqlagg"
@@ -169,8 +170,9 @@ type benchCell struct {
 // change. Schema 2 added the multi-aggregate shuffle cells (the
 // `groupby/.../q1agg` names and the `aggs` cell field); schema 3 added
 // the serving-layer cells (`serve/...` names with the `qps` and
-// `cache_hit` fields); older-schema files remain readable by
-// cmd/benchdiff.
+// `cache_hit` fields); schema 4 added the cluster job-dispatch cells
+// (`dispatch/rows` vs `dispatch/spec`); older-schema files remain
+// readable by cmd/benchdiff.
 type benchReport struct {
 	Schema    int         `json:"schema"`
 	Generator string      `json:"generator"`
@@ -193,7 +195,7 @@ func runDistBenchJSON(cfg config) {
 		rows = 1 << 17 // bounded: these cells run under testing.Benchmark's ~1s budget each
 	}
 	report := benchReport{
-		Schema:    3,
+		Schema:    4,
 		Generator: "reprobench dist",
 		Go:        runtime.Version(),
 		Rows:      rows,
@@ -354,6 +356,34 @@ func runDistBenchJSON(cfg config) {
 		return nil
 	})
 	add("state_encode/marshal", "", "", "", states, res)
+
+	// Cluster job dispatch (schema 4): the control-plane bytes the
+	// supervisor encodes into one KindJob frame for one node of a
+	// 4-node cluster, for the same logical GROUP BY job expressed two
+	// ways. A raw-shard job re-deals and encodes every row it ships —
+	// O(rows) per dispatch, paid again for every mid-run replacement —
+	// while a declarative synthetic source encodes only the generator
+	// spec, a few dozen bytes no matter how large the dataset is.
+	dspec := workload.Spec{Rows: rows, Groups: 2048, KeySeed: cfg.seed + 3,
+		Cols: []workload.ColSpec{{Seed: cfg.seed + 4, Dist: workload.MixedMag}}}
+	dkeys, dcols, derr := dspec.Materialize()
+	if derr != nil {
+		fail("dispatch dataset: %v", derr)
+	}
+	dsumSpecs := []sqlagg.AggSpec{{Kind: sqlagg.AggSum, Col: 0}}
+	rawJob := proc.Job{Workers: 2, Specs: dsumSpecs,
+		Source: proc.RowShards([][]uint32{dkeys}, [][][]float64{dcols})}
+	specJob := proc.Job{Workers: 2, Specs: dsumSpecs, Source: proc.SyntheticSource(dspec)}
+	res = measure("dispatch/rows", func() error {
+		_, err := proc.EncodeJobPayload(rawJob, nodes, 0)
+		return err
+	})
+	add("dispatch/rows", "", "", "sum", rows, res)
+	res = measure("dispatch/spec", func() error {
+		_, err := proc.EncodeJobPayload(specJob, nodes, 0)
+		return err
+	})
+	add("dispatch/spec", "", "", "sum", rows, res)
 
 	// Serving layer (schema 3): one GROUP BY answered by a resident
 	// query server — cold cache (every op recomputes) vs warm cache

@@ -9,17 +9,37 @@
 //
 //	reproworker -control 127.0.0.1:43117 -id 3 -conf 0102...
 //
-// On start a worker binds a data-plane TCP listener, dials the control
-// address, and sends a KindHello join handshake carrying its frame
-// codec version, rsum summation level count, and a digest of the run
-// configuration it was started with. The supervisor rejects any
-// mismatch with a typed wire error (ErrHandshake) before a byte of
-// data moves — a stale binary or an edited config cannot silently
-// join and diverge. Accepted workers receive the peer address table
-// and their input shard, execute their node's role of the reduction
-// or GROUP BY shuffle protocol over real sockets (reconnecting and
+// A worker can also join a cluster it was not spawned by. Join mode
+// takes only the supervisor's control address:
+//
+//	reproworker -join 10.0.0.5:43117
+//
+// and is how an operator adds capacity from another shell or another
+// machine: the joiner introduces itself with a config-less hello, the
+// supervisor hands it the cluster configuration and a node id (or
+// parks it as a standby when every slot is taken), and from there it
+// is indistinguishable from a spawned worker. With replacement
+// enabled, a parked joiner is the substitute the supervisor promotes
+// when a member dies mid-run.
+//
+// Either way the worker dials the control address and sends a
+// KindHello handshake carrying its frame codec version, rsum
+// summation level count, and — once it holds the cluster config — a
+// digest of that config. The supervisor rejects any mismatch with a
+// typed wire error (ErrHandshake) before a byte of data moves — a
+// stale binary or an edited config cannot silently join and diverge.
+// Accepted workers receive job specs over the control plane,
+// materialize their input locally (raw shards from the payload, or a
+// declarative generator/TPC-H slice), bind a fresh data-plane
+// listener per job, execute their node's role of the reduction or
+// GROUP BY shuffle protocol over real sockets (reconnecting and
 // serving per-chunk resends through any socket failure), and exit on
 // the supervisor's shutdown frame.
+//
+// Exit codes: 0 on a clean shutdown (also -help), 1 on a runtime
+// failure, 2 on flag misuse, and 3 when the supervisor rejects the
+// handshake — scripts can tell "wrong build or config" (3) apart
+// from "cluster fell over" (1) without parsing stderr.
 //
 // Point a supervisor at an explicitly built worker with the
 // REPROWORKER_BIN environment variable (CI does, to prove the real

@@ -5,6 +5,10 @@
 // bit-identical to the single-machine sum and to every in-process
 // transport. The only ceremony: main must call repro.InitWorkerProcess
 // first, so the re-executed binary can become a worker.
+//
+// The second half runs the long-lived Cluster/Job API: a standby
+// worker heals a forced mid-run death without changing a bit, and a
+// follow-up job ships a generator spec instead of rows.
 package main
 
 import (
@@ -69,4 +73,45 @@ func main() {
 		}
 	}
 	fmt.Printf("%d groups, all bit-identical across process boundaries ✓\n", len(groups))
+
+	// The long-lived Cluster API: the same workers stay up across jobs,
+	// a standby is kept warm, and a forced worker death mid-run is
+	// healed by promotion + job re-ship — without disturbing the bits.
+	c, err := repro.NewCluster(repro.ClusterSpec{
+		Nodes:        3,
+		SpawnStandby: 1,
+		ReplaceDead:  true,
+		DieNode:      1, // node 1 kills itself before its first data frame (first life only)
+		DieAfter:     1,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cluster:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	res, err := c.Run(repro.Job{Topo: repro.Binomial, Workers: 2,
+		Source: repro.ValueShards(shards)})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cluster job 1:", err)
+		os.Exit(1)
+	}
+	if math.Float64bits(res.Sum) != math.Float64bits(ref) {
+		fmt.Fprintln(os.Stderr, "BUG: worker replacement changed the sum bits")
+		os.Exit(1)
+	}
+	fmt.Printf("elastic sum    : %016x, %d worker(s) replaced mid-run ✓\n",
+		math.Float64bits(res.Sum), res.Replacements)
+
+	// Job 2 on the healed cluster ships no rows at all: a declarative
+	// source the workers materialize locally — O(1) dispatch.
+	res, err = c.Run(repro.Job{Workers: 2,
+		Specs:  []repro.AggSpec{{Kind: repro.AggSum, Col: 0}, {Kind: repro.AggCount}},
+		Source: repro.SyntheticSource(repro.SyntheticSpec{Rows: rows, Groups: 1024, KeySeed: 7,
+			Cols: []repro.SyntheticColumn{{Seed: 11, Dist: repro.MixedMag}}})})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cluster job 2:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("spec-ingest    : %d groups from a shipped generator spec ✓\n", len(res.Groups))
 }

@@ -5,41 +5,36 @@
 // and all — across genuinely separate worker OS processes connected by
 // real TCP sockets.
 //
-// A supervisor (Reduce / AggregateByKey in the parent process) spawns
-// one worker process per cluster node, collects a join handshake from
-// each (KindHello: frame codec version, rsum level count, and a digest
-// of the run configuration — any mismatch is rejected with a typed
-// ErrHandshake before a byte of data moves), distributes the peer
-// address table and input shards as chunked KindJob frames, waits for
-// the root's KindResult, and shuts the cluster down. Workers speak the
-// v2 frame codec to each other over per-pair cached connections that
-// re-dial after any socket failure; a connection severed mid-chunk
-// stream is recovered by the protocols' existing per-chunk KindResend
-// path — the receiver re-requests exactly the missing chunks, the
-// sender retransmits them from its cache over a fresh connection, and
-// the job completes without restarting.
+// The core abstraction is the elastic Cluster (elastic.go): a
+// long-lived supervisor that forms its worker set from spawned
+// processes, operator-started remote joiners (reproworker -join), or
+// both; runs a sequence of typed Jobs whose inputs are raw shards or
+// declarative sources the workers materialize locally; and — with
+// ReplaceDead — survives worker death mid-run by admitting a
+// substitute through the same digested KindHello handshake,
+// re-shipping the lost job spec, and re-pointing the surviving peers'
+// reconnect-safe transports. The result is bit-identical to the
+// in-process engine for every topology, cluster size, chunk regime,
+// fault plan, forced socket kill, and mid-run replacement — the
+// paper's reproducibility claim extended to its hardest setting:
+// separate processes with nothing shared but the wire, some of them
+// dying halfway through.
 //
-// The result is bit-identical to the in-process engine for every
-// topology, cluster size, chunk regime, fault plan, and forced
-// socket-kill scenario — the paper's reproducibility claim extended to
-// its hardest setting, separate processes with nothing shared but the
-// wire.
+// Reduce, AggregateByKey, and AggregateTuples below are the original
+// one-shot entry points, kept as thin wrappers: each forms a cluster,
+// runs a single raw-shard job, and tears the cluster down, preserving
+// the exact validation order and failure surface they always had.
 package proc
 
 import (
-	"bufio"
-	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
-	"net"
 	"os"
-	"os/exec"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dist"
-	"repro/internal/rsum"
 	"repro/internal/sqlagg"
 )
 
@@ -93,6 +88,30 @@ func clusterSize(cfg dist.Config, shards int) int {
 	return shards
 }
 
+// runOneShot is the shared tail of the one-shot wrappers: form a
+// cluster, run the single job, tear the cluster down. A run error
+// outranks a teardown error (the former usually causes the latter).
+func runOneShot(n int, cfg dist.Config, opt Options, job Job) (*Result, error) {
+	c, err := NewCluster(ClusterSpec{
+		Nodes:       n,
+		JoinTimeout: opt.joinTimeout(),
+		Config:      cfg,
+		Options:     opt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.Run(job)
+	cerr := c.Close()
+	if err != nil {
+		return nil, err
+	}
+	if cerr != nil {
+		return nil, cerr
+	}
+	return res, nil
+}
+
 // Reduce computes the reproducible global SUM across a cluster of
 // spawned worker processes — the multi-process counterpart of
 // dist.ReduceConfig, bit-identical to it (and to every in-process
@@ -112,28 +131,15 @@ func Reduce(shards [][]float64, workers int, topo dist.Topology, cfg dist.Config
 	if !topo.Valid() {
 		return 0, fmt.Errorf("%w (got %d)", dist.ErrTopology, int(topo))
 	}
-	n := clusterSize(cfg, len(shards))
-	// Re-dealing is the identity when the counts already match; only a
-	// mismatched explicit Procs pays for copying rows around.
-	perNode := shards
-	if n != len(shards) {
-		perNode = make([][]float64, n)
-		for i, s := range shards {
-			perNode[i%n] = append(perNode[i%n], s...)
-		}
-	}
-	conf := newConf(opReduce, topo, n, workers, nil, cfg, opt)
-	payload, err := runCluster(conf, opt, func(id int, addrs []string) []byte {
-		return encodeJob(opReduce, addrs, nil, [][]float64{perNode[id]})
+	res, err := runOneShot(clusterSize(cfg, len(shards)), cfg, opt, Job{
+		Topo:    topo,
+		Workers: workers,
+		Source:  ValueShards(shards),
 	})
 	if err != nil {
 		return 0, err
 	}
-	final := rsum.NewState64(core.DefaultLevels)
-	if err := final.UnmarshalBinary(payload); err != nil {
-		return 0, fmt.Errorf("proc: decoding root result: %w", err)
-	}
-	return final.Value(), nil
+	return res.Sum, nil
 }
 
 // AggregateByKey computes the reproducible distributed GROUP BY SUM
@@ -167,9 +173,9 @@ func AggregateByKey(shardKeys [][]uint32, shardVals [][]float64, workers int, cf
 // counterpart of dist.AggregateTuplesConfig, bit-identical to it for
 // every sharding, chunk regime, and injected failure. Each shard
 // carries its keys plus one value column per distinct column the
-// aggregate catalog reads; the specs travel inside the digested run
-// config, so a worker holding a different catalog is rejected at the
-// join handshake.
+// aggregate catalog reads; the catalog travels in the job spec of the
+// versioned control plane, and the cluster config is digested into the
+// join handshake, so a mismatched worker is rejected at admission.
 func AggregateTuples(shardKeys [][]uint32, shardCols [][][]float64, workers int, specs []sqlagg.AggSpec, cfg dist.Config, opt Options) ([]dist.TupleGroup, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -187,229 +193,15 @@ func AggregateTuples(shardKeys [][]uint32, shardCols [][][]float64, workers int,
 	if workers < 1 {
 		return nil, fmt.Errorf("%w (got %d)", dist.ErrWorkers, workers)
 	}
-	// Ship exactly the columns the catalog reads: validation already
-	// guaranteed every shard with rows has them, and columns past the
-	// highest bound one are dead weight on the wire.
-	ncols := 0
-	for _, s := range specs {
-		if s.Col+1 > ncols {
-			ncols = s.Col + 1
-		}
-	}
-	n := clusterSize(cfg, len(shardKeys))
-	perKeys := make([][]uint32, n)
-	perCols := make([][][]float64, n)
-	for i := range perCols {
-		perCols[i] = make([][]float64, ncols)
-	}
-	for i := range shardKeys {
-		node := i % n
-		perKeys[node] = append(perKeys[node], shardKeys[i]...)
-		if len(shardKeys[i]) == 0 {
-			continue // empty shards may omit columns
-		}
-		for c := 0; c < ncols; c++ {
-			perCols[node][c] = append(perCols[node][c], shardCols[i][c]...)
-		}
-	}
-	conf := newConf(opGroupBy, dist.Binomial, n, workers, specs, cfg, opt)
-	payload, err := runCluster(conf, opt, func(id int, addrs []string) []byte {
-		return encodeJob(opGroupBy, addrs, perKeys[id], perCols[id])
+	res, err := runOneShot(clusterSize(cfg, len(shardKeys)), cfg, opt, Job{
+		Workers: workers,
+		Specs:   specs,
+		Source:  RowShards(shardKeys, shardCols),
 	})
 	if err != nil {
 		return nil, err
 	}
-	tuples, err := dist.DecodeTupleGroups(payload, len(specs))
-	if err != nil {
-		return nil, fmt.Errorf("proc: decoding root result: %w", err)
-	}
-	return tuples, nil
-}
-
-// newConf assembles the digested run configuration.
-func newConf(op byte, topo dist.Topology, n, workers int, specs []sqlagg.AggSpec, cfg dist.Config, opt Options) clusterConf {
-	conf := clusterConf{
-		Op:               op,
-		Topo:             topo,
-		N:                n,
-		Workers:          workers,
-		MaxChunkPayload:  cfg.MaxChunkPayload,
-		ReassemblyBudget: cfg.ReassemblyBudget,
-		ChildDeadline:    cfg.ChildDeadline,
-		MaxResend:        cfg.MaxResend,
-		KillNode:         -1,
-		Specs:            specs,
-	}
-	if cfg.Faults != nil {
-		conf.Faults = *cfg.Faults
-	}
-	if opt.KillConnAfter > 0 {
-		conf.KillNode = opt.KillConnNode
-		conf.KillAfter = opt.KillConnAfter
-	}
-	return conf
-}
-
-// workerExit is one worker process's termination.
-type workerExit struct {
-	id  int
-	err error
-}
-
-// joined is the join phase's outcome: every worker's control
-// connection and data-plane address.
-type joined struct {
-	conns []net.Conn
-	addrs []string
-	err   error
-}
-
-// rootResult is the reassembled KindResult (or KindError) of the root
-// worker.
-type rootResult struct {
-	payload []byte
-	err     error
-}
-
-// runCluster is the supervisor: spawn, join, dispatch, await, shut
-// down. jobPayload builds worker id's KindJob payload once the
-// data-plane address table is known.
-func runCluster(conf clusterConf, opt Options, jobPayload func(id int, addrs []string) []byte) ([]byte, error) {
-	raw := encodeConf(conf)
-	wantDigest := confDigest(raw)
-
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, fmt.Errorf("proc: control listener: %w", err)
-	}
-	defer ln.Close()
-
-	path, reexec, err := resolveWorker(opt)
-	if err != nil {
-		return nil, err
-	}
-	cmds := make([]*exec.Cmd, conf.N)
-	exitCh := make(chan workerExit, conf.N)
-	started, exited := 0, 0
-	for id := 0; id < conf.N; id++ {
-		cmd := exec.Command(path,
-			"-control", ln.Addr().String(),
-			"-id", fmt.Sprint(id),
-			"-conf", hex.EncodeToString(raw))
-		cmd.Stderr = opt.logWriter()
-		cmd.Env = os.Environ()
-		if reexec {
-			cmd.Env = append(cmd.Env, workerEnv+"=1")
-		}
-		cmd.Env = append(cmd.Env, opt.Env...)
-		if err := cmd.Start(); err != nil {
-			killAll(cmds)
-			drainExits(exitCh, started)
-			return nil, fmt.Errorf("proc: spawning worker %d (%s): %w", id, path, err)
-		}
-		cmds[id] = cmd
-		started++
-		go func(id int, cmd *exec.Cmd) {
-			exitCh <- workerExit{id: id, err: cmd.Wait()}
-		}(id, cmd)
-	}
-
-	fail := func(err error) ([]byte, error) {
-		ln.Close()
-		killAll(cmds)
-		drainExits(exitCh, started-exited)
-		return nil, err
-	}
-
-	// Join phase: collect and verify every worker's handshake. On a
-	// join failure the accept goroutine is always drained — it sends
-	// exactly one joined once the listener closes and the killed
-	// workers' connections die — so a racing successful join can never
-	// leak its accepted control connections.
-	joinCh := make(chan joined, 1)
-	go acceptWorkers(ln, conf.N, wantDigest, time.Now().Add(opt.joinTimeout()), joinCh)
-	failJoin := func(err error) ([]byte, error) {
-		ln.Close()
-		killAll(cmds)
-		j := <-joinCh
-		closeConns(j.conns)
-		drainExits(exitCh, started-exited)
-		return nil, err
-	}
-	var j joined
-	select {
-	case j = <-joinCh:
-		if j.err != nil {
-			ln.Close()
-			killAll(cmds)
-			drainExits(exitCh, started-exited)
-			return nil, j.err
-		}
-	case e := <-exitCh:
-		// Accept keeps running, but a worker dying before the cluster
-		// even forms is fatal now, not at the join timeout.
-		exited++
-		return failJoin(fmt.Errorf("proc: worker %d exited during join: %w", e.id, exitErr(e.err)))
-	case <-time.After(opt.joinTimeout()):
-		return failJoin(fmt.Errorf("proc: join timeout: not all of %d workers completed the handshake within %v", conf.N, opt.joinTimeout()))
-	}
-	defer closeConns(j.conns)
-
-	// Dispatch phase: every worker gets the address table and its
-	// shard, chunked like any other large logical message.
-	for id, conn := range j.conns {
-		f := dist.Frame{Kind: dist.KindJob, To: id, Seq: ctrlSeqJob, Payload: jobPayload(id, j.addrs)}
-		bw := bufio.NewWriterSize(conn, sockBufSize)
-		for _, c := range dist.SplitFrame(f, conf.MaxChunkPayload) {
-			if err := dist.WriteFrame(bw, c); err != nil {
-				return fail(fmt.Errorf("proc: sending job to worker %d: %w", id, err))
-			}
-		}
-		if err := bw.Flush(); err != nil {
-			return fail(fmt.Errorf("proc: sending job to worker %d: %w", id, err))
-		}
-	}
-
-	// Await the root's result; any worker exiting first is a failure
-	// (workers only exit after the supervisor's shutdown frame).
-	resCh := make(chan rootResult, 1)
-	go readResult(j.conns[0], resCh)
-	var res rootResult
-	select {
-	case res = <-resCh:
-		if res.err != nil {
-			return fail(fmt.Errorf("proc: root worker: %w", res.err))
-		}
-	case e := <-exitCh:
-		exited++
-		return fail(fmt.Errorf("proc: worker %d exited mid-run: %w", e.id, exitErr(e.err)))
-	}
-
-	// Shutdown phase: tell every worker the run is over, then wait for
-	// clean exits (escalating to kill on a hang).
-	for id, conn := range j.conns {
-		_ = dist.WriteFrame(conn, dist.Frame{Kind: dist.KindShutdown, To: id, Seq: ctrlSeqShutdown, Chunks: 1})
-	}
-	closeConns(j.conns)
-	deadline := time.After(10 * time.Second)
-	var exitFailure error
-	for exited < started {
-		select {
-		case e := <-exitCh:
-			exited++
-			if e.err != nil && exitFailure == nil {
-				exitFailure = fmt.Errorf("proc: worker %d exited uncleanly after shutdown: %w", e.id, e.err)
-			}
-		case <-deadline:
-			killAll(cmds)
-			drainExits(exitCh, started-exited)
-			return nil, errors.New("proc: workers did not exit within the shutdown deadline")
-		}
-	}
-	if exitFailure != nil {
-		return nil, exitFailure
-	}
-	return res.payload, nil
+	return res.Groups, nil
 }
 
 // resolveWorker picks the worker binary: explicit option, then the
@@ -429,74 +221,15 @@ func resolveWorker(opt Options) (path string, reexec bool, err error) {
 	return exe, true, nil
 }
 
-// acceptWorkers runs the join phase: accept control connections until
-// every node id has delivered a valid, matching KindHello. Any invalid
-// or mismatched handshake — an impostor connection included — fails
-// the join; the offender is told why with a KindError before its
-// connection drops. Hello reads carry the join deadline, so a
-// connection that never speaks cannot pin this goroutine past it.
-func acceptWorkers(ln net.Listener, n int, wantDigest uint64, deadline time.Time, out chan<- joined) {
-	conns := make([]net.Conn, n)
-	addrs := make([]string, n)
-	fail := func(err error) {
-		for _, c := range conns {
-			if c != nil {
-				c.Close()
-			}
-		}
-		out <- joined{err: err}
-	}
-	for have := 0; have < n; have++ {
-		conn, err := ln.Accept()
-		if err != nil {
-			fail(fmt.Errorf("proc: control accept: %w", err))
-			return
-		}
-		conn.SetReadDeadline(deadline)
-		f, err := dist.ReadFrame(conn)
-		if err != nil {
-			conn.Close()
-			fail(fmt.Errorf("proc: reading handshake: %w", err))
-			return
-		}
-		h, err := decodeHello(f.Payload)
-		if err == nil && f.Kind != dist.KindHello {
-			err = fmt.Errorf("proc: first control frame is kind %d, want hello", f.Kind)
-		}
-		if err == nil {
-			err = verifyHello(h, wantDigest)
-		}
-		if err == nil && (f.From < 0 || f.From >= n) {
-			err = fmt.Errorf("%w: node id %d outside the %d-node cluster", dist.ErrHandshake, f.From, n)
-		}
-		if err == nil && conns[f.From] != nil {
-			err = fmt.Errorf("%w: duplicate join for node id %d", dist.ErrHandshake, f.From)
-		}
-		if err != nil {
-			_ = dist.WriteFrame(conn, dist.Frame{
-				Kind: dist.KindError, Seq: ctrlSeqHello, Chunks: 1, Payload: dist.EncodeErr(err),
-			})
-			conn.Close()
-			fail(err)
-			return
-		}
-		conn.SetReadDeadline(time.Time{}) // joined: back to blocking reads
-		conns[f.From] = conn
-		addrs[f.From] = h.addr
-	}
-	out <- joined{conns: conns, addrs: addrs}
-}
-
-// verifyHello checks a worker's handshake against this supervisor's
-// build and run configuration. Every mismatch is an ErrHandshake.
+// verifyHello checks a worker's full handshake against this
+// supervisor's build and run configuration. Every mismatch is an
+// ErrHandshake.
 func verifyHello(h hello, wantDigest uint64) error {
-	if h.version != dist.FrameVersion {
-		return fmt.Errorf("%w: worker speaks frame version %d, supervisor speaks %d",
-			dist.ErrHandshake, h.version, dist.FrameVersion)
+	if err := verifyJoinHello(h); err != nil {
+		return err
 	}
-	if h.levels != core.DefaultLevels {
-		return fmt.Errorf("%w: worker compiled with %d rsum levels, supervisor with %d — partial states would not merge",
-			dist.ErrHandshake, h.levels, core.DefaultLevels)
+	if h.flags&helloHasDigest == 0 {
+		return fmt.Errorf("%w: worker sent a config-less hello where a digested one was due", dist.ErrHandshake)
 	}
 	if h.digest != wantDigest {
 		return fmt.Errorf("%w: worker run-config digest %016x, supervisor's is %016x — the cluster would not agree on the run",
@@ -505,37 +238,23 @@ func verifyHello(h hello, wantDigest uint64) error {
 	return nil
 }
 
-// readResult reassembles the root worker's result stream off its
-// control connection — under the default reassembly budget, like the
-// worker's job stream: the control plane connects trusted spawned
-// processes, and a result may legitimately outgrow a tightly tuned
-// data-plane budget.
-func readResult(conn net.Conn, out chan<- rootResult) {
-	br := bufio.NewReaderSize(conn, sockBufSize)
-	asm := dist.NewReassembler(0)
-	for {
-		f, err := dist.ReadFrame(br)
-		if err != nil {
-			out <- rootResult{err: fmt.Errorf("control connection to root lost: %w", err)}
-			return
-		}
-		msg, complete, _, aerr := asm.Accept(f)
-		if aerr != nil {
-			out <- rootResult{err: aerr}
-			return
-		}
-		if !complete {
-			continue
-		}
-		switch msg.Kind {
-		case dist.KindResult:
-			out <- rootResult{payload: msg.Payload}
-			return
-		case dist.KindError:
-			out <- rootResult{err: dist.DecodeErr(0, msg.Payload)}
-			return
-		}
+// verifyJoinHello checks the config-independent half of a handshake —
+// all a remote joiner can promise before it is handed the cluster
+// config.
+func verifyJoinHello(h hello) error {
+	if h.version != dist.FrameVersion {
+		return fmt.Errorf("%w: worker speaks frame version %d, supervisor speaks %d",
+			dist.ErrHandshake, h.version, dist.FrameVersion)
 	}
+	if h.levels != core.DefaultLevels {
+		return fmt.Errorf("%w: worker compiled with %d rsum levels, supervisor with %d — partial states would not merge",
+			dist.ErrHandshake, h.levels, core.DefaultLevels)
+	}
+	if h.specver != specVersion {
+		return fmt.Errorf("%w: worker speaks control-plane spec v%d, supervisor speaks v%d",
+			dist.ErrHandshake, h.specver, specVersion)
+	}
+	return nil
 }
 
 // exitErr folds a nil cmd.Wait error into something printable.
@@ -544,28 +263,4 @@ func exitErr(err error) error {
 		return errors.New("exit status 0")
 	}
 	return err
-}
-
-func killAll(cmds []*exec.Cmd) {
-	for _, cmd := range cmds {
-		if cmd != nil && cmd.Process != nil {
-			_ = cmd.Process.Kill()
-		}
-	}
-}
-
-// drainExits consumes the remaining exit notifications, so no watcher
-// goroutine outlives the run.
-func drainExits(exitCh <-chan workerExit, remaining int) {
-	for i := 0; i < remaining; i++ {
-		<-exitCh
-	}
-}
-
-func closeConns(conns []net.Conn) {
-	for _, c := range conns {
-		if c != nil {
-			c.Close()
-		}
-	}
 }

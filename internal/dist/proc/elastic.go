@@ -1,0 +1,1387 @@
+package proc
+
+import (
+	"bufio"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/rsum"
+	"repro/internal/sqlagg"
+	"repro/internal/workload"
+)
+
+// The elastic cluster runtime: a long-lived Cluster handle that forms
+// a worker set from spawned processes, remote joiners (reproworker
+// -join <addr>), or both; runs a sequence of typed Jobs over it; and
+// survives worker death mid-run by admitting a substitute through the
+// same handshake, re-shipping the dead worker's job spec, and
+// re-pointing the surviving peers — with a final result bit-identical
+// to an undisturbed run, because the protocols' partial frames are
+// deterministic and merge order-invariantly.
+//
+// The supervisor is a single event-loop goroutine that owns all
+// cluster state. Connections, process exits, job submissions, and
+// timers all funnel into one channel; per-connection reader goroutines
+// and per-process exit watchers only post events. That actor shape is
+// what makes mid-run membership changes safe to reason about: every
+// admission, death, dispatch, and re-broadcast is a serialized step.
+
+// ErrClusterClosed is returned by Run on a cluster that has been
+// closed (or is closing underneath the call).
+var ErrClusterClosed = errors.New("proc: cluster closed")
+
+// ClusterSpec configures a Cluster. The zero value is invalid: Nodes
+// is required. Every field is validated at construction with a typed
+// dist.ErrConfig naming the field.
+type ClusterSpec struct {
+	// Nodes is the cluster size: how many workers run each job.
+	Nodes int
+	// Join is how many of the Nodes slots are left open for remote
+	// joiners (reproworker -join) instead of being spawned locally.
+	Join int
+	// SpawnStandby spawns this many extra local workers in join mode;
+	// they park as standbys and are promoted when a member dies.
+	SpawnStandby int
+	// MaxStandby caps how many joiners may park as standbys beyond the
+	// Nodes slots (0 defaults to SpawnStandby). A joiner arriving when
+	// the slots and the standby bench are both full is rejected with a
+	// typed ErrHandshake.
+	MaxStandby int
+	// Addr is the control listen address (default "127.0.0.1:0").
+	// Bind a routable address to accept joiners from other machines.
+	Addr string
+	// ReplaceDead keeps a run alive through worker death: the lost
+	// worker's job spec is re-shipped to a promoted standby (or the
+	// next joiner) and the peers re-dial it. False preserves one-shot
+	// semantics: any death fails the run and breaks the cluster.
+	ReplaceDead bool
+	// JoinTimeout bounds formation and each replacement wait
+	// (default: Options.JoinTimeout, then 15s).
+	JoinTimeout time.Duration
+	// Heartbeat is the workers' control-plane ping interval (0 = no
+	// heartbeats). Required when Liveness is set.
+	Heartbeat time.Duration
+	// Liveness declares a member dead after this much control-plane
+	// silence (0 = connection errors only). Must leave room for at
+	// least two heartbeats.
+	Liveness time.Duration
+	// DieNode/DieAfter inject the forced worker-death scenario: node
+	// DieNode exits its process just before its DieAfter-th data-plane
+	// frame, first incarnation only (a replacement must not inherit
+	// the suicide). DieAfter == 0 disables.
+	DieNode  int
+	DieAfter int
+	// Config is the data-plane protocol configuration (chunking,
+	// deadlines, fault plan). Config.Procs is ignored: Nodes rules.
+	Config dist.Config
+	// Options configures spawning (worker binary, env, stderr, kill
+	// injection).
+	Options Options
+}
+
+// Validate checks every field, returning a dist.ErrConfig that names
+// the offending field.
+func (s ClusterSpec) Validate() error {
+	if s.Nodes < 1 {
+		return fmt.Errorf("%w: cluster size must be >= 1 node (ClusterSpec.Nodes, got %d)", dist.ErrConfig, s.Nodes)
+	}
+	if s.Join < 0 || s.Join > s.Nodes {
+		return fmt.Errorf("%w: remote-join slots must be between 0 and Nodes (ClusterSpec.Join, got %d of %d)", dist.ErrConfig, s.Join, s.Nodes)
+	}
+	if s.SpawnStandby < 0 {
+		return fmt.Errorf("%w: spawned standby count must be >= 0 (ClusterSpec.SpawnStandby, got %d)", dist.ErrConfig, s.SpawnStandby)
+	}
+	if s.MaxStandby < 0 {
+		return fmt.Errorf("%w: standby capacity must be >= 0 (ClusterSpec.MaxStandby, got %d)", dist.ErrConfig, s.MaxStandby)
+	}
+	if s.JoinTimeout < 0 {
+		return fmt.Errorf("%w: join timeout must be >= 0 (ClusterSpec.JoinTimeout, got %v)", dist.ErrConfig, s.JoinTimeout)
+	}
+	if s.Heartbeat < 0 {
+		return fmt.Errorf("%w: heartbeat interval must be >= 0 (ClusterSpec.Heartbeat, got %v)", dist.ErrConfig, s.Heartbeat)
+	}
+	if s.Liveness < 0 {
+		return fmt.Errorf("%w: liveness window must be >= 0 (ClusterSpec.Liveness, got %v)", dist.ErrConfig, s.Liveness)
+	}
+	if s.Liveness > 0 && (s.Heartbeat <= 0 || 2*s.Heartbeat > s.Liveness) {
+		return fmt.Errorf("%w: a liveness window needs a heartbeat at most half as long (ClusterSpec.Heartbeat %v vs ClusterSpec.Liveness %v)", dist.ErrConfig, s.Heartbeat, s.Liveness)
+	}
+	if s.DieAfter < 0 {
+		return fmt.Errorf("%w: injected-death frame count must be >= 0 (ClusterSpec.DieAfter, got %d)", dist.ErrConfig, s.DieAfter)
+	}
+	if s.DieAfter > 0 && (s.DieNode < 0 || s.DieNode >= s.Nodes) {
+		return fmt.Errorf("%w: injected death must name a cluster node (ClusterSpec.DieNode, got %d of %d)", dist.ErrConfig, s.DieNode, s.Nodes)
+	}
+	if s.Options.KillConnAfter < 0 {
+		return fmt.Errorf("%w: injected-kill frame count must be >= 0 (Options.KillConnAfter, got %d)", dist.ErrConfig, s.Options.KillConnAfter)
+	}
+	if s.Options.JoinTimeout < 0 {
+		return fmt.Errorf("%w: join timeout must be >= 0 (Options.JoinTimeout, got %v)", dist.ErrConfig, s.Options.JoinTimeout)
+	}
+	return s.Config.Validate()
+}
+
+// withDefaults resolves the defaulted fields.
+func (s ClusterSpec) withDefaults() ClusterSpec {
+	if s.JoinTimeout == 0 {
+		s.JoinTimeout = s.Options.joinTimeout()
+	}
+	if s.MaxStandby == 0 {
+		s.MaxStandby = s.SpawnStandby
+	}
+	return s
+}
+
+// conf assembles the digested cluster-lifetime configuration.
+func (s ClusterSpec) conf() clusterConf {
+	conf := clusterConf{
+		N:                s.Nodes,
+		MaxChunkPayload:  s.Config.MaxChunkPayload,
+		ReassemblyBudget: s.Config.ReassemblyBudget,
+		ChildDeadline:    s.Config.ChildDeadline,
+		MaxResend:        s.Config.MaxResend,
+		Heartbeat:        s.Heartbeat,
+		Liveness:         s.Liveness,
+		KillNode:         -1,
+		DieNode:          -1,
+	}
+	if s.Config.Faults != nil {
+		conf.Faults = *s.Config.Faults
+	}
+	if s.Options.KillConnAfter > 0 {
+		conf.KillNode = s.Options.KillConnNode
+		conf.KillAfter = s.Options.KillConnAfter
+	}
+	if s.DieAfter > 0 {
+		conf.DieNode = s.DieNode
+		conf.DieAfter = s.DieAfter
+	}
+	return conf
+}
+
+// Source is a job's input: raw shards shipped in the job payload, or
+// a declarative description each worker materializes locally (O(1)
+// dispatch regardless of data size). Construct with ValueShards,
+// RowShards, SyntheticSource, or TPCHQ1Source.
+type Source struct {
+	kind  byte
+	keys  [][]uint32
+	cols  [][][]float64
+	synth workload.Spec
+	rows  int
+	seed  uint64
+}
+
+// ValueShards is a raw reduction input: one value slice per shard.
+// Shards are re-dealt round-robin when their count differs from the
+// cluster size — reproducibility makes any re-dealing invisible in
+// the result bits.
+func ValueShards(shards [][]float64) Source {
+	cols := make([][][]float64, len(shards))
+	for i, s := range shards {
+		cols[i] = [][]float64{s}
+	}
+	return Source{kind: srcRaw, cols: cols}
+}
+
+// RowShards is a raw group-by input: per-shard keys plus value
+// columns (one slice per column the aggregate catalog reads).
+func RowShards(keys [][]uint32, cols [][][]float64) Source {
+	return Source{kind: srcRaw, keys: keys, cols: cols}
+}
+
+// SyntheticSource ships a workload generator spec instead of rows:
+// every worker materializes the full dataset from the seeds and keeps
+// rows i with i % Nodes == its id. Dispatch cost is the size of the
+// spec, independent of Rows.
+func SyntheticSource(spec workload.Spec) Source {
+	return Source{kind: srcSynth, synth: spec}
+}
+
+// TPCHQ1Source ships a TPC-H Q1 input description (lineitem row count
+// and generator seed); workers generate and slice locally like
+// SyntheticSource.
+func TPCHQ1Source(rows int, seed uint64) Source {
+	return Source{kind: srcTPCHQ1, rows: rows, seed: seed}
+}
+
+// Job is one unit of work submitted to a Cluster.
+type Job struct {
+	// Topo is the reduction tree shape (reductions only; the group-by
+	// shuffle ignores it). Zero value is Binomial.
+	Topo dist.Topology
+	// Workers is the per-node goroutine count (0 defaults to 1).
+	Workers int
+	// Specs is the aggregate catalog. Empty means a plain reduction
+	// (SUM of a single value column); non-empty means a group-by with
+	// one aggregate state per spec.
+	Specs []sqlagg.AggSpec
+	// Source is the input (required).
+	Source Source
+}
+
+// EncodeJobPayload returns the control-plane dispatch bytes node id of
+// an n-node cluster would receive for job — the payload of the KindJob
+// frame shipped at admission (and re-shipped to a mid-run substitute).
+// Exposed for measurement: a raw-shard job encodes every row it
+// dispatches, a declarative source a fixed few dozen bytes regardless
+// of data size.
+func EncodeJobPayload(job Job, n, id int) ([]byte, error) {
+	if n < 1 || id < 0 || id >= n {
+		return nil, fmt.Errorf("%w: EncodeJobPayload needs 0 <= id < n (got id %d, n %d)", dist.ErrConfig, id, n)
+	}
+	rs, err := newRunState(evRun{job: job}, 0, n)
+	if err != nil {
+		return nil, err
+	}
+	return rs.payloadFor(id, 0)
+}
+
+// Result is a completed job's outcome.
+type Result struct {
+	// Payload is the root's canonical result encoding: an rsum state
+	// for reductions, encoded tuple groups for group-bys.
+	Payload []byte
+	// Sum is the decoded reduction result (reductions only).
+	Sum float64
+	// Groups is the decoded group-by result (group-bys only).
+	Groups []dist.TupleGroup
+	// Replacements counts workers replaced mid-run during this job.
+	Replacements int
+}
+
+// ClusterStats is a point-in-time view of cluster membership.
+type ClusterStats struct {
+	// Joined counts every admission ever (formation included).
+	Joined int
+	// Replaced counts slot re-admissions (substitutes for the dead).
+	Replaced int
+	// Standbys is the current parked-joiner count.
+	Standbys int
+}
+
+// Cluster is a long-lived handle on an elastic worker cluster. Form
+// one with NewCluster, submit work with Run (serialized; concurrent
+// calls queue), inspect membership with Stats, and always Close it.
+type Cluster struct {
+	spec   ClusterSpec
+	conf   clusterConf
+	raw    []byte
+	digest uint64
+	ln     net.Listener
+
+	events chan event
+	done   chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	joined       atomic.Int64
+	replaced     atomic.Int64
+	standbyGauge atomic.Int64
+}
+
+// Connection lifecycle phases, owned by the supervisor loop.
+const (
+	phaseNew      = iota // accepted, no valid hello yet
+	phaseStandby         // joiner parked on the standby bench
+	phaseReserved        // joiner holds a slot, conf sent, awaiting its full hello
+	phaseMember          // admitted cluster member
+	phaseDead            // deliberately closed by the loop; ignore further events
+)
+
+// connState is one control connection's identity and loop-owned
+// state. The reader goroutine only touches conn; everything else is
+// mutated by the supervisor loop alone.
+type connState struct {
+	conn     net.Conn
+	phase    int
+	id       int
+	inc      int       // admission incarnation of the slot (0 = first)
+	cmd      *exec.Cmd // owning spawned process, nil for remote joiners
+	lastSeen time.Time
+}
+
+// Supervisor loop events.
+type (
+	evMsg struct {
+		cs  *connState
+		msg dist.Frame
+	}
+	evConnErr struct {
+		cs  *connState
+		err error
+	}
+	evExit struct {
+		cmd *exec.Cmd
+		err error
+	}
+	evRun struct {
+		job   Job
+		reply chan runReply
+	}
+	evClose struct {
+		reply chan error
+	}
+)
+
+type event interface{}
+
+type runReply struct {
+	payload      []byte
+	replacements int
+	err          error
+}
+
+const ctlWriteTimeout = 30 * time.Second
+
+// NewCluster forms a cluster: binds the control listener, spawns the
+// local workers and standbys, and starts the supervisor loop. It does
+// not wait for formation — Run does, bounded by JoinTimeout.
+func NewCluster(spec ClusterSpec) (*Cluster, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.withDefaults()
+	conf := spec.conf()
+	raw := encodeConf(conf)
+
+	addr := spec.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("proc: control listener: %w", err)
+	}
+
+	c := &Cluster{
+		spec:   spec,
+		conf:   conf,
+		raw:    raw,
+		digest: confDigest(raw),
+		ln:     ln,
+		events: make(chan event, 256),
+		done:   make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	l := &clusterLoop{
+		c:            c,
+		members:      make([]*connState, conf.N),
+		incs:         make([]int, conf.N),
+		spawnPending: make(map[*exec.Cmd]int),
+		procs:        make(map[*exec.Cmd]int),
+		reserved:     make(map[int]*connState),
+	}
+
+	spawnN := spec.Nodes - spec.Join
+	if spawnN > 0 || spec.SpawnStandby > 0 {
+		path, reexec, err := resolveWorker(spec.Options)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		abort := func(err error) (*Cluster, error) {
+			ln.Close()
+			for cmd := range l.procs {
+				_ = cmd.Process.Kill()
+				_ = cmd.Wait()
+			}
+			return nil, err
+		}
+		for id := 0; id < spawnN; id++ {
+			cmd := spawnCmd(path, reexec, spec.Options,
+				"-control", ln.Addr().String(),
+				"-id", fmt.Sprint(id),
+				"-conf", hex.EncodeToString(raw))
+			if err := cmd.Start(); err != nil {
+				return abort(fmt.Errorf("proc: spawning worker %d (%s): %w", id, path, err))
+			}
+			l.spawnPending[cmd] = id
+			l.procs[cmd] = id
+		}
+		for s := 0; s < spec.SpawnStandby; s++ {
+			cmd := spawnCmd(path, reexec, spec.Options, "-join", ln.Addr().String())
+			if err := cmd.Start(); err != nil {
+				return abort(fmt.Errorf("proc: spawning standby worker (%s): %w", path, err))
+			}
+			l.procs[cmd] = -1
+		}
+	}
+	for cmd := range l.procs {
+		go c.watchExit(cmd)
+	}
+	go c.acceptLoop()
+	go l.run()
+	return c, nil
+}
+
+// spawnCmd builds a worker process command line.
+func spawnCmd(path string, reexec bool, opt Options, args ...string) *exec.Cmd {
+	cmd := exec.Command(path, args...)
+	cmd.Stderr = opt.logWriter()
+	cmd.Env = os.Environ()
+	if reexec {
+		cmd.Env = append(cmd.Env, workerEnv+"=1")
+	}
+	cmd.Env = append(cmd.Env, opt.Env...)
+	return cmd
+}
+
+// Addr is the control address workers join at (reproworker -join).
+func (c *Cluster) Addr() string { return c.ln.Addr().String() }
+
+// Stats reports cluster membership counters.
+func (c *Cluster) Stats() ClusterStats {
+	return ClusterStats{
+		Joined:   int(c.joined.Load()),
+		Replaced: int(c.replaced.Load()),
+		Standbys: int(c.standbyGauge.Load()),
+	}
+}
+
+// Run executes one job on the cluster and blocks until its result.
+// Concurrent calls are serialized in submission order.
+func (c *Cluster) Run(job Job) (*Result, error) {
+	reply := make(chan runReply, 1)
+	select {
+	case c.events <- evRun{job: job, reply: reply}:
+	case <-c.done:
+		return nil, ErrClusterClosed
+	}
+	var r runReply
+	select {
+	case r = <-reply:
+	case <-c.done:
+		return nil, ErrClusterClosed
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	res := &Result{Payload: r.payload, Replacements: r.replacements}
+	if len(job.Specs) == 0 {
+		final := rsum.NewState64(core.DefaultLevels)
+		if err := final.UnmarshalBinary(r.payload); err != nil {
+			return nil, fmt.Errorf("proc: decoding root result: %w", err)
+		}
+		res.Sum = final.Value()
+	} else {
+		gs, err := dist.DecodeTupleGroups(r.payload, len(job.Specs))
+		if err != nil {
+			return nil, fmt.Errorf("proc: decoding root result: %w", err)
+		}
+		res.Groups = gs
+	}
+	return res, nil
+}
+
+// Close shuts the cluster down: fails any in-flight job, tells every
+// worker to exit, and waits for the spawned processes (escalating to
+// kill after a deadline). It returns the first unclean worker exit.
+// Idempotent.
+func (c *Cluster) Close() error {
+	c.closeOnce.Do(func() {
+		reply := make(chan error, 1)
+		select {
+		case c.events <- evClose{reply: reply}:
+			select {
+			case c.closeErr = <-reply:
+			case <-c.done:
+			}
+		case <-c.done:
+		}
+		c.ln.Close()
+		c.connMu.Lock()
+		for conn := range c.conns {
+			conn.Close()
+		}
+		c.connMu.Unlock()
+	})
+	return c.closeErr
+}
+
+// post delivers an event to the loop, dropping it once the loop has
+// exited (so readers and watchers can never wedge on a dead cluster).
+func (c *Cluster) post(e event) {
+	select {
+	case c.events <- e:
+	case <-c.done:
+	}
+}
+
+func (c *Cluster) watchExit(cmd *exec.Cmd) {
+	c.post(evExit{cmd: cmd, err: cmd.Wait()})
+}
+
+// acceptLoop admits control connections for the cluster's lifetime —
+// formation and later joiners use the same door.
+func (c *Cluster) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.connMu.Lock()
+		c.conns[conn] = struct{}{}
+		c.connMu.Unlock()
+		// A connection that never completes a handshake dies at this
+		// deadline; admission clears it.
+		conn.SetReadDeadline(time.Now().Add(c.spec.JoinTimeout))
+		cs := &connState{conn: conn, phase: phaseNew, id: -1}
+		go c.readConn(cs)
+	}
+}
+
+// readConn is one connection's reader: frames are reassembled (the
+// control plane chunks large messages like the data plane) and posted
+// to the loop. One reader lives for the connection's whole life, so a
+// joiner's buffered bytes are never lost across a phase change.
+func (c *Cluster) readConn(cs *connState) {
+	defer func() {
+		c.connMu.Lock()
+		delete(c.conns, cs.conn)
+		c.connMu.Unlock()
+	}()
+	br := bufio.NewReaderSize(cs.conn, sockBufSize)
+	asm := dist.NewReassembler(0)
+	for {
+		f, err := dist.ReadFrame(br)
+		if err != nil {
+			c.post(evConnErr{cs: cs, err: err})
+			return
+		}
+		if f.Kind == dist.KindPing {
+			// Pings reuse one (from, seq) stream forever; routing them
+			// through the reassembler would swallow every ping after the
+			// first as a completed-stream duplicate, starving the
+			// liveness tracker. They are single-frame by construction.
+			c.post(evMsg{cs: cs, msg: f})
+			continue
+		}
+		msg, complete, _, aerr := asm.Accept(f)
+		if aerr != nil {
+			c.post(evConnErr{cs: cs, err: aerr})
+			return
+		}
+		if !complete {
+			continue
+		}
+		c.post(evMsg{cs: cs, msg: msg})
+	}
+}
+
+// runState is the in-flight job's supervisor-side state.
+type runState struct {
+	reply   chan runReply
+	jobIdx  int
+	op      byte
+	topo    dist.Topology
+	workers int
+	specs   []sqlagg.AggSpec
+	src     Source
+	perKeys [][]uint32    // srcRaw group-by: re-dealt keys per node
+	perCols [][][]float64 // srcRaw: re-dealt columns per node
+
+	addrs        []string
+	ready        []bool
+	nready       int
+	epoch        int
+	started      bool
+	replacements int
+}
+
+// newRunState validates a job against the cluster shape and prepares
+// the per-node payloads (re-dealing raw shards round-robin when their
+// count differs from the cluster size).
+func newRunState(e evRun, jobIdx, n int) (*runState, error) {
+	job := e.job
+	rs := &runState{
+		reply:   e.reply,
+		jobIdx:  jobIdx,
+		topo:    job.Topo,
+		workers: job.Workers,
+		specs:   job.Specs,
+		src:     job.Source,
+		addrs:   make([]string, n),
+		ready:   make([]bool, n),
+	}
+	if rs.workers == 0 {
+		rs.workers = 1
+	}
+	if rs.workers < 0 {
+		return nil, fmt.Errorf("%w (got %d)", dist.ErrWorkers, rs.workers)
+	}
+	if !rs.topo.Valid() {
+		return nil, fmt.Errorf("%w (got %d)", dist.ErrTopology, int(rs.topo))
+	}
+	rs.op = opReduce
+	if len(job.Specs) > 0 {
+		rs.op = opGroupBy
+	}
+	switch job.Source.kind {
+	case srcRaw:
+		return rs, rs.prepareRaw(n)
+	case srcSynth:
+		if err := job.Source.synth.Validate(); err != nil {
+			return nil, err
+		}
+		if rs.op == opReduce && job.Source.synth.Groups != 0 {
+			return nil, fmt.Errorf("%w: a reduction job needs a keyless synthetic source (Job.Source)", dist.ErrConfig)
+		}
+		if rs.op == opGroupBy && job.Source.synth.Groups == 0 {
+			return nil, fmt.Errorf("%w: a group-by job needs a keyed synthetic source (Job.Source)", dist.ErrConfig)
+		}
+		return rs, nil
+	case srcTPCHQ1:
+		if job.Source.rows < 1 {
+			return nil, fmt.Errorf("%w: a TPC-H source needs >= 1 row (Job.Source)", dist.ErrConfig)
+		}
+		if rs.op != opGroupBy {
+			return nil, fmt.Errorf("%w: a TPC-H source needs a group-by job with the Q1 aggregate catalog (Job.Specs)", dist.ErrConfig)
+		}
+		return rs, nil
+	default:
+		return nil, fmt.Errorf("%w: job needs an input source (Job.Source)", dist.ErrConfig)
+	}
+}
+
+// prepareRaw re-deals raw shards across the cluster's n nodes.
+func (rs *runState) prepareRaw(n int) error {
+	src := rs.src
+	if rs.op == opReduce {
+		if len(src.cols) == 0 {
+			return dist.ErrNoShards
+		}
+		shards := make([][]float64, len(src.cols))
+		for i, c := range src.cols {
+			if len(c) != 1 {
+				return fmt.Errorf("%w: reduction shard %d carries %d columns, want 1", dist.ErrShardMismatch, i, len(c))
+			}
+			shards[i] = c[0]
+		}
+		perNode := shards
+		if n != len(shards) {
+			perNode = make([][]float64, n)
+			for i, s := range shards {
+				perNode[i%n] = append(perNode[i%n], s...)
+			}
+		}
+		rs.perCols = make([][][]float64, n)
+		for i := range rs.perCols {
+			rs.perCols[i] = [][]float64{perNode[i]}
+		}
+		return nil
+	}
+	if len(src.keys) == 0 {
+		return dist.ErrNoShards
+	}
+	if len(src.cols) != len(src.keys) {
+		return fmt.Errorf("%w: %d key shards vs %d column shards",
+			dist.ErrShardMismatch, len(src.keys), len(src.cols))
+	}
+	if err := dist.ValidateShardColumns(src.keys, src.cols, rs.specs); err != nil {
+		return err
+	}
+	// Ship exactly the columns the catalog reads; columns past the
+	// highest bound one are dead weight on the wire.
+	ncols := 0
+	for _, s := range rs.specs {
+		if s.Col+1 > ncols {
+			ncols = s.Col + 1
+		}
+	}
+	rs.perKeys = make([][]uint32, n)
+	rs.perCols = make([][][]float64, n)
+	for i := range rs.perCols {
+		rs.perCols[i] = make([][]float64, ncols)
+	}
+	for i := range src.keys {
+		node := i % n
+		rs.perKeys[node] = append(rs.perKeys[node], src.keys[i]...)
+		if len(src.keys[i]) == 0 {
+			continue // empty shards may omit columns
+		}
+		for c := 0; c < ncols; c++ {
+			rs.perCols[node][c] = append(rs.perCols[node][c], src.cols[i][c]...)
+		}
+	}
+	return nil
+}
+
+// payloadFor encodes node id's job spec at the given incarnation.
+func (rs *runState) payloadFor(id, inc int) ([]byte, error) {
+	js := jobSpec{
+		jobIdx:      rs.jobIdx,
+		incarnation: inc,
+		op:          rs.op,
+		topo:        rs.topo,
+		workers:     rs.workers,
+		specs:       rs.specs,
+		source:      rs.src.kind,
+	}
+	switch rs.src.kind {
+	case srcRaw:
+		if rs.perKeys != nil {
+			js.keys = rs.perKeys[id]
+		}
+		js.cols = rs.perCols[id]
+	case srcSynth:
+		js.synth = rs.src.synth
+	case srcTPCHQ1:
+		js.rows = rs.src.rows
+		js.seed = rs.src.seed
+	}
+	return encodeJobSpec(js)
+}
+
+// clusterLoop is the supervisor actor: all fields are owned by run()'s
+// goroutine.
+type clusterLoop struct {
+	c *Cluster
+
+	members      []*connState       // admitted, by node id
+	incs         []int              // next admission incarnation per slot
+	spawnPending map[*exec.Cmd]int  // spawned, not yet admitted → node id
+	procs        map[*exec.Cmd]int  // every live spawned process → id (-1 standby)
+	standbys     []*connState       // parked joiners, promotion order
+	reserved     map[int]*connState // slot id → joiner awaiting its full hello
+
+	everFormed bool  // all slots were filled at least once
+	broken     error // fatal formation error: the cluster cannot run
+
+	closing    bool
+	closeReply chan error
+	closeErr   error
+
+	cur     *runState
+	pendq   []evRun
+	nextJob int
+
+	waitT     *time.Timer
+	waitArmed bool
+}
+
+func (l *clusterLoop) run() {
+	defer close(l.c.done)
+	l.waitT = time.NewTimer(time.Hour)
+	l.waitT.Stop()
+	var tickC <-chan time.Time
+	if l.c.spec.Liveness > 0 {
+		t := time.NewTicker(l.c.spec.Liveness / 2)
+		defer t.Stop()
+		tickC = t.C
+	}
+	for {
+		select {
+		case e := <-l.c.events:
+			switch e := e.(type) {
+			case evMsg:
+				l.handleMsg(e)
+			case evConnErr:
+				l.handleConnErr(e)
+			case evExit:
+				l.handleExit(e)
+			case evRun:
+				l.handleRun(e)
+			case evClose:
+				l.handleClose(e)
+			}
+		case <-l.waitT.C:
+			l.waitArmed = false
+			l.handleTimeout()
+		case <-tickC:
+			l.checkLiveness()
+		}
+		if l.closing && len(l.procs) == 0 {
+			l.closeReply <- l.closeErr
+			return
+		}
+	}
+}
+
+func (l *clusterLoop) armWait(d time.Duration) {
+	if l.waitArmed && !l.waitT.Stop() {
+		select {
+		case <-l.waitT.C:
+		default:
+		}
+	}
+	l.waitT.Reset(d)
+	l.waitArmed = true
+}
+
+func (l *clusterLoop) disarmWait() {
+	if !l.waitArmed {
+		return
+	}
+	if !l.waitT.Stop() {
+		select {
+		case <-l.waitT.C:
+		default:
+		}
+	}
+	l.waitArmed = false
+}
+
+// checkWait keeps the formation/replacement deadline armed exactly
+// while a job is waiting on empty slots.
+func (l *clusterLoop) checkWait() {
+	if l.closing || l.cur == nil {
+		return
+	}
+	if l.missingCount() == 0 {
+		l.disarmWait()
+		return
+	}
+	l.armWait(l.c.spec.JoinTimeout)
+}
+
+func (l *clusterLoop) missingCount() int {
+	n := 0
+	for _, m := range l.members {
+		if m == nil {
+			n++
+		}
+	}
+	return n
+}
+
+func (l *clusterLoop) allPresent() bool { return l.missingCount() == 0 }
+
+// writeChunked ships one logical control message, chunked like any
+// other large message, under a write deadline so a wedged worker
+// cannot stall the supervisor loop indefinitely.
+func (l *clusterLoop) writeChunked(conn net.Conn, f dist.Frame) error {
+	conn.SetWriteDeadline(time.Now().Add(ctlWriteTimeout))
+	defer conn.SetWriteDeadline(time.Time{})
+	bw := bufio.NewWriterSize(conn, sockBufSize)
+	for _, ch := range dist.SplitFrame(f, l.c.conf.MaxChunkPayload) {
+		if err := dist.WriteFrame(bw, ch); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ---- admission ----
+
+func (l *clusterLoop) handleMsg(e evMsg) {
+	switch e.cs.phase {
+	case phaseNew:
+		l.handleFirstHello(e.cs, e.msg)
+	case phaseReserved:
+		l.handleSecondHello(e.cs, e.msg)
+	case phaseMember:
+		l.handleMemberMsg(e.cs, e.msg)
+	default:
+		// Parked standbys should stay silent; dead conns are history.
+	}
+}
+
+// reject answers a failed admission with a typed KindError and drops
+// the connection. During formation of a non-elastic cluster any such
+// failure is fatal, preserving one-shot semantics: the run must fail
+// promptly and loudly, not limp to a join timeout.
+func (l *clusterLoop) reject(cs *connState, err error, formation bool) {
+	_ = l.writeChunked(cs.conn, dist.Frame{
+		Kind: dist.KindError, Seq: ctrlSeqHello, Payload: dist.EncodeErr(err),
+	})
+	cs.phase = phaseDead
+	cs.conn.Close()
+	if formation && !l.c.spec.ReplaceDead && !l.everFormed {
+		l.fatal(err)
+	}
+}
+
+func (l *clusterLoop) handleFirstHello(cs *connState, msg dist.Frame) {
+	if msg.Kind != dist.KindHello {
+		l.reject(cs, fmt.Errorf("proc: first control frame is kind %d, want hello", msg.Kind), true)
+		return
+	}
+	h, err := decodeHello(msg.Payload)
+	if err != nil {
+		l.reject(cs, err, true)
+		return
+	}
+	if h.flags&helloJoin != 0 {
+		l.handleJoinHello(cs, h)
+		return
+	}
+	from := msg.From
+	err = verifyHello(h, l.c.digest)
+	if err == nil && (from < 0 || from >= l.c.conf.N) {
+		err = fmt.Errorf("%w: node id %d outside the %d-node cluster", dist.ErrHandshake, from, l.c.conf.N)
+	}
+	if err == nil && l.members[from] != nil {
+		err = fmt.Errorf("%w: duplicate join for node id %d", dist.ErrHandshake, from)
+	}
+	if err == nil && l.reserved[from] != nil {
+		err = fmt.Errorf("%w: duplicate join for node id %d (a joiner holds the slot)", dist.ErrHandshake, from)
+	}
+	if err != nil {
+		l.reject(cs, err, true)
+		return
+	}
+	var cmd *exec.Cmd
+	for c2, id := range l.spawnPending {
+		if id == from {
+			cmd = c2
+			delete(l.spawnPending, c2)
+			break
+		}
+	}
+	l.admit(cs, from, cmd)
+}
+
+// handleJoinHello admits, reserves, parks, or rejects a remote
+// joiner's first (config-less) hello. Joiner failures are never fatal
+// to the cluster: the control address is a public door.
+func (l *clusterLoop) handleJoinHello(cs *connState, h hello) {
+	if err := verifyJoinHello(h); err != nil {
+		l.reject(cs, err, false)
+		return
+	}
+	if id := l.freeSlot(); id >= 0 {
+		l.reserve(cs, id)
+		return
+	}
+	if len(l.standbys) < l.c.spec.MaxStandby {
+		cs.phase = phaseStandby
+		cs.conn.SetReadDeadline(time.Time{}) // parked indefinitely
+		l.standbys = append(l.standbys, cs)
+		l.c.standbyGauge.Store(int64(len(l.standbys)))
+		return
+	}
+	l.reject(cs, fmt.Errorf("%w: cluster is full: all %d node slots are taken and %d standbys are parked",
+		dist.ErrHandshake, l.c.conf.N, len(l.standbys)), false)
+}
+
+// freeSlot finds the lowest node id not owned by a member, a reserved
+// joiner, or a spawned worker still on its way in.
+func (l *clusterLoop) freeSlot() int {
+	owned := make(map[int]bool, len(l.spawnPending))
+	for _, id := range l.spawnPending {
+		owned[id] = true
+	}
+	for id := range l.members {
+		if l.members[id] == nil && l.reserved[id] == nil && !owned[id] {
+			return id
+		}
+	}
+	return -1
+}
+
+// reserve assigns a slot to a joiner: ship the cluster config and
+// await the full (digested) hello on the same connection.
+func (l *clusterLoop) reserve(cs *connState, id int) {
+	cs.phase = phaseReserved
+	cs.id = id
+	cs.conn.SetReadDeadline(time.Now().Add(l.c.spec.JoinTimeout))
+	err := l.writeChunked(cs.conn, dist.Frame{
+		Kind: dist.KindConf, To: id, Seq: ctrlSeqConf, Payload: encodeConfFrame(id, l.c.raw),
+	})
+	if err != nil {
+		cs.phase = phaseDead
+		cs.conn.Close()
+		l.fillSlot(id)
+		return
+	}
+	l.reserved[id] = cs
+}
+
+func (l *clusterLoop) handleSecondHello(cs *connState, msg dist.Frame) {
+	var err error
+	var h hello
+	if msg.Kind != dist.KindHello {
+		err = fmt.Errorf("proc: joiner's second control frame is kind %d, want hello", msg.Kind)
+	} else if h, err = decodeHello(msg.Payload); err == nil {
+		err = verifyHello(h, l.c.digest)
+	}
+	delete(l.reserved, cs.id)
+	if err != nil {
+		id := cs.id
+		l.reject(cs, err, false)
+		l.fillSlot(id)
+		return
+	}
+	l.admit(cs, cs.id, nil)
+}
+
+// fillSlot promotes the next parked standby into an empty slot; with
+// the bench empty the slot stays open for a future joiner.
+func (l *clusterLoop) fillSlot(id int) {
+	for len(l.standbys) > 0 {
+		sb := l.standbys[0]
+		l.standbys = l.standbys[1:]
+		l.c.standbyGauge.Store(int64(len(l.standbys)))
+		l.reserve(sb, id)
+		return
+	}
+}
+
+// admit makes a verified connection a cluster member and, mid-run,
+// ships it the current job.
+func (l *clusterLoop) admit(cs *connState, id int, cmd *exec.Cmd) {
+	cs.phase = phaseMember
+	cs.id = id
+	cs.inc = l.incs[id]
+	l.incs[id]++
+	cs.cmd = cmd
+	cs.lastSeen = time.Now()
+	cs.conn.SetReadDeadline(time.Time{})
+	l.members[id] = cs
+	l.c.joined.Add(1)
+	if cs.inc > 0 {
+		l.c.replaced.Add(1)
+		if l.cur != nil {
+			l.cur.replacements++
+		}
+	}
+	if l.allPresent() {
+		l.everFormed = true
+	}
+	if l.cur != nil {
+		l.shipJob(cs)
+	}
+	l.checkWait()
+}
+
+// ---- death ----
+
+func (l *clusterLoop) handleConnErr(e evConnErr) {
+	cs := e.cs
+	switch cs.phase {
+	case phaseMember:
+		l.memberGone(cs, fmt.Errorf("proc: worker %d control connection lost: %w", cs.id, e.err))
+	case phaseStandby:
+		cs.phase = phaseDead
+		cs.conn.Close()
+		for i, sb := range l.standbys {
+			if sb == cs {
+				l.standbys = append(l.standbys[:i], l.standbys[i+1:]...)
+				break
+			}
+		}
+		l.c.standbyGauge.Store(int64(len(l.standbys)))
+	case phaseReserved:
+		id := cs.id
+		cs.phase = phaseDead
+		cs.conn.Close()
+		delete(l.reserved, id)
+		l.fillSlot(id)
+	case phaseNew:
+		cs.phase = phaseDead
+		cs.conn.Close()
+		if !l.c.spec.ReplaceDead && !l.everFormed {
+			l.fatal(fmt.Errorf("proc: reading handshake: %w", e.err))
+		}
+	}
+}
+
+func (l *clusterLoop) handleExit(e evExit) {
+	id, tracked := l.procs[e.cmd]
+	if !tracked {
+		return
+	}
+	delete(l.procs, e.cmd)
+	if l.closing {
+		if e.err != nil && l.closeErr == nil {
+			l.closeErr = fmt.Errorf("proc: worker %d exited uncleanly after shutdown: %w", id, e.err)
+		}
+		return
+	}
+	if pid, ok := l.spawnPending[e.cmd]; ok {
+		delete(l.spawnPending, e.cmd)
+		if !l.c.spec.ReplaceDead {
+			l.fatal(fmt.Errorf("proc: worker %d exited during join: %w", pid, exitErr(e.err)))
+		}
+		return
+	}
+	for _, m := range l.members {
+		if m != nil && m.cmd == e.cmd {
+			l.memberGone(m, fmt.Errorf("proc: worker %d exited mid-run: %w", m.id, exitErr(e.err)))
+			return
+		}
+	}
+	// A standby process, or a member already replaced: nothing to do.
+}
+
+// memberGone removes a dead member. Elastic clusters promote a
+// standby (or wait for a joiner) and the current job survives;
+// one-shot clusters fail the run and break, preserving the original
+// semantics.
+func (l *clusterLoop) memberGone(m *connState, cause error) {
+	if l.members[m.id] != m {
+		return // stale: the slot already moved on
+	}
+	m.phase = phaseDead
+	m.conn.Close()
+	l.members[m.id] = nil
+	if !l.c.spec.ReplaceDead {
+		l.fatal(cause)
+		return
+	}
+	if l.cur != nil && l.cur.ready[m.id] {
+		l.cur.ready[m.id] = false
+		l.cur.addrs[m.id] = ""
+		l.cur.nready--
+	}
+	l.fillSlot(m.id)
+	l.checkWait()
+}
+
+// fatal breaks the cluster: the current and all queued jobs fail with
+// err, and every future Run fails the same way.
+func (l *clusterLoop) fatal(err error) {
+	if l.broken == nil {
+		l.broken = err
+	}
+	l.failJob(err)
+	l.drainPendq()
+}
+
+// ---- jobs ----
+
+func (l *clusterLoop) handleRun(e evRun) {
+	if l.closing {
+		e.reply <- runReply{err: ErrClusterClosed}
+		return
+	}
+	if l.broken != nil {
+		e.reply <- runReply{err: l.broken}
+		return
+	}
+	if l.cur != nil {
+		l.pendq = append(l.pendq, e)
+		return
+	}
+	l.startRun(e)
+}
+
+func (l *clusterLoop) startRun(e evRun) {
+	rs, err := newRunState(e, l.nextJob, l.c.conf.N)
+	if err != nil {
+		e.reply <- runReply{err: err}
+		return
+	}
+	l.nextJob++
+	l.cur = rs
+	for _, m := range l.members {
+		if m != nil {
+			l.shipJob(m)
+		}
+		if l.cur == nil {
+			return // a ship failure already failed the job
+		}
+	}
+	l.checkWait()
+}
+
+func (l *clusterLoop) shipJob(m *connState) {
+	if l.cur == nil {
+		return
+	}
+	payload, err := l.cur.payloadFor(m.id, m.inc)
+	if err != nil {
+		l.failJob(err)
+		return
+	}
+	err = l.writeChunked(m.conn, dist.Frame{
+		Kind: dist.KindJob, To: m.id, Seq: ctrlSeqJob(l.cur.jobIdx), Payload: payload,
+	})
+	if err != nil {
+		l.memberGone(m, fmt.Errorf("proc: sending job to worker %d: %w", m.id, err))
+	}
+}
+
+func (l *clusterLoop) handleMemberMsg(cs *connState, msg dist.Frame) {
+	if l.members[cs.id] != cs {
+		return // a zombie the liveness check already replaced
+	}
+	cs.lastSeen = time.Now()
+	switch msg.Kind {
+	case dist.KindPing:
+		// lastSeen is the message.
+	case dist.KindReady:
+		jobIdx, addr, err := decodeReady(msg.Payload)
+		if err != nil || l.cur == nil || jobIdx != l.cur.jobIdx || l.cur.ready[cs.id] {
+			return
+		}
+		l.cur.ready[cs.id] = true
+		l.cur.addrs[cs.id] = addr
+		l.cur.nready++
+		if l.cur.nready == l.c.conf.N {
+			l.broadcastPeers()
+		}
+	case dist.KindResult:
+		if l.cur == nil || msg.Seq != ctrlSeqResult(l.cur.jobIdx) || cs.id != 0 {
+			return
+		}
+		l.finishJob(msg.Payload)
+	case dist.KindError:
+		if l.cur == nil || msg.Seq != ctrlSeqResult(l.cur.jobIdx) {
+			return
+		}
+		l.failJob(dist.DecodeErr(cs.id, msg.Payload))
+	}
+}
+
+// broadcastPeers ships the complete data-plane address table to every
+// member. Each broadcast gets a fresh epoch (and with it a fresh
+// control seq, so the reassembler's duplicate suppression cannot
+// swallow a re-broadcast): the first one starts the job, later ones
+// re-point the surviving peers at a substitute's fresh listener.
+func (l *clusterLoop) broadcastPeers() {
+	rs := l.cur
+	payload := encodePeers(rs.jobIdx, rs.epoch, rs.addrs)
+	seq := ctrlSeqPeers(rs.jobIdx, rs.epoch)
+	rs.epoch++
+	rs.started = true
+	for _, m := range l.members {
+		if m == nil {
+			continue
+		}
+		err := l.writeChunked(m.conn, dist.Frame{Kind: dist.KindPeers, To: m.id, Seq: seq, Payload: payload})
+		if err != nil {
+			l.memberGone(m, fmt.Errorf("proc: sending peers to worker %d: %w", m.id, err))
+			if l.cur == nil {
+				return
+			}
+		}
+	}
+}
+
+func (l *clusterLoop) finishJob(payload []byte) {
+	rs := l.cur
+	l.cur = nil
+	l.disarmWait()
+	l.jobDone(rs.jobIdx)
+	rs.reply <- runReply{payload: payload, replacements: rs.replacements}
+	l.nextPend()
+}
+
+func (l *clusterLoop) failJob(err error) {
+	if l.cur == nil {
+		return
+	}
+	rs := l.cur
+	l.cur = nil
+	l.disarmWait()
+	l.jobDone(rs.jobIdx)
+	rs.reply <- runReply{err: err}
+	l.nextPend()
+}
+
+// jobDone tells every member to tear down the job's data plane and
+// await the next job.
+func (l *clusterLoop) jobDone(jobIdx int) {
+	for _, m := range l.members {
+		if m == nil {
+			continue
+		}
+		err := l.writeChunked(m.conn, dist.Frame{Kind: dist.KindJobDone, To: m.id, Seq: ctrlSeqDone(jobIdx)})
+		if err != nil {
+			l.memberGone(m, fmt.Errorf("proc: finishing job on worker %d: %w", m.id, err))
+		}
+	}
+}
+
+func (l *clusterLoop) nextPend() {
+	if l.broken != nil || l.closing {
+		l.drainPendq()
+		return
+	}
+	if l.cur == nil && len(l.pendq) > 0 {
+		e := l.pendq[0]
+		l.pendq = l.pendq[1:]
+		l.startRun(e)
+	}
+}
+
+func (l *clusterLoop) drainPendq() {
+	err := l.broken
+	if err == nil {
+		err = ErrClusterClosed
+	}
+	for _, r := range l.pendq {
+		r.reply <- runReply{err: err}
+	}
+	l.pendq = nil
+}
+
+// ---- timers ----
+
+func (l *clusterLoop) handleTimeout() {
+	if l.closing {
+		if l.closeErr == nil && len(l.procs) > 0 {
+			l.closeErr = errors.New("proc: workers did not exit within the shutdown deadline")
+		}
+		for cmd := range l.procs {
+			_ = cmd.Process.Kill()
+		}
+		return
+	}
+	if l.cur == nil {
+		return
+	}
+	missing := l.missingCount()
+	if missing == 0 {
+		return // stale deadline: the slots filled while the timer fired
+	}
+	if !l.everFormed {
+		l.failJob(fmt.Errorf("proc: join timeout: not all of %d workers completed the handshake within %v",
+			l.c.conf.N, l.c.spec.JoinTimeout))
+		return
+	}
+	l.failJob(fmt.Errorf("proc: replacement timeout: %d node slot(s) still empty after %v",
+		missing, l.c.spec.JoinTimeout))
+}
+
+// checkLiveness declares members dead after a full liveness window of
+// control-plane silence; the normal death path then replaces them.
+func (l *clusterLoop) checkLiveness() {
+	now := time.Now()
+	for _, m := range l.members {
+		if m != nil && now.Sub(m.lastSeen) > l.c.spec.Liveness {
+			l.memberGone(m, fmt.Errorf("proc: worker %d missed the liveness window (silent for %v)",
+				m.id, now.Sub(m.lastSeen).Round(time.Millisecond)))
+		}
+	}
+}
+
+// ---- shutdown ----
+
+func (l *clusterLoop) handleClose(e evClose) {
+	l.closing = true
+	l.closeReply = e.reply
+	l.failJob(ErrClusterClosed)
+	l.drainPendq()
+	l.c.ln.Close()
+	shutdown := func(cs *connState, id int) {
+		_ = l.writeChunked(cs.conn, dist.Frame{Kind: dist.KindShutdown, To: id, Seq: ctrlSeqShutdown})
+	}
+	for _, m := range l.members {
+		if m != nil {
+			shutdown(m, m.id)
+		}
+	}
+	for _, sb := range l.standbys {
+		shutdown(sb, -1)
+	}
+	for _, r := range l.reserved {
+		shutdown(r, -1)
+	}
+	l.armWait(10 * time.Second)
+}

@@ -1,0 +1,644 @@
+package proc
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/sqlagg"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+// elasticSpec is the base cluster shape of the replacement tests: four
+// nodes, one spawned standby parked for promotion, replacement on.
+func elasticSpec(cfg dist.Config) ClusterSpec {
+	return ClusterSpec{
+		Nodes:        4,
+		SpawnStandby: 1,
+		ReplaceDead:  true,
+		JoinTimeout:  30 * time.Second,
+		Config:       cfg,
+		Options:      quietOpts(),
+	}
+}
+
+func sumSpecs() []sqlagg.AggSpec {
+	return []sqlagg.AggSpec{{Kind: sqlagg.AggSum, Levels: core.DefaultLevels, Col: 0}}
+}
+
+// TestWorkerReplacementEquivalence is the acceptance scenario of the
+// elastic runtime: a 4-worker cluster loses a worker mid chunk stream
+// (injected process death), a parked standby is admitted through the
+// control address as a substitute, and the final result is
+// byte-identical to the undisturbed in-process reference — for a
+// raw-shard job and a declarative spec-ingest job.
+func TestWorkerReplacementEquivalence(t *testing.T) {
+	const rows = 12000
+	synth := workload.Spec{Rows: rows, Groups: 2048, KeySeed: 19,
+		Cols: []workload.ColSpec{{Seed: 17, Dist: workload.MixedMag}}}
+	keys, cols, err := synth.Materialize()
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	refTuples, err := dist.AggregateTuplesConfig([][]uint32{keys}, [][][]float64{cols}, 2, sumSpecs(), dist.Config{})
+	if err != nil {
+		t.Fatalf("in-process reference: %v", err)
+	}
+	want := dist.EncodeTupleGroups(refTuples, 1)
+
+	cfg := matrixConfig()
+	cfg.MaxChunkPayload = 2048
+	jobs := []struct {
+		name string
+		src  Source
+	}{
+		{"raw-shards", RowShards([][]uint32{keys}, [][][]float64{cols})},
+		{"spec-ingest", SyntheticSource(synth)},
+	}
+	for _, tc := range jobs {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := elasticSpec(cfg)
+			spec.DieNode, spec.DieAfter = 1, 4 // die mid shuffle stream
+			c, err := NewCluster(spec)
+			if err != nil {
+				t.Fatalf("NewCluster: %v", err)
+			}
+			defer c.Close()
+			res, err := c.Run(Job{Workers: 2, Specs: sumSpecs(), Source: tc.src})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if res.Replacements < 1 {
+				t.Errorf("Replacements = %d, want >= 1 (the injected death must have fired)", res.Replacements)
+			}
+			if !bytes.Equal(res.Payload, want) {
+				t.Errorf("result payload differs from the undisturbed in-process reference — replacement broke bit-reproducibility")
+			}
+			st := c.Stats()
+			if st.Replaced < 1 || st.Joined < 5 {
+				t.Errorf("stats = %+v, want >= 1 replacement over >= 5 admissions", st)
+			}
+			if err := c.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		})
+	}
+}
+
+// TestReduceReplacementEquivalence is the reduction-tree counterpart:
+// the dying node is a chain interior node that dies before its very
+// first partial leaves, so the substitute must re-serve the role from
+// scratch while the root re-requests across the gap.
+func TestReduceReplacementEquivalence(t *testing.T) {
+	const rows = 10000
+	vals := workload.Values64(23, rows, workload.MixedMag)
+	want, err := dist.ReduceConfig([][]float64{vals}, 2, dist.Binomial, dist.Config{})
+	if err != nil {
+		t.Fatalf("in-process reference: %v", err)
+	}
+
+	spec := elasticSpec(matrixConfig())
+	spec.DieNode, spec.DieAfter = 1, 1
+	c, err := NewCluster(spec)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c.Close()
+
+	// Raw shards first, then the same dataset as a declarative keyless
+	// spec — two jobs on one cluster, exercising multi-job reuse on the
+	// replacement path (the second job runs on the already-replaced
+	// membership).
+	res, err := c.Run(Job{Topo: dist.Chain, Workers: 2, Source: ValueShards(shardFloats(vals, 4))})
+	if err != nil {
+		t.Fatalf("raw-shard run: %v", err)
+	}
+	if res.Replacements < 1 {
+		t.Errorf("Replacements = %d, want >= 1", res.Replacements)
+	}
+	if math.Float64bits(res.Sum) != math.Float64bits(want) {
+		t.Errorf("raw: got %016x, want %016x", math.Float64bits(res.Sum), math.Float64bits(want))
+	}
+
+	res2, err := c.Run(Job{Topo: dist.Binomial, Workers: 2,
+		Source: SyntheticSource(workload.Spec{Rows: rows, Cols: []workload.ColSpec{{Seed: 23, Dist: workload.MixedMag}}})})
+	if err != nil {
+		t.Fatalf("spec-ingest run: %v", err)
+	}
+	if res2.Replacements != 0 {
+		t.Errorf("second job replacements = %d, want 0 (death injection is first-incarnation only)", res2.Replacements)
+	}
+	if math.Float64bits(res2.Sum) != math.Float64bits(want) {
+		t.Errorf("synth: got %016x, want %016x", math.Float64bits(res2.Sum), math.Float64bits(want))
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// TestClusterMultiJob runs a mixed sequence of jobs — reduce, group-by,
+// TPC-H Q1 by declarative source — over one 3-node cluster and checks
+// each against its in-process reference.
+func TestClusterMultiJob(t *testing.T) {
+	const rows = 8000
+	c, err := NewCluster(ClusterSpec{
+		Nodes: 3, JoinTimeout: 30 * time.Second,
+		Config: matrixConfig(), Options: quietOpts(),
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c.Close()
+
+	vals := workload.Values64(31, rows, workload.MixedMag)
+	wantSum, err := dist.ReduceConfig([][]float64{vals}, 2, dist.Binomial, dist.Config{})
+	if err != nil {
+		t.Fatalf("reduce reference: %v", err)
+	}
+	res, err := c.Run(Job{Workers: 2, Source: ValueShards(shardFloats(vals, 5))})
+	if err != nil {
+		t.Fatalf("reduce job: %v", err)
+	}
+	if math.Float64bits(res.Sum) != math.Float64bits(wantSum) {
+		t.Errorf("reduce: got %016x, want %016x", math.Float64bits(res.Sum), math.Float64bits(wantSum))
+	}
+
+	keys := workload.Keys(37, rows, 512)
+	refTuples, err := dist.AggregateTuplesConfig([][]uint32{keys}, [][][]float64{{vals}}, 2, sumSpecs(), dist.Config{})
+	if err != nil {
+		t.Fatalf("groupby reference: %v", err)
+	}
+	ks, vs := shardRows(keys, vals, 3)
+	cols := make([][][]float64, 3)
+	for i := range vs {
+		cols[i] = [][]float64{vs[i]}
+	}
+	res, err = c.Run(Job{Workers: 2, Specs: sumSpecs(), Source: RowShards(ks, cols)})
+	if err != nil {
+		t.Fatalf("groupby job: %v", err)
+	}
+	if !bytes.Equal(res.Payload, dist.EncodeTupleGroups(refTuples, 1)) {
+		t.Error("groupby job payload differs from in-process reference")
+	}
+
+	const q1Rows, q1Seed = 9000, 7
+	qkeys, qcols, err := tpch.Q1Input(tpch.GenLineitemRows(q1Rows, q1Seed))
+	if err != nil {
+		t.Fatalf("q1 input: %v", err)
+	}
+	q1Specs := tpch.Q1Specs(core.DefaultLevels)
+	refQ1, err := dist.AggregateTuplesConfig([][]uint32{qkeys}, [][][]float64{qcols}, 2, q1Specs, dist.Config{})
+	if err != nil {
+		t.Fatalf("q1 reference: %v", err)
+	}
+	res, err = c.Run(Job{Workers: 2, Specs: q1Specs, Source: TPCHQ1Source(q1Rows, q1Seed)})
+	if err != nil {
+		t.Fatalf("q1 job: %v", err)
+	}
+	if !bytes.Equal(res.Payload, dist.EncodeTupleGroups(refQ1, len(q1Specs))) {
+		t.Error("q1 job payload differs from in-process reference")
+	}
+
+	st := c.Stats()
+	if st.Joined != 3 || st.Replaced != 0 {
+		t.Errorf("stats = %+v, want 3 joins, 0 replacements", st)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if _, err := c.Run(Job{Workers: 1, Source: ValueShards([][]float64{{1}})}); !errors.Is(err, ErrClusterClosed) {
+		t.Errorf("run on closed cluster: %v, want ErrClusterClosed", err)
+	}
+}
+
+// TestElasticMatrix is the nightly elastic-matrix sweep: kill one
+// worker mid-run at several seeds for each job kind — group-by,
+// reduce, and TPC-H Q1 — with a standby joiner, asserting bit-equality
+// against the in-process reference every time. The full sweep is
+// gated behind REPRO_ELASTIC_MATRIX=1 (CI nightly); a single seed runs
+// by default.
+func TestElasticMatrix(t *testing.T) {
+	seeds := []uint64{101}
+	if os.Getenv("REPRO_ELASTIC_MATRIX") == "1" {
+		seeds = []uint64{101, 202, 303}
+	}
+	const rows = 9000
+	cfg := matrixConfig()
+	cfg.MaxChunkPayload = 2048
+
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			newVictim := func(die int) *Cluster {
+				spec := elasticSpec(cfg)
+				spec.DieNode, spec.DieAfter = 1, die
+				c, err := NewCluster(spec)
+				if err != nil {
+					t.Fatalf("NewCluster: %v", err)
+				}
+				return c
+			}
+
+			// group-by
+			synth := workload.Spec{Rows: rows, Groups: 1024, KeySeed: seed + 1,
+				Cols: []workload.ColSpec{{Seed: seed, Dist: workload.MixedMag}}}
+			keys, cols, _ := synth.Materialize()
+			ref, err := dist.AggregateTuplesConfig([][]uint32{keys}, [][][]float64{cols}, 2, sumSpecs(), dist.Config{})
+			if err != nil {
+				t.Fatalf("groupby reference: %v", err)
+			}
+			c := newVictim(4)
+			res, err := c.Run(Job{Workers: 2, Specs: sumSpecs(), Source: SyntheticSource(synth)})
+			if err == nil && !bytes.Equal(res.Payload, dist.EncodeTupleGroups(ref, 1)) {
+				err = errors.New("payload differs from in-process reference")
+			}
+			if err == nil && res.Replacements < 1 {
+				err = errors.New("no replacement happened")
+			}
+			c.Close()
+			if err != nil {
+				t.Errorf("groupby: %v", err)
+			}
+
+			// reduce
+			rsynth := workload.Spec{Rows: rows, Cols: []workload.ColSpec{{Seed: seed + 2, Dist: workload.MixedMag}}}
+			_, rcols, _ := rsynth.Materialize()
+			wantSum, err := dist.ReduceConfig([][]float64{rcols[0]}, 2, dist.Binomial, dist.Config{})
+			if err != nil {
+				t.Fatalf("reduce reference: %v", err)
+			}
+			c = newVictim(1)
+			res, err = c.Run(Job{Workers: 2, Source: SyntheticSource(rsynth)})
+			if err == nil && math.Float64bits(res.Sum) != math.Float64bits(wantSum) {
+				err = errors.New("sum bits differ from in-process reference")
+			}
+			if err == nil && res.Replacements < 1 {
+				err = errors.New("no replacement happened")
+			}
+			c.Close()
+			if err != nil {
+				t.Errorf("reduce: %v", err)
+			}
+
+			// TPC-H Q1
+			qkeys, qcols, err := tpch.Q1Input(tpch.GenLineitemRows(rows, seed))
+			if err != nil {
+				t.Fatalf("q1 input: %v", err)
+			}
+			q1Specs := tpch.Q1Specs(core.DefaultLevels)
+			refQ1, err := dist.AggregateTuplesConfig([][]uint32{qkeys}, [][][]float64{qcols}, 2, q1Specs, dist.Config{})
+			if err != nil {
+				t.Fatalf("q1 reference: %v", err)
+			}
+			c = newVictim(4)
+			res, err = c.Run(Job{Workers: 2, Specs: q1Specs, Source: TPCHQ1Source(rows, seed)})
+			if err == nil && !bytes.Equal(res.Payload, dist.EncodeTupleGroups(refQ1, len(q1Specs))) {
+				err = errors.New("payload differs from in-process reference")
+			}
+			if err == nil && res.Replacements < 1 {
+				err = errors.New("no replacement happened")
+			}
+			c.Close()
+			if err != nil {
+				t.Errorf("q1: %v", err)
+			}
+		})
+	}
+}
+
+// rawJoinConn dials a cluster's control address for a hand-crafted
+// handshake exchange.
+type rawJoinConn struct {
+	t    *testing.T
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+func dialRaw(t *testing.T, addr string) *rawJoinConn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial control: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &rawJoinConn{t: t, conn: conn, br: bufio.NewReader(conn)}
+}
+
+func (r *rawJoinConn) send(f dist.Frame) {
+	r.t.Helper()
+	f.Chunks = 1
+	if err := dist.WriteFrame(r.conn, f); err != nil {
+		r.t.Fatalf("write frame: %v", err)
+	}
+}
+
+func (r *rawJoinConn) read() dist.Frame {
+	r.t.Helper()
+	r.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	asm := dist.NewReassembler(0)
+	for {
+		f, err := dist.ReadFrame(r.br)
+		if err != nil {
+			r.t.Fatalf("read frame: %v", err)
+		}
+		msg, complete, _, aerr := asm.Accept(f)
+		if aerr != nil {
+			r.t.Fatalf("reassemble: %v", aerr)
+		}
+		if complete {
+			return msg
+		}
+	}
+}
+
+// expectRejection asserts the next frame is a typed KindError carrying
+// ErrHandshake and naming the reason.
+func (r *rawJoinConn) expectRejection(want string) {
+	r.t.Helper()
+	f := r.read()
+	if f.Kind != dist.KindError {
+		r.t.Fatalf("got kind %d, want KindError", f.Kind)
+	}
+	err := dist.DecodeErr(-1, f.Payload)
+	if !errors.Is(err, dist.ErrHandshake) {
+		r.t.Fatalf("err = %v, want ErrHandshake", err)
+	}
+	if !strings.Contains(err.Error(), want) {
+		r.t.Errorf("err %q does not name the reason (%q)", err, want)
+	}
+}
+
+func goodHello(digest uint64) hello {
+	return hello{version: dist.FrameVersion, levels: byte(core.DefaultLevels),
+		specver: specVersion, flags: helloHasDigest, digest: digest}
+}
+
+// waitJoined polls until the cluster has admitted n members.
+func waitJoined(t *testing.T, c *Cluster, n int) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for c.Stats().Joined < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never reached %d admissions (stats %+v)", n, c.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestJoinHandshakeRejection drives each join-mode rejection through a
+// hand-crafted TCP handshake and asserts the typed KindError answer:
+// a stale control-plane spec version, a tampered config digest after
+// KindConf, a duplicate node id, and a joiner arriving with the
+// cluster full and no standby capacity.
+func TestJoinHandshakeRejection(t *testing.T) {
+	t.Run("stale spec version", func(t *testing.T) {
+		c, err := NewCluster(ClusterSpec{Nodes: 1, Join: 1, ReplaceDead: true,
+			JoinTimeout: 30 * time.Second, Options: quietOpts()})
+		if err != nil {
+			t.Fatalf("NewCluster: %v", err)
+		}
+		defer c.Close()
+		r := dialRaw(t, c.Addr())
+		h := hello{version: dist.FrameVersion, levels: byte(core.DefaultLevels),
+			specver: specVersion - 1, flags: helloJoin}
+		r.send(dist.Frame{Kind: dist.KindHello, From: -1, Seq: ctrlSeqHello, Payload: encodeHello(h)})
+		r.expectRejection("control-plane spec")
+	})
+
+	t.Run("wrong digest after conf", func(t *testing.T) {
+		c, err := NewCluster(ClusterSpec{Nodes: 1, Join: 1, ReplaceDead: true,
+			JoinTimeout: 30 * time.Second, Options: quietOpts()})
+		if err != nil {
+			t.Fatalf("NewCluster: %v", err)
+		}
+		defer c.Close()
+		r := dialRaw(t, c.Addr())
+		join := hello{version: dist.FrameVersion, levels: byte(core.DefaultLevels),
+			specver: specVersion, flags: helloJoin}
+		r.send(dist.Frame{Kind: dist.KindHello, From: -1, Seq: ctrlSeqHello, Payload: encodeHello(join)})
+		conf := r.read()
+		if conf.Kind != dist.KindConf {
+			t.Fatalf("got kind %d, want KindConf", conf.Kind)
+		}
+		id, raw, err := decodeConfFrame(conf.Payload)
+		if err != nil {
+			t.Fatalf("decodeConfFrame: %v", err)
+		}
+		full := goodHello(confDigest(raw) ^ 0xBAD)
+		r.send(dist.Frame{Kind: dist.KindHello, From: id, Seq: ctrlSeqHello, Payload: encodeHello(full)})
+		r.expectRejection("digest")
+	})
+
+	t.Run("duplicate node id", func(t *testing.T) {
+		c, err := NewCluster(ClusterSpec{Nodes: 1, ReplaceDead: true,
+			JoinTimeout: 30 * time.Second, Options: quietOpts()})
+		if err != nil {
+			t.Fatalf("NewCluster: %v", err)
+		}
+		defer c.Close()
+		waitJoined(t, c, 1)
+		r := dialRaw(t, c.Addr())
+		r.send(dist.Frame{Kind: dist.KindHello, From: 0, Seq: ctrlSeqHello,
+			Payload: encodeHello(goodHello(c.digest))})
+		r.expectRejection("duplicate join")
+	})
+
+	t.Run("node id outside cluster", func(t *testing.T) {
+		c, err := NewCluster(ClusterSpec{Nodes: 1, ReplaceDead: true,
+			JoinTimeout: 30 * time.Second, Options: quietOpts()})
+		if err != nil {
+			t.Fatalf("NewCluster: %v", err)
+		}
+		defer c.Close()
+		r := dialRaw(t, c.Addr())
+		r.send(dist.Frame{Kind: dist.KindHello, From: 7, Seq: ctrlSeqHello,
+			Payload: encodeHello(goodHello(c.digest))})
+		r.expectRejection("outside the 1-node cluster")
+	})
+
+	t.Run("cluster full", func(t *testing.T) {
+		c, err := NewCluster(ClusterSpec{Nodes: 1, ReplaceDead: true,
+			JoinTimeout: 30 * time.Second, Options: quietOpts()})
+		if err != nil {
+			t.Fatalf("NewCluster: %v", err)
+		}
+		defer c.Close()
+		waitJoined(t, c, 1)
+		r := dialRaw(t, c.Addr())
+		join := hello{version: dist.FrameVersion, levels: byte(core.DefaultLevels),
+			specver: specVersion, flags: helloJoin}
+		r.send(dist.Frame{Kind: dist.KindHello, From: -1, Seq: ctrlSeqHello, Payload: encodeHello(join)})
+		r.expectRejection("cluster is full")
+	})
+}
+
+// TestLivenessReplacement: a member that completes the handshake and
+// then falls silent past the liveness window is declared dead and
+// replaced by a parked joiner; the job completes with reference bits.
+func TestLivenessReplacement(t *testing.T) {
+	const rows = 4000
+	vals := workload.Values64(41, rows, workload.MixedMag)
+	want, err := dist.ReduceConfig([][]float64{vals}, 1, dist.Binomial, dist.Config{})
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+
+	c, err := NewCluster(ClusterSpec{
+		Nodes: 2, Join: 1, MaxStandby: 1, ReplaceDead: true,
+		Heartbeat: 50 * time.Millisecond, Liveness: 400 * time.Millisecond,
+		JoinTimeout: 30 * time.Second,
+		Config:      matrixConfig(), Options: quietOpts(),
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c.Close()
+
+	// A fake member takes the join slot, completes the full handshake,
+	// and then never speaks again — no heartbeats, no ready.
+	fake := dialRaw(t, c.Addr())
+	fake.send(dist.Frame{Kind: dist.KindHello, From: -1, Seq: ctrlSeqHello,
+		Payload: encodeHello(hello{version: dist.FrameVersion, levels: byte(core.DefaultLevels),
+			specver: specVersion, flags: helloJoin})})
+	conf := fake.read()
+	if conf.Kind != dist.KindConf {
+		t.Fatalf("got kind %d, want KindConf", conf.Kind)
+	}
+	id, raw, err := decodeConfFrame(conf.Payload)
+	if err != nil {
+		t.Fatalf("decodeConfFrame: %v", err)
+	}
+	fake.send(dist.Frame{Kind: dist.KindHello, From: id, Seq: ctrlSeqHello,
+		Payload: encodeHello(goodHello(confDigest(raw)))})
+	waitJoined(t, c, 2)
+
+	// A real joiner arrives with the cluster full and parks as the
+	// standby that will replace the silent fake (runJoiner is the exact
+	// code path of `reproworker -join`, here run in-process).
+	joinErr := make(chan error, 1)
+	go func() { joinErr <- runJoiner(c.Addr()) }()
+
+	res, err := c.Run(Job{Workers: 1, Source: ValueShards(shardFloats(vals, 2))})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Float64bits(res.Sum) != math.Float64bits(want) {
+		t.Errorf("got %016x, want %016x", math.Float64bits(res.Sum), math.Float64bits(want))
+	}
+	if res.Replacements < 1 {
+		t.Errorf("Replacements = %d, want >= 1 (liveness must have evicted the silent member)", res.Replacements)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	select {
+	case err := <-joinErr:
+		if err != nil {
+			t.Errorf("joiner exited with: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Error("joiner did not exit after cluster close")
+	}
+}
+
+// TestClusterSpecValidation: every invalid ClusterSpec field is
+// rejected at construction with a typed ErrConfig naming the field.
+func TestClusterSpecValidation(t *testing.T) {
+	valid := func() ClusterSpec {
+		return ClusterSpec{Nodes: 2, Options: quietOpts()}
+	}
+	cases := []struct {
+		name string
+		mut  func(*ClusterSpec)
+		want string
+	}{
+		{"zero nodes", func(s *ClusterSpec) { s.Nodes = 0 }, "ClusterSpec.Nodes"},
+		{"negative nodes", func(s *ClusterSpec) { s.Nodes = -1 }, "ClusterSpec.Nodes"},
+		{"negative join", func(s *ClusterSpec) { s.Join = -1 }, "ClusterSpec.Join"},
+		{"join exceeds nodes", func(s *ClusterSpec) { s.Join = 3 }, "ClusterSpec.Join"},
+		{"negative standby", func(s *ClusterSpec) { s.SpawnStandby = -1 }, "ClusterSpec.SpawnStandby"},
+		{"negative max standby", func(s *ClusterSpec) { s.MaxStandby = -1 }, "ClusterSpec.MaxStandby"},
+		{"negative join timeout", func(s *ClusterSpec) { s.JoinTimeout = -time.Second }, "ClusterSpec.JoinTimeout"},
+		{"negative heartbeat", func(s *ClusterSpec) { s.Heartbeat = -time.Second }, "ClusterSpec.Heartbeat"},
+		{"negative liveness", func(s *ClusterSpec) { s.Liveness = -time.Second }, "ClusterSpec.Liveness"},
+		{"liveness without heartbeat", func(s *ClusterSpec) { s.Liveness = time.Second }, "ClusterSpec.Heartbeat"},
+		{"liveness tighter than two heartbeats", func(s *ClusterSpec) {
+			s.Heartbeat, s.Liveness = 600*time.Millisecond, time.Second
+		}, "ClusterSpec.Liveness"},
+		{"negative die frames", func(s *ClusterSpec) { s.DieAfter = -1 }, "ClusterSpec.DieAfter"},
+		{"die node outside cluster", func(s *ClusterSpec) { s.DieNode, s.DieAfter = 5, 1 }, "ClusterSpec.DieNode"},
+		{"negative kill frames", func(s *ClusterSpec) { s.Options.KillConnAfter = -1 }, "Options.KillConnAfter"},
+		{"negative option timeout", func(s *ClusterSpec) { s.Options.JoinTimeout = -time.Second }, "Options.JoinTimeout"},
+		{"bad config", func(s *ClusterSpec) { s.Config.MaxChunkPayload = -1 }, "chunk payload"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := valid()
+			tc.mut(&s)
+			_, err := NewCluster(s)
+			if !errors.Is(err, dist.ErrConfig) {
+				t.Fatalf("err = %v, want ErrConfig", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err %q does not name %q", err, tc.want)
+			}
+		})
+	}
+
+	// Job-level validation surfaces the same sentinel, naming the field.
+	c, err := NewCluster(ClusterSpec{Nodes: 1, JoinTimeout: 30 * time.Second, Options: quietOpts()})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Run(Job{Workers: 1}); err == nil || !strings.Contains(err.Error(), "Job.Source") {
+		t.Errorf("missing source: %v, want an error naming Job.Source", err)
+	}
+	if _, err := c.Run(Job{Workers: -1, Source: ValueShards([][]float64{{1}})}); !errors.Is(err, dist.ErrWorkers) {
+		t.Errorf("negative workers: %v, want ErrWorkers", err)
+	}
+	if _, err := c.Run(Job{Topo: dist.Topology(99), Source: ValueShards([][]float64{{1}})}); !errors.Is(err, dist.ErrTopology) {
+		t.Errorf("bad topology: %v, want ErrTopology", err)
+	}
+	if _, err := c.Run(Job{Specs: sumSpecs(),
+		Source: SyntheticSource(workload.Spec{Rows: 10, Cols: []workload.ColSpec{{Seed: 1, Dist: workload.MixedMag}}})}); err == nil ||
+		!strings.Contains(err.Error(), "keyed synthetic source") {
+		t.Errorf("keyless synth on group-by: %v, want keyed-source error", err)
+	}
+}
+
+// TestWorkerUsage pins the reproworker CLI contract: -help exists and
+// exits 0, flag misuse exits 2.
+func TestWorkerUsage(t *testing.T) {
+	// Silence the usage text during the test run.
+	old := os.Stderr
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatalf("devnull: %v", err)
+	}
+	os.Stderr = null
+	defer func() { os.Stderr = old; null.Close() }()
+
+	if code := WorkerMain([]string{"-help"}); code != ExitOK {
+		t.Errorf("-help exited %d, want %d", code, ExitOK)
+	}
+	if code := WorkerMain([]string{"-bogus"}); code != ExitUsage {
+		t.Errorf("-bogus exited %d, want %d", code, ExitUsage)
+	}
+	if code := WorkerMain([]string{}); code != ExitUsage {
+		t.Errorf("no flags exited %d, want %d", code, ExitUsage)
+	}
+	if code := WorkerMain([]string{"-join", "addr", "-id", "3"}); code != ExitUsage {
+		t.Errorf("-join with -id exited %d, want %d", code, ExitUsage)
+	}
+}

@@ -273,22 +273,19 @@ func TestProcsResharding(t *testing.T) {
 	}
 }
 
-// TestSpecRoundTrip pins the control-plane codecs: conf and job
-// encodings survive a round trip, and the digest is sensitive to every
-// field.
+// TestSpecRoundTrip pins the control-plane codecs: conf, job-spec,
+// hello, ready, and peers encodings survive a round trip, hostile
+// inputs are rejected before any allocation, and the digest is
+// sensitive to every conf field.
 func TestSpecRoundTrip(t *testing.T) {
 	conf := clusterConf{
-		Op: opGroupBy, Topo: dist.Chain, N: 5, Workers: 3,
+		N:               5,
 		MaxChunkPayload: 4096, ReassemblyBudget: 1 << 20,
 		ChildDeadline: 250 * time.Millisecond, MaxResend: -1,
-		KillNode: 2, KillAfter: 7,
+		Heartbeat: 40 * time.Millisecond, Liveness: 300 * time.Millisecond,
+		KillNode: 2, KillAfter: 7, DieNode: 1, DieAfter: 3,
 		Faults: dist.FaultPlan{Seed: 42, DropProb: 0.25, MaxDrops: 2,
 			RetryDelay: time.Millisecond, DupProb: 0.5, MaxDelay: time.Millisecond, Reorder: true},
-		Specs: []sqlagg.AggSpec{
-			{Kind: sqlagg.AggSum, Levels: 2, Col: 0},
-			{Kind: sqlagg.AggAvg, Levels: 2, Col: 3},
-			{Kind: sqlagg.AggCount, Levels: 2, Col: 0},
-		},
 	}
 	raw := encodeConf(conf)
 	back, err := decodeConf(raw)
@@ -306,44 +303,106 @@ func TestSpecRoundTrip(t *testing.T) {
 	if confDigest(tampered) == confDigest(raw) {
 		t.Error("digest ignores a field change")
 	}
+	stale := append([]byte(nil), raw...)
+	stale[0] = specVersion - 1
+	if _, err := decodeConf(stale); err == nil {
+		t.Error("stale-spec-version conf decoded without error")
+	}
 
-	jb := encodeJob(opGroupBy, []string{"127.0.0.1:1", "127.0.0.1:22"}, []uint32{5, 6, 7},
-		[][]float64{{1.5, -2, math.Inf(1)}, {4, 5, 6}})
-	j, err := decodeJob(opGroupBy, jb)
+	// A raw-shard group-by job spec, the richest shape: catalog, keys,
+	// and two value columns.
+	specs := []sqlagg.AggSpec{
+		{Kind: sqlagg.AggSum, Levels: 2, Col: 0},
+		{Kind: sqlagg.AggAvg, Levels: 2, Col: 1},
+	}
+	jb, err := encodeJobSpec(jobSpec{
+		jobIdx: 3, incarnation: 2, op: opGroupBy, topo: dist.Binomial, workers: 4,
+		specs: specs, source: srcRaw, keys: []uint32{5, 6, 7},
+		cols: [][]float64{{1.5, -2, math.Inf(1)}, {4, 5, 6}},
+	})
 	if err != nil {
-		t.Fatalf("decodeJob: %v", err)
+		t.Fatalf("encodeJobSpec: %v", err)
 	}
-	if len(j.addrs) != 2 || j.addrs[1] != "127.0.0.1:22" || len(j.keys) != 3 || j.keys[2] != 7 ||
+	j, err := decodeJobSpec(jb)
+	if err != nil {
+		t.Fatalf("decodeJobSpec: %v", err)
+	}
+	if j.jobIdx != 3 || j.incarnation != 2 || j.workers != 4 || len(j.specs) != 2 ||
+		len(j.keys) != 3 || j.keys[2] != 7 ||
 		len(j.cols) != 2 || !math.IsInf(j.cols[0][2], 1) || j.cols[1][1] != 5 {
-		t.Fatalf("job round trip mismatch: %+v", j)
+		t.Fatalf("job spec round trip mismatch: %+v", j)
 	}
-	if _, err := decodeJob(opGroupBy, jb[:len(jb)-3]); err == nil {
-		t.Error("truncated job decoded without error")
+	if _, err := decodeJobSpec(jb[:len(jb)-3]); err == nil {
+		t.Error("truncated job spec decoded without error")
 	}
+
+	// A declarative synthetic source round trips spec-for-spec and is
+	// tiny regardless of how many rows it describes — the O(1) dispatch
+	// claim, pinned as a payload-size bound.
+	synth := workload.Spec{Rows: 50_000_000, Groups: 64, KeySeed: 9,
+		Cols: []workload.ColSpec{{Seed: 1, Dist: workload.MixedMag}, {Seed: 2, Dist: workload.Exp1}}}
+	sb, err := encodeJobSpec(jobSpec{op: opGroupBy, topo: dist.Binomial, workers: 1,
+		specs: specs, source: srcSynth, synth: synth})
+	if err != nil {
+		t.Fatalf("encodeJobSpec(synth): %v", err)
+	}
+	if len(sb) > 256 {
+		t.Errorf("50M-row synthetic job spec is %d bytes, want O(spec) not O(rows)", len(sb))
+	}
+	sj, err := decodeJobSpec(sb)
+	if err != nil {
+		t.Fatalf("decodeJobSpec(synth): %v", err)
+	}
+	if !reflect.DeepEqual(sj.synth, synth) {
+		t.Fatalf("synth round trip: got %+v, want %+v", sj.synth, synth)
+	}
+	// Keyed-ness must match the operation.
+	if _, err := encodeAndDecode(jobSpec{op: opReduce, topo: dist.Binomial, workers: 1,
+		source: srcSynth, synth: synth}); err == nil {
+		t.Error("keyed synthetic source on a reduction decoded without error")
+	}
+
+	// A TPC-H Q1 source is rows+seed, group-by only.
+	tj, err := encodeAndDecode(jobSpec{op: opGroupBy, topo: dist.Binomial, workers: 1,
+		specs: specs, source: srcTPCHQ1, rows: 12345, seed: 99})
+	if err != nil {
+		t.Fatalf("tpch job spec: %v", err)
+	}
+	if tj.rows != 12345 || tj.seed != 99 {
+		t.Fatalf("tpch round trip mismatch: %+v", tj)
+	}
+	if _, err := encodeAndDecode(jobSpec{op: opReduce, topo: dist.Binomial, workers: 1,
+		source: srcTPCHQ1, rows: 10, seed: 1}); err == nil {
+		t.Error("tpch source on a reduction decoded without error")
+	}
+
 	// A hostile row count must fail validation, not overflow the
 	// rows×width length check into a huge (or panicking) allocation.
-	huge := append([]byte{0, 0}, make([]byte, 10)...)
-	binary.LittleEndian.PutUint64(huge[2:], 1<<61)
-	huge[10] = 1 // one column
-	if _, err := decodeJob(opReduce, huge); err == nil {
+	reduceHdr, err := encodeJobSpec(jobSpec{op: opReduce, topo: dist.Binomial, workers: 1,
+		source: srcRaw, cols: [][]float64{{1}}})
+	if err != nil {
+		t.Fatalf("encodeJobSpec(reduce): %v", err)
+	}
+	huge := append([]byte(nil), reduceHdr...)
+	binary.LittleEndian.PutUint64(huge[19:], 1<<61) // the srcRaw row count
+	if _, err := decodeJobSpec(huge); err == nil {
 		t.Error("2^61-row job decoded without error")
 	}
-	binary.LittleEndian.PutUint64(huge[2:], uint64(1<<63)) // negative int64
-	if _, err := decodeJob(opGroupBy, huge); err == nil {
+	binary.LittleEndian.PutUint64(huge[19:], uint64(1<<63)) // negative int64
+	if _, err := decodeJobSpec(huge); err == nil {
 		t.Error("negative-row job decoded without error")
 	}
-	// A reduction job must carry exactly one column, and hostile column
-	// counts are rejected before any allocation.
-	twoCol := encodeJob(opReduce, []string{"127.0.0.1:1"}, nil, [][]float64{{1}, {2}})
-	if _, err := decodeJob(opReduce, twoCol); err == nil {
+	// A reduction job must carry exactly one column.
+	if _, err := encodeAndDecode(jobSpec{op: opReduce, topo: dist.Binomial, workers: 1,
+		source: srcRaw, cols: [][]float64{{1}, {2}}}); err == nil {
 		t.Error("two-column reduction job decoded without error")
 	}
-	noCol := encodeJob(opGroupBy, []string{"127.0.0.1:1"}, nil, nil)
-	if _, err := decodeJob(opGroupBy, noCol); err == nil {
+	if _, err := encodeAndDecode(jobSpec{op: opGroupBy, topo: dist.Binomial, workers: 1,
+		specs: specs, source: srcRaw}); err == nil {
 		t.Error("zero-column job decoded without error")
 	}
 
-	h := hello{version: 2, levels: 2, digest: 0xABCDEF, addr: "127.0.0.1:999"}
+	h := hello{version: 2, levels: 2, specver: specVersion, flags: helloHasDigest, digest: 0xABCDEF}
 	hb := encodeHello(h)
 	hback, err := decodeHello(hb)
 	if err != nil {
@@ -355,4 +414,43 @@ func TestSpecRoundTrip(t *testing.T) {
 	if _, err := decodeHello(hb[:5]); err == nil {
 		t.Error("truncated hello decoded without error")
 	}
+	noFlags := append([]byte(nil), hb...)
+	noFlags[3] = 0
+	if _, err := decodeHello(noFlags); err == nil {
+		t.Error("flag-less hello decoded without error")
+	}
+
+	rb := encodeReady(7, "10.1.2.3:4567")
+	rIdx, rAddr, err := decodeReady(rb)
+	if err != nil || rIdx != 7 || rAddr != "10.1.2.3:4567" {
+		t.Fatalf("ready round trip: %d %q %v", rIdx, rAddr, err)
+	}
+	if _, _, err := decodeReady(rb[:len(rb)-1]); err == nil {
+		t.Error("truncated ready decoded without error")
+	}
+
+	pb := encodePeers(7, 3, []string{"127.0.0.1:1", "127.0.0.1:22"})
+	pIdx, pEpoch, pAddrs, err := decodePeers(pb)
+	if err != nil || pIdx != 7 || pEpoch != 3 || len(pAddrs) != 2 || pAddrs[1] != "127.0.0.1:22" {
+		t.Fatalf("peers round trip: %d %d %v %v", pIdx, pEpoch, pAddrs, err)
+	}
+	if _, _, _, err := decodePeers(pb[:len(pb)-1]); err == nil {
+		t.Error("truncated peers decoded without error")
+	}
+
+	cb := encodeConfFrame(4, raw)
+	cid, craw, err := decodeConfFrame(cb)
+	if err != nil || cid != 4 || !reflect.DeepEqual(craw, raw) {
+		t.Fatalf("conf frame round trip: %d %v", cid, err)
+	}
+}
+
+// encodeAndDecode round-trips a jobSpec through the wire codec,
+// surfacing the first error from either side.
+func encodeAndDecode(j jobSpec) (jobSpec, error) {
+	b, err := encodeJobSpec(j)
+	if err != nil {
+		return jobSpec{}, err
+	}
+	return decodeJobSpec(b)
 }

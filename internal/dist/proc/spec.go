@@ -9,14 +9,19 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/sqlagg"
+	"repro/internal/workload"
 )
 
-// Wire encodings of the control plane: the cluster config every member
-// must agree on (passed to workers at spawn time, digested into the
-// join handshake), the KindHello payload, and the KindJob payload
-// (peer address table plus the worker's input shard). Everything is
-// little-endian and versioned; decoders validate lengths and never
-// over-allocate on a corrupt prefix.
+// Wire encodings of the control plane, spec version 3. The cluster
+// config (clusterConf) is everything a long-lived cluster's members
+// must agree on before any job exists: size, protocol knobs, fault
+// plan, liveness cadence. It is digested into the join handshake, so
+// a stale or edited worker is rejected at admission. Per-job state —
+// the operation, topology, aggregate catalog, and the input source —
+// moved out of the conf and into the KindJob payload (jobSpec), which
+// is what lets one cluster run many jobs. Everything is little-endian
+// and versioned; decoders validate lengths and never over-allocate on
+// a corrupt prefix.
 
 // Operations a worker can execute.
 const (
@@ -24,34 +29,49 @@ const (
 	opGroupBy
 )
 
-// specVersion versions the clusterConf encoding. It is the first byte
-// of the blob, so a digest mismatch also covers spec-format drift
-// between supervisor and worker builds. Version 2 added the aggregate
-// spec catalog (multi-aggregate GROUP BY) and multi-column jobs.
-const specVersion = 2
+// Input-source kinds of a job: raw rows shipped in the payload, or a
+// declarative generator spec the worker materializes locally (O(1)
+// dispatch regardless of data size).
+const (
+	srcRaw byte = 1 + iota
+	srcSynth
+	srcTPCHQ1
+)
+
+// specVersion versions the control-plane encodings. It is the first
+// byte of the conf blob, so a digest mismatch also covers spec-format
+// drift between supervisor and worker builds — and it rides in every
+// hello, so even a config-less joiner with a stale build is rejected
+// before the conf is shipped. Version 2 added the aggregate spec
+// catalog; version 3 split the per-job spec (operation, topology,
+// catalog, input source) out of the cluster config and added remote
+// join, declarative sources, and liveness fields.
+const specVersion = 3
 
 // maxJobCols bounds the column count a job payload may declare; it
 // matches the aggregate catalog's spec limit, since a catalog can bind
 // at most that many distinct columns.
 const maxJobCols = 256
 
-// clusterConf is the run configuration every cluster member must hold
-// an identical copy of: the operation, the cluster shape, and every
-// Config knob that changes protocol behavior. The supervisor passes
-// its encoding to each worker at spawn time (-conf hex); the worker
-// digests the raw bytes into its KindHello, so a worker started with a
-// stale or edited config is rejected at join time instead of
-// diverging mid-run.
+// clusterConf is the cluster-lifetime configuration every member must
+// hold an identical copy of. Spawned workers receive its encoding at
+// spawn time (-conf hex); remote joiners receive it in KindConf after
+// their first hello. Either way the worker digests the raw bytes into
+// its (full) KindHello, so a worker holding a different config is
+// rejected at join time instead of diverging mid-run.
 type clusterConf struct {
-	Op      byte
-	Topo    dist.Topology
-	N       int // cluster size (worker process count)
-	Workers int // per-node worker goroutines
+	N int // cluster size (worker process count)
 
 	MaxChunkPayload  int
 	ReassemblyBudget int
 	ChildDeadline    time.Duration
 	MaxResend        int
+
+	// Heartbeat is the workers' control-plane ping interval (0 = no
+	// heartbeats); Liveness is how long the supervisor lets a member
+	// stay silent before declaring it dead (0 = conn errors only).
+	Heartbeat time.Duration
+	Liveness  time.Duration
 
 	// KillNode/KillAfter inject the forced socket-kill scenario: node
 	// KillNode severs its outgoing data-plane connections once, just
@@ -59,18 +79,18 @@ type clusterConf struct {
 	KillNode  int
 	KillAfter int
 
-	Faults dist.FaultPlan
+	// DieNode/DieAfter inject the forced worker-death scenario: node
+	// DieNode exits the whole process just before its DieAfter-th
+	// data frame send (first incarnation only — a replacement must
+	// not inherit the suicide). DieAfter == 0 disables.
+	DieNode  int
+	DieAfter int
 
-	// Specs is the aggregate catalog of a GROUP BY run: which aggregate
-	// states each node builds per key, in output order. It rides in the
-	// canonical conf encoding, so the join-handshake digest rejects a
-	// worker whose catalog (kinds, level counts, or column bindings)
-	// differs from the supervisor's. Empty for a reduction.
-	Specs []sqlagg.AggSpec
+	Faults dist.FaultPlan
 }
 
 // distConfig is the dist.Config a worker derives from the agreed
-// cluster config for its node-local protocol run.
+// cluster config for its node-local protocol runs.
 func (c clusterConf) distConfig() dist.Config {
 	return dist.Config{
 		ChildDeadline:    c.ChildDeadline,
@@ -88,19 +108,34 @@ func appendU64(b []byte, v uint64) []byte {
 
 func appendI64(b []byte, v int64) []byte { return appendU64(b, uint64(v)) }
 
+func appendU32(b []byte, v uint32) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+func appendU16(b []byte, v uint16) []byte {
+	var tmp [2]byte
+	binary.LittleEndian.PutUint16(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
 // encodeConf flattens the cluster config canonically (field order is
 // part of the digest contract).
 func encodeConf(c clusterConf) []byte {
-	b := make([]byte, 0, 128)
-	b = append(b, specVersion, c.Op, byte(c.Topo))
+	b := make([]byte, 0, 160)
+	b = append(b, specVersion)
 	b = appendI64(b, int64(c.N))
-	b = appendI64(b, int64(c.Workers))
 	b = appendI64(b, int64(c.MaxChunkPayload))
 	b = appendI64(b, int64(c.ReassemblyBudget))
 	b = appendI64(b, int64(c.ChildDeadline))
 	b = appendI64(b, int64(c.MaxResend))
+	b = appendI64(b, int64(c.Heartbeat))
+	b = appendI64(b, int64(c.Liveness))
 	b = appendI64(b, int64(c.KillNode))
 	b = appendI64(b, int64(c.KillAfter))
+	b = appendI64(b, int64(c.DieNode))
+	b = appendI64(b, int64(c.DieAfter))
 	b = appendU64(b, c.Faults.Seed)
 	b = appendU64(b, math.Float64bits(c.Faults.DropProb))
 	b = appendI64(b, int64(c.Faults.MaxDrops))
@@ -111,12 +146,6 @@ func encodeConf(c clusterConf) []byte {
 		b = append(b, 1)
 	} else {
 		b = append(b, 0)
-	}
-	if c.Op == opGroupBy {
-		// The catalog encodes with resolved level counts (EncodeSpecs is
-		// canonical), so two supervisors describing the same run produce
-		// the same digest regardless of how they spelled the defaults.
-		b, _ = sqlagg.EncodeSpecs(b, c.Specs)
 	}
 	return b
 }
@@ -163,16 +192,17 @@ func decodeConf(raw []byte) (clusterConf, error) {
 	if v := r.byteVal(); r.err == nil && v != specVersion {
 		return c, fmt.Errorf("proc: cluster config spec version %d, this build speaks %d", v, specVersion)
 	}
-	c.Op = r.byteVal()
-	c.Topo = dist.Topology(r.byteVal())
 	c.N = int(r.i64())
-	c.Workers = int(r.i64())
 	c.MaxChunkPayload = int(r.i64())
 	c.ReassemblyBudget = int(r.i64())
 	c.ChildDeadline = time.Duration(r.i64())
 	c.MaxResend = int(r.i64())
+	c.Heartbeat = time.Duration(r.i64())
+	c.Liveness = time.Duration(r.i64())
 	c.KillNode = int(r.i64())
 	c.KillAfter = int(r.i64())
+	c.DieNode = int(r.i64())
+	c.DieAfter = int(r.i64())
 	c.Faults.Seed = r.u64()
 	c.Faults.DropProb = math.Float64frombits(r.u64())
 	c.Faults.MaxDrops = int(r.i64())
@@ -183,31 +213,19 @@ func decodeConf(raw []byte) (clusterConf, error) {
 	if r.err != nil {
 		return c, r.err
 	}
-	if c.Op != opReduce && c.Op != opGroupBy {
-		return c, fmt.Errorf("proc: unknown operation %d in cluster config", c.Op)
-	}
-	if c.Op == opGroupBy {
-		specs, err := sqlagg.DecodeSpecs(r.b)
-		if err != nil {
-			return c, fmt.Errorf("proc: cluster config aggregate catalog: %w", err)
-		}
-		c.Specs = specs
-	} else if len(r.b) != 0 {
+	if len(r.b) != 0 {
 		return c, fmt.Errorf("proc: %d trailing bytes after cluster config", len(r.b))
 	}
-	if !c.Topo.Valid() {
-		return c, fmt.Errorf("proc: unknown topology %d in cluster config", int(c.Topo))
-	}
-	if c.N < 1 || c.Workers < 1 {
-		return c, fmt.Errorf("proc: cluster config declares %d nodes × %d workers", c.N, c.Workers)
+	if c.N < 1 {
+		return c, fmt.Errorf("proc: cluster config declares %d nodes", c.N)
 	}
 	return c, nil
 }
 
 // confDigest is the run-config digest of the join handshake: FNV-64a
 // over the raw canonical conf encoding. Workers digest the bytes they
-// actually parsed, so any drift — a knob, the operation, the cluster
-// size, even the spec version byte — flips the digest.
+// actually parsed, so any drift — a knob, the cluster size, even the
+// spec version byte — flips the digest.
 func confDigest(raw []byte) uint64 {
 	h := fnv.New64a()
 	h.Write(raw)
@@ -215,22 +233,49 @@ func confDigest(raw []byte) uint64 {
 }
 
 // Control-plane stream ids (Frame.Seq). The control connection is a
-// dedicated reliable TCP stream per worker, but chunked job specs and
-// results reuse the data-plane reassembler, which dedups per
-// (from, seq) — distinct ids keep those streams distinct.
+// dedicated reliable TCP stream per worker, but chunked messages reuse
+// the data-plane reassembler, which dedups per (from, seq) — distinct
+// ids keep logically distinct streams distinct. Cluster-lifetime
+// streams get the low ids; each job gets a block of ids (so a
+// multi-job cluster never replays a seq on the same connection), and
+// each KindPeers epoch its own id within the block (a re-broadcast
+// must not be swallowed as a duplicate of the first).
 const (
 	ctrlSeqHello uint32 = iota
-	ctrlSeqJob
-	ctrlSeqResult
+	ctrlSeqConf
+	ctrlSeqPing
 	ctrlSeqShutdown
+
+	ctrlSeqJobBase   uint32 = 1 << 16
+	ctrlSeqJobStride uint32 = 1 << 8
+	ctrlSeqPeersOff  uint32 = 16
+)
+
+func ctrlSeqJob(jobIdx int) uint32    { return ctrlSeqJobBase + uint32(jobIdx)*ctrlSeqJobStride }
+func ctrlSeqReady(jobIdx int) uint32  { return ctrlSeqJob(jobIdx) + 1 }
+func ctrlSeqResult(jobIdx int) uint32 { return ctrlSeqJob(jobIdx) + 2 }
+func ctrlSeqDone(jobIdx int) uint32   { return ctrlSeqJob(jobIdx) + 3 }
+func ctrlSeqPeers(jobIdx, epoch int) uint32 {
+	return ctrlSeqJob(jobIdx) + ctrlSeqPeersOff + uint32(epoch)%(ctrlSeqJobStride-ctrlSeqPeersOff)
+}
+
+// Hello flags.
+const (
+	// helloHasDigest marks a full hello: the worker holds the cluster
+	// config and its digest field is meaningful.
+	helloHasDigest byte = 1 << iota
+	// helloJoin marks a remote joiner's first hello: no config yet,
+	// requesting admission (the supervisor answers with KindConf).
+	helloJoin
 )
 
 // hello is the decoded KindHello payload.
 type hello struct {
 	version byte   // frame codec version the worker speaks
 	levels  byte   // rsum summation level count compiled into the worker
-	digest  uint64 // confDigest of the worker's cluster config
-	addr    string // worker's data-plane listen address
+	specver byte   // control-plane spec version the worker speaks
+	flags   byte   // helloHasDigest | helloJoin
+	digest  uint64 // confDigest of the worker's cluster config (full hello)
 }
 
 // encodeHello flattens the join handshake payload:
@@ -238,122 +283,280 @@ type hello struct {
 //	offset  size  field
 //	0       1     frame codec version
 //	1       1     rsum level count
-//	2       8     run-config digest (FNV-64a of the conf encoding)
-//	10      2     data-plane address length m
-//	12      m     data-plane listen address
+//	2       1     control-plane spec version
+//	3       1     flags (helloHasDigest | helloJoin)
+//	4       8     run-config digest (FNV-64a; zero unless helloHasDigest)
 func encodeHello(h hello) []byte {
-	b := make([]byte, 0, 12+len(h.addr))
-	b = append(b, h.version, h.levels)
-	b = appendU64(b, h.digest)
-	var l [2]byte
-	binary.LittleEndian.PutUint16(l[:], uint16(len(h.addr)))
-	b = append(b, l[:]...)
-	return append(b, h.addr...)
+	b := make([]byte, 0, 12)
+	b = append(b, h.version, h.levels, h.specver, h.flags)
+	return appendU64(b, h.digest)
 }
 
 // decodeHello inverts encodeHello.
 func decodeHello(payload []byte) (hello, error) {
 	var h hello
-	if len(payload) < 12 {
-		return h, fmt.Errorf("proc: hello payload is %d bytes, want >= 12", len(payload))
+	if len(payload) != 12 {
+		return h, fmt.Errorf("proc: hello payload is %d bytes, want 12", len(payload))
 	}
 	h.version = payload[0]
 	h.levels = payload[1]
-	h.digest = binary.LittleEndian.Uint64(payload[2:])
-	alen := int(binary.LittleEndian.Uint16(payload[10:]))
-	if len(payload) != 12+alen {
-		return h, fmt.Errorf("proc: hello declares a %d-byte address in a %d-byte payload", alen, len(payload))
+	h.specver = payload[2]
+	h.flags = payload[3]
+	h.digest = binary.LittleEndian.Uint64(payload[4:])
+	if h.flags&(helloHasDigest|helloJoin) == 0 || h.flags&^(helloHasDigest|helloJoin) != 0 {
+		return h, fmt.Errorf("proc: hello carries invalid flags %#x", h.flags)
 	}
-	if alen == 0 {
-		return h, fmt.Errorf("proc: hello carries an empty data-plane address")
-	}
-	h.addr = string(payload[12:])
 	return h, nil
 }
 
-// job is the decoded KindJob payload: the cluster's data-plane address
-// table plus this worker's input shard. A reduction carries a single
-// value column in cols[0] and no keys; a GROUP BY carries keys plus one
-// column per distinct input column its aggregate catalog reads.
-type job struct {
-	addrs []string
-	keys  []uint32
-	cols  [][]float64
+// encodeConfFrame flattens a KindConf payload: the node id the
+// supervisor assigned the joiner, then the raw cluster config.
+func encodeConfFrame(id int, raw []byte) []byte {
+	b := make([]byte, 0, 4+len(raw))
+	b = appendU32(b, uint32(int32(id)))
+	return append(b, raw...)
 }
 
-// encodeJob flattens a job: [2B addr count] addrs (2B length-prefixed
-// each), [8B row count], [2B column count], then for GROUP BY the keys
-// (4B each), then each column's values (8B each), column-major.
-func encodeJob(op byte, addrs []string, keys []uint32, cols [][]float64) []byte {
-	rows := 0
-	if len(cols) > 0 {
-		rows = len(cols[0])
+// decodeConfFrame inverts encodeConfFrame.
+func decodeConfFrame(payload []byte) (id int, raw []byte, err error) {
+	if len(payload) < 4 {
+		return 0, nil, fmt.Errorf("proc: truncated conf frame")
 	}
-	size := 2
+	return int(int32(binary.LittleEndian.Uint32(payload))), payload[4:], nil
+}
+
+// encodeReady flattens a KindReady payload: the job index and the
+// worker's freshly bound data-plane listen address.
+func encodeReady(jobIdx int, addr string) []byte {
+	b := make([]byte, 0, 6+len(addr))
+	b = appendU32(b, uint32(jobIdx))
+	b = appendU16(b, uint16(len(addr)))
+	return append(b, addr...)
+}
+
+// decodeReady inverts encodeReady.
+func decodeReady(payload []byte) (jobIdx int, addr string, err error) {
+	if len(payload) < 6 {
+		return 0, "", fmt.Errorf("proc: truncated ready payload")
+	}
+	jobIdx = int(binary.LittleEndian.Uint32(payload))
+	alen := int(binary.LittleEndian.Uint16(payload[4:]))
+	if alen == 0 || len(payload) != 6+alen {
+		return 0, "", fmt.Errorf("proc: ready declares a %d-byte address in a %d-byte payload", alen, len(payload))
+	}
+	return jobIdx, string(payload[6:]), nil
+}
+
+// encodePeers flattens a KindPeers payload: job index, epoch, and the
+// cluster's data-plane address table (2B-length-prefixed each).
+func encodePeers(jobIdx, epoch int, addrs []string) []byte {
+	size := 10
 	for _, a := range addrs {
 		size += 2 + len(a)
 	}
-	size += 8 + 2 + len(keys)*4 + len(cols)*rows*8
 	b := make([]byte, 0, size)
-	var u16 [2]byte
-	binary.LittleEndian.PutUint16(u16[:], uint16(len(addrs)))
-	b = append(b, u16[:]...)
+	b = appendU32(b, uint32(jobIdx))
+	b = appendU32(b, uint32(epoch))
+	b = appendU16(b, uint16(len(addrs)))
 	for _, a := range addrs {
-		binary.LittleEndian.PutUint16(u16[:], uint16(len(a)))
-		b = append(b, u16[:]...)
+		b = appendU16(b, uint16(len(a)))
 		b = append(b, a...)
-	}
-	b = appendI64(b, int64(rows))
-	binary.LittleEndian.PutUint16(u16[:], uint16(len(cols)))
-	b = append(b, u16[:]...)
-	if op == opGroupBy {
-		for _, k := range keys {
-			var u32 [4]byte
-			binary.LittleEndian.PutUint32(u32[:], k)
-			b = append(b, u32[:]...)
-		}
-	}
-	for _, col := range cols {
-		for _, v := range col {
-			b = appendU64(b, math.Float64bits(v))
-		}
 	}
 	return b
 }
 
-// decodeJob inverts encodeJob for the given operation, validating every
-// length against the remaining bytes.
-func decodeJob(op byte, payload []byte) (job, error) {
-	var j job
-	if len(payload) < 2 {
-		return j, fmt.Errorf("proc: truncated job spec")
+// decodePeers inverts encodePeers.
+func decodePeers(payload []byte) (jobIdx, epoch int, addrs []string, err error) {
+	if len(payload) < 10 {
+		return 0, 0, nil, fmt.Errorf("proc: truncated peers payload")
 	}
-	n := int(binary.LittleEndian.Uint16(payload))
-	payload = payload[2:]
-	j.addrs = make([]string, 0, n)
+	jobIdx = int(binary.LittleEndian.Uint32(payload))
+	epoch = int(binary.LittleEndian.Uint32(payload[4:]))
+	n := int(binary.LittleEndian.Uint16(payload[8:]))
+	payload = payload[10:]
+	addrs = make([]string, 0, n)
 	for i := 0; i < n; i++ {
 		if len(payload) < 2 {
-			return j, fmt.Errorf("proc: truncated job address table")
+			return 0, 0, nil, fmt.Errorf("proc: truncated peers address table")
 		}
 		alen := int(binary.LittleEndian.Uint16(payload))
 		payload = payload[2:]
 		if alen == 0 || len(payload) < alen {
-			return j, fmt.Errorf("proc: job address %d declares %d bytes, %d remain", i, alen, len(payload))
+			return 0, 0, nil, fmt.Errorf("proc: peers address %d declares %d bytes, %d remain", i, alen, len(payload))
 		}
-		j.addrs = append(j.addrs, string(payload[:alen]))
+		addrs = append(addrs, string(payload[:alen]))
 		payload = payload[alen:]
 	}
+	if len(payload) != 0 {
+		return 0, 0, nil, fmt.Errorf("proc: %d trailing bytes after peers table", len(payload))
+	}
+	return jobIdx, epoch, addrs, nil
+}
+
+// jobSpec is the decoded KindJob payload: which operation to run, its
+// shape, and where this worker's input comes from — either raw rows in
+// the payload (srcRaw) or a declarative source the worker materializes
+// locally and slices round-robin by its node id (srcSynth, srcTPCHQ1).
+type jobSpec struct {
+	jobIdx      int
+	incarnation int // 0 = original dispatch; >0 = re-shipped to a replacement
+	op          byte
+	topo        dist.Topology
+	workers     int
+	specs       []sqlagg.AggSpec // groupby only
+
+	source byte
+	// srcRaw: this worker's rows.
+	keys []uint32
+	cols [][]float64
+	// srcSynth: the dataset generator.
+	synth workload.Spec
+	// srcTPCHQ1: lineitem row count and seed.
+	rows int
+	seed uint64
+}
+
+// encodeJobSpec flattens a job:
+//
+//	4B job index, 4B incarnation, 1B op, 1B topology, 8B workers,
+//	[groupby: aggregate catalog (sqlagg.EncodeSpecs, self-delimiting)],
+//	1B source kind, then the source body:
+//	  srcRaw:    8B rows, 2B ncols, keys (4B each, groupby only),
+//	             columns (8B each, column-major)
+//	  srcSynth:  workload spec encoding (to end of payload)
+//	  srcTPCHQ1: 8B rows, 8B seed
+func encodeJobSpec(j jobSpec) ([]byte, error) {
+	b := make([]byte, 0, 64)
+	b = appendU32(b, uint32(j.jobIdx))
+	b = appendU32(b, uint32(j.incarnation))
+	b = append(b, j.op, byte(j.topo))
+	b = appendI64(b, int64(j.workers))
+	if j.op == opGroupBy {
+		var err error
+		if b, err = sqlagg.EncodeSpecs(b, j.specs); err != nil {
+			return nil, err
+		}
+	}
+	b = append(b, j.source)
+	switch j.source {
+	case srcRaw:
+		rows := 0
+		if len(j.cols) > 0 {
+			rows = len(j.cols[0])
+		}
+		b = appendI64(b, int64(rows))
+		b = appendU16(b, uint16(len(j.cols)))
+		if j.op == opGroupBy {
+			for _, k := range j.keys {
+				b = appendU32(b, k)
+			}
+		}
+		for _, col := range j.cols {
+			for _, v := range col {
+				b = appendU64(b, math.Float64bits(v))
+			}
+		}
+	case srcSynth:
+		var err error
+		if b, err = j.synth.AppendBinary(b); err != nil {
+			return nil, err
+		}
+	case srcTPCHQ1:
+		b = appendI64(b, int64(j.rows))
+		b = appendU64(b, j.seed)
+	default:
+		return nil, fmt.Errorf("proc: unknown job source kind %d", j.source)
+	}
+	return b, nil
+}
+
+// decodeJobSpec inverts encodeJobSpec, validating every length against
+// the remaining bytes.
+func decodeJobSpec(payload []byte) (jobSpec, error) {
+	var j jobSpec
+	if len(payload) < 19 {
+		return j, fmt.Errorf("proc: truncated job spec")
+	}
+	j.jobIdx = int(binary.LittleEndian.Uint32(payload))
+	j.incarnation = int(binary.LittleEndian.Uint32(payload[4:]))
+	j.op = payload[8]
+	j.topo = dist.Topology(payload[9])
+	j.workers = int(int64(binary.LittleEndian.Uint64(payload[10:])))
+	payload = payload[18:]
+	if j.op != opReduce && j.op != opGroupBy {
+		return j, fmt.Errorf("proc: unknown operation %d in job spec", j.op)
+	}
+	if !j.topo.Valid() {
+		return j, fmt.Errorf("proc: unknown topology %d in job spec", int(j.topo))
+	}
+	if j.workers < 1 {
+		return j, fmt.Errorf("proc: job spec declares %d worker goroutines", j.workers)
+	}
+	if j.op == opGroupBy {
+		specs, n, err := sqlagg.DecodeSpecsPrefix(payload)
+		if err != nil {
+			return j, fmt.Errorf("proc: job spec aggregate catalog: %w", err)
+		}
+		j.specs = specs
+		payload = payload[n:]
+	}
+	if len(payload) < 1 {
+		return j, fmt.Errorf("proc: job spec missing input source")
+	}
+	j.source = payload[0]
+	payload = payload[1:]
+	switch j.source {
+	case srcRaw:
+		keys, cols, err := decodeRawRows(j.op, payload)
+		if err != nil {
+			return j, err
+		}
+		j.keys, j.cols = keys, cols
+	case srcSynth:
+		spec, err := workload.DecodeSpec(payload)
+		if err != nil {
+			return j, fmt.Errorf("proc: job spec source: %w", err)
+		}
+		if j.op == opReduce && spec.Groups != 0 {
+			return j, fmt.Errorf("proc: reduction job spec declares a keyed synthetic source")
+		}
+		if j.op == opGroupBy && spec.Groups == 0 {
+			return j, fmt.Errorf("proc: group-by job spec declares a keyless synthetic source")
+		}
+		j.synth = spec
+	case srcTPCHQ1:
+		if len(payload) != 16 {
+			return j, fmt.Errorf("proc: tpch source body is %d bytes, want 16", len(payload))
+		}
+		j.rows = int(int64(binary.LittleEndian.Uint64(payload)))
+		j.seed = binary.LittleEndian.Uint64(payload[8:])
+		if j.rows < 1 {
+			return j, fmt.Errorf("proc: tpch source declares %d rows", j.rows)
+		}
+		if j.op != opGroupBy {
+			return j, fmt.Errorf("proc: tpch source on a non-group-by job")
+		}
+	default:
+		return j, fmt.Errorf("proc: unknown job source kind %d", j.source)
+	}
+	return j, nil
+}
+
+// decodeRawRows decodes a srcRaw source body: [8B row count]
+// [2B column count] keys (groupby) then column-major values, with
+// overflow-safe validation against hostile counts.
+func decodeRawRows(op byte, payload []byte) (keys []uint32, cols [][]float64, err error) {
 	if len(payload) < 10 {
-		return j, fmt.Errorf("proc: truncated job row count")
+		return nil, nil, fmt.Errorf("proc: truncated job row header")
 	}
 	rows := int(int64(binary.LittleEndian.Uint64(payload)))
 	ncols := int(binary.LittleEndian.Uint16(payload[8:]))
 	payload = payload[10:]
 	if ncols < 1 || ncols > maxJobCols {
-		return j, fmt.Errorf("proc: job declares %d columns", ncols)
+		return nil, nil, fmt.Errorf("proc: job declares %d columns", ncols)
 	}
 	if op == opReduce && ncols != 1 {
-		return j, fmt.Errorf("proc: reduction job declares %d columns, want 1", ncols)
+		return nil, nil, fmt.Errorf("proc: reduction job declares %d columns, want 1", ncols)
 	}
 	// Bound the declared count by the bytes actually present before any
 	// multiplication or allocation: a hostile 2^61-row count must fail
@@ -365,23 +568,23 @@ func decodeJob(op byte, payload []byte) (job, error) {
 		width += 4
 	}
 	if rows < 0 || rows > len(payload)/width || len(payload) != rows*width {
-		return j, fmt.Errorf("proc: job declares %d rows × %d columns but carries %d payload bytes", rows, ncols, len(payload))
+		return nil, nil, fmt.Errorf("proc: job declares %d rows × %d columns but carries %d payload bytes", rows, ncols, len(payload))
 	}
 	if op == opGroupBy {
-		j.keys = make([]uint32, rows)
-		for i := range j.keys {
-			j.keys[i] = binary.LittleEndian.Uint32(payload[i*4:])
+		keys = make([]uint32, rows)
+		for i := range keys {
+			keys[i] = binary.LittleEndian.Uint32(payload[i*4:])
 		}
 		payload = payload[rows*4:]
 	}
 	flat := make([]float64, ncols*rows)
-	j.cols = make([][]float64, ncols)
-	for c := range j.cols {
+	cols = make([][]float64, ncols)
+	for c := range cols {
 		col := flat[c*rows : (c+1)*rows : (c+1)*rows]
 		for i := range col {
 			col[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[(c*rows+i)*8:]))
 		}
-		j.cols[c] = col
+		cols[c] = col
 	}
-	return j, nil
+	return keys, cols, nil
 }

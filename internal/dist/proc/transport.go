@@ -43,6 +43,15 @@ type nodeTransport struct {
 	// is atomic so exactly one send trips it.
 	killAfter int64
 	nsent     atomic.Int64
+
+	// Injected process-death fault: just before the dieAfter-th
+	// non-resend data frame leaves this node, onDie runs exactly once
+	// (the worker's hook exits the whole process mid-stream — the
+	// forced scenario of the mid-run replacement tests). dieAfter <= 0
+	// disables.
+	dieAfter int64
+	ndie     atomic.Int64
+	onDie    func()
 }
 
 // pipe is one cached outgoing connection; writes are serialized so
@@ -180,6 +189,7 @@ func (t *nodeTransport) sendRun(fs []dist.Frame) error {
 		return err
 	}
 	for i := range fs {
+		t.tripDeath(fs[i])
 		if t.tripKill(fs[i]) {
 			// The rest of the run is sacrificed with the sockets; the
 			// receiver's per-chunk re-requests recover it.
@@ -196,6 +206,20 @@ func (t *nodeTransport) sendRun(fs []dist.Frame) error {
 		return t.sendErr(err)
 	}
 	return nil
+}
+
+// tripDeath counts outgoing data frames and, exactly once, runs the
+// injected death hook just before the dieAfter-th leaves — in a real
+// worker the hook kills the process mid-chunk-stream, the forced
+// scenario of mid-run worker replacement. Resend traffic is exempt,
+// like tripKill.
+func (t *nodeTransport) tripDeath(f dist.Frame) {
+	if t.dieAfter <= 0 || t.onDie == nil || f.Kind == dist.KindResend {
+		return
+	}
+	if t.ndie.Add(1) == t.dieAfter {
+		t.onDie()
+	}
 }
 
 // tripKill counts outgoing data frames and, exactly once, severs every
@@ -217,13 +241,44 @@ func (t *nodeTransport) tripKill(f dist.Frame) bool {
 	return true
 }
 
+// UpdatePeer re-points peer id at a new data-plane address — the
+// mid-run replacement path: a substitute worker binds a fresh
+// listener, and every surviving peer swaps its table entry and drops
+// the cached pipe so the next send (or per-chunk re-request) dials
+// the substitute instead of the dead worker's stale address.
+func (t *nodeTransport) UpdatePeer(id int, addr string) {
+	if id < 0 || id >= len(t.addrs) || id == t.id || addr == "" {
+		return
+	}
+	t.mu.Lock()
+	if t.addrs[id] == addr {
+		t.mu.Unlock()
+		return
+	}
+	t.addrs[id] = addr
+	p := t.pipes[id]
+	t.mu.Unlock()
+	if p != nil {
+		p.mu.Lock()
+		t.resetLocked(p)
+		p.mu.Unlock()
+	}
+}
+
+// peerAddr reads the (possibly updated) address of a peer.
+func (t *nodeTransport) peerAddr(to int) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.addrs[to]
+}
+
 // dialLocked establishes the pipe's connection if needed; the caller
 // must hold p.mu.
 func (t *nodeTransport) dialLocked(p *pipe, to int) error {
 	if p.c != nil {
 		return nil
 	}
-	c, err := net.DialTimeout("tcp", t.addrs[to], dialTimeout)
+	c, err := net.DialTimeout("tcp", t.peerAddr(to), dialTimeout)
 	if err != nil {
 		return t.sendErr(fmt.Errorf("dial node %d: %w", to, err))
 	}

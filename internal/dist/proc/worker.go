@@ -3,31 +3,40 @@ package proc
 import (
 	"bufio"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"strconv"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/tpch"
 )
 
-// The worker side of the multi-process cluster runtime. A worker
-// process is spawned (or started by hand, see cmd/reproworker) with
-// three flags — the supervisor's control address, its node id, and the
-// hex-encoded cluster config — and then:
+// The worker side of the elastic cluster runtime. A worker process is
+// either spawned by a supervisor (-control, -id, -conf) or started by
+// an operator against an advertised control address (-join), and then:
 //
-//  1. binds a data-plane TCP listener on loopback,
-//  2. dials the control address and sends KindHello (frame version,
-//     rsum level count, run-config digest, data-plane address),
-//  3. waits for KindJob (peer address table + its input shard; a
-//     KindError instead means the handshake was rejected),
-//  4. runs its node's role of the aggregation protocol over real
-//     sockets to its peers — the root also ships the finalized result
-//     back as KindResult —
-//  5. keeps serving per-chunk resend requests until KindShutdown, then
-//     closes the data plane and exits.
+//  1. dials the control address and completes the KindHello handshake
+//     (joiners first announce themselves config-less, receive the
+//     cluster config in KindConf, and answer with the full digested
+//     hello on the same connection),
+//  2. waits for KindJob: the operation, its shape, and this node's
+//     input — raw rows, or a declarative source the worker
+//     materializes locally and slices by its node id,
+//  3. binds a fresh data-plane listener per job, announces it with
+//     KindReady, and on KindPeers runs its node's role of the
+//     aggregation protocol over real sockets — the root also ships the
+//     finalized result back as KindResult,
+//  4. on a later KindPeers epoch re-points its peer table at a
+//     replacement's fresh listener (the reconnect-safe transport
+//     re-dials; per-chunk resends recover anything in flight),
+//  5. tears the job's data plane down at KindJobDone and waits for the
+//     next job, until KindShutdown.
 
 // workerEnv marks a process as a spawned cluster worker when the
 // supervisor re-executes the current binary (the default when no
@@ -50,6 +59,25 @@ const (
 	envTamperDigest = "REPROWORKER_TAMPER_DIGEST"
 )
 
+// Worker process exit codes. They are part of cmd/reproworker's
+// contract: an operator's init system can tell a rejected join (wrong
+// build, wrong config — retrying is pointless) from a runtime failure.
+const (
+	// ExitOK is a clean exit after KindShutdown.
+	ExitOK = 0
+	// ExitFailure is any runtime failure (lost supervisor, protocol
+	// error, bad flags that parsed but don't make sense).
+	ExitFailure = 1
+	// ExitUsage is a command-line usage error.
+	ExitUsage = 2
+	// ExitHandshake means the supervisor rejected the join handshake:
+	// the worker build or its cluster config doesn't match the cluster.
+	ExitHandshake = 3
+	// exitInjectedDeath is the injected-death test hook's exit code,
+	// distinguishable from every deliberate exit above.
+	exitInjectedDeath = 7
+)
+
 // MaybeWorkerMain turns the current process into a cluster worker and
 // never returns when it was spawned as one (workerEnv is set);
 // otherwise it returns immediately. Programs that use the process
@@ -64,23 +92,64 @@ func MaybeWorkerMain() {
 	os.Exit(WorkerMain(os.Args[1:]))
 }
 
+const workerUsage = `usage: reproworker -control <addr> -id <n> -conf <hex>
+       reproworker -join <addr>
+
+A reproducible-aggregation cluster worker (see internal/dist/proc).
+
+Supervisor-spawned mode (-control/-id/-conf) is what a proc.Cluster
+uses for its own workers; the three flags come from the supervisor and
+are not meant to be crafted by hand.
+
+Join mode (-join) connects to the control address an operator got from
+Cluster.Addr(). The worker announces its build, receives the cluster
+configuration, and completes the digested handshake; the supervisor
+admits it into a free node slot, parks it as a standby for mid-run
+replacement, or rejects it.
+
+exit codes:
+  0  clean shutdown
+  1  runtime failure
+  2  usage error
+  3  join handshake rejected (incompatible build or cluster config)
+`
+
 // WorkerMain parses worker flags from args, runs the worker loop, and
 // returns the process exit code. cmd/reproworker calls it directly.
 func WorkerMain(args []string) int {
 	fs := flag.NewFlagSet("reproworker", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
 	control := fs.String("control", "", "supervisor control address (host:port)")
 	id := fs.Int("id", -1, "this worker's cluster node id")
 	confHex := fs.String("conf", "", "hex-encoded cluster config (from the supervisor)")
+	join := fs.String("join", "", "cluster control address to join (from Cluster.Addr())")
+	fs.Usage = func() { fmt.Fprint(os.Stderr, workerUsage) }
 	if err := fs.Parse(args); err != nil {
-		return 2
+		if errors.Is(err, flag.ErrHelp) {
+			return ExitOK
+		}
+		return ExitUsage
 	}
 	fail := func(err error) int {
-		fmt.Fprintf(os.Stderr, "reproworker: node %d: %v\n", *id, err)
-		return 1
+		fmt.Fprintf(os.Stderr, "reproworker: %v\n", err)
+		if errors.Is(err, dist.ErrHandshake) {
+			return ExitHandshake
+		}
+		return ExitFailure
+	}
+	if *join != "" {
+		if *control != "" || *confHex != "" || *id != -1 {
+			fmt.Fprintln(os.Stderr, "reproworker: -join excludes -control, -id, and -conf (the cluster assigns them)")
+			return ExitUsage
+		}
+		if err := runJoiner(*join); err != nil {
+			return fail(err)
+		}
+		return ExitOK
 	}
 	if *control == "" || *confHex == "" {
-		fmt.Fprintln(os.Stderr, "reproworker: -control and -conf are required (workers are started by a proc.Cluster supervisor)")
-		return 2
+		fmt.Fprintln(os.Stderr, "reproworker: -control and -conf are required (or -join to join a cluster); see -help")
+		return ExitUsage
 	}
 	raw, err := hex.DecodeString(*confHex)
 	if err != nil {
@@ -96,7 +165,7 @@ func WorkerMain(args []string) int {
 	if err := runWorker(*control, *id, conf, raw); err != nil {
 		return fail(err)
 	}
-	return 0
+	return ExitOK
 }
 
 // helloFields builds this worker's handshake fields, honoring the test
@@ -122,154 +191,383 @@ func helloFields(raw []byte) (version, levels byte, digest uint64) {
 	return version, levels, digest
 }
 
-// runWorker is the worker loop described in the package comment.
-func runWorker(control string, id int, conf clusterConf, raw []byte) error {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return fmt.Errorf("binding data-plane listener: %w", err)
-	}
-	defer ln.Close()
+// ctlWriter serializes control-plane sends: the main loop, the
+// heartbeat ticker, and a job's protocol goroutine all write through
+// it.
+type ctlWriter struct {
+	mu       sync.Mutex
+	conn     net.Conn
+	bw       *bufio.Writer
+	maxChunk int
+}
 
+func (w *ctlWriter) send(f dist.Frame) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, ch := range dist.SplitFrame(f, w.maxChunk) {
+		if err := dist.WriteFrame(w.bw, ch); err != nil {
+			return err
+		}
+	}
+	return w.bw.Flush()
+}
+
+// runWorker is the supervisor-spawned path: dial, full hello, serve.
+func runWorker(control string, id int, conf clusterConf, raw []byte) error {
 	cc, err := net.DialTimeout("tcp", control, dialTimeout)
 	if err != nil {
 		return fmt.Errorf("dialing supervisor %s: %w", control, err)
 	}
 	defer cc.Close()
+	w := &ctlWriter{conn: cc, bw: bufio.NewWriterSize(cc, sockBufSize), maxChunk: conf.MaxChunkPayload}
+	if err := sendFullHello(w, id, raw); err != nil {
+		return err
+	}
+	return workerLoop(cc, bufio.NewReaderSize(cc, sockBufSize), w, id, conf)
+}
 
-	version, levels, digest := helloFields(raw)
-	helloPayload := encodeHello(hello{
-		version: version,
-		levels:  levels,
-		digest:  digest,
-		addr:    ln.Addr().String(),
+// runJoiner is the operator-started path: announce the build with a
+// config-less join hello, receive the assigned node id and cluster
+// config in KindConf, then complete the full handshake and serve. The
+// supervisor may park the worker as a standby first — then KindConf
+// simply arrives later, when a node slot frees up.
+func runJoiner(control string) error {
+	cc, err := net.DialTimeout("tcp", control, dialTimeout)
+	if err != nil {
+		return fmt.Errorf("dialing cluster %s: %w", control, err)
+	}
+	defer cc.Close()
+
+	version, levels, _ := helloFields(nil)
+	// No cluster config yet: chunk at the codec default (SplitFrame
+	// maps 0 to it) until KindConf establishes the agreed size.
+	w := &ctlWriter{conn: cc, bw: bufio.NewWriterSize(cc, sockBufSize), maxChunk: 0}
+	err = w.send(dist.Frame{
+		Kind: dist.KindHello, From: -1, Seq: ctrlSeqHello,
+		Payload: encodeHello(hello{version: version, levels: levels, specver: specVersion, flags: helloJoin}),
 	})
-	err = dist.WriteFrame(cc, dist.Frame{
-		Kind: dist.KindHello, From: id, Seq: ctrlSeqHello, Chunks: 1, Payload: helloPayload,
+	if err != nil {
+		return fmt.Errorf("sending join hello: %w", err)
+	}
+
+	br := bufio.NewReaderSize(cc, sockBufSize)
+	asm := dist.NewReassembler(0)
+	for {
+		msg, err := readCtl(br, asm)
+		if err != nil {
+			return fmt.Errorf("awaiting admission: %w", err)
+		}
+		switch msg.Kind {
+		case dist.KindError:
+			return dist.DecodeErr(-1, msg.Payload)
+		case dist.KindShutdown:
+			return nil // the cluster closed while this worker was parked
+		case dist.KindConf:
+			id, raw, err := decodeConfFrame(msg.Payload)
+			if err != nil {
+				return err
+			}
+			conf, err := decodeConf(raw)
+			if err != nil {
+				return err
+			}
+			if id < 0 || id >= conf.N {
+				return fmt.Errorf("assigned node id %d outside the %d-node cluster", id, conf.N)
+			}
+			w.maxChunk = conf.MaxChunkPayload
+			if err := sendFullHello(w, id, raw); err != nil {
+				return err
+			}
+			// The same reader carries on: nothing buffered is lost
+			// across the phase change.
+			return workerLoopWith(cc, br, asm, w, id, conf)
+		}
+	}
+}
+
+func sendFullHello(w *ctlWriter, id int, raw []byte) error {
+	version, levels, digest := helloFields(raw)
+	err := w.send(dist.Frame{
+		Kind: dist.KindHello, From: id, Seq: ctrlSeqHello,
+		Payload: encodeHello(hello{
+			version: version, levels: levels, specver: specVersion,
+			flags: helloHasDigest, digest: digest,
+		}),
 	})
 	if err != nil {
 		return fmt.Errorf("sending hello: %w", err)
 	}
+	return nil
+}
 
-	// Job (or rejection). Large shards arrive as a chunk stream over
-	// the control connection, reassembled by the same machinery the
-	// data plane uses — but under the default budget, not the run's
-	// ReassemblyBudget: that knob is the data plane's defense against
-	// hostile peers, while this stream comes from the supervisor that
-	// spawned us and must be able to carry a shard of any size the
-	// run has (capping it at the shuffle-message budget would reject
-	// legitimate jobs, not attackers).
-	br := bufio.NewReaderSize(cc, sockBufSize)
-	asm := dist.NewReassembler(0)
-	var theJob job
+// readCtl reads one complete (reassembled) control message.
+func readCtl(br *bufio.Reader, asm *dist.Reassembler) (dist.Frame, error) {
 	for {
 		f, err := dist.ReadFrame(br)
 		if err != nil {
-			return fmt.Errorf("control connection lost before job arrived: %w", err)
+			return dist.Frame{}, err
 		}
 		msg, complete, _, aerr := asm.Accept(f)
 		if aerr != nil {
-			return fmt.Errorf("reassembling control message: %w", aerr)
+			return dist.Frame{}, aerr
 		}
-		if !complete {
-			continue
+		if complete {
+			return msg, nil
 		}
-		if msg.Kind == dist.KindError {
-			return dist.DecodeErr(-1, msg.Payload) // handshake rejected
-		}
-		if msg.Kind != dist.KindJob {
-			continue // unknown-but-valid control kinds are ignored
-		}
-		theJob, err = decodeJob(conf.Op, msg.Payload)
-		if err != nil {
-			return err
-		}
-		break
 	}
-	if len(theJob.addrs) != conf.N {
-		return fmt.Errorf("job carries %d addresses for a %d-node cluster", len(theJob.addrs), conf.N)
+}
+
+// workerJob is one job's worker-side state.
+type workerJob struct {
+	spec    jobSpec
+	keys    []uint32
+	cols    [][]float64
+	ln      net.Listener
+	tr      *nodeTransport
+	started bool
+	done    chan struct{} // closed when the protocol goroutine finishes
+}
+
+// stop tears the job's data plane down and waits for its protocol
+// goroutine: the transport close makes the goroutine's next Recv or
+// Send fail with ErrClosed, which it swallows as a deliberate abort.
+func (j *workerJob) stop() {
+	if j.tr != nil {
+		j.tr.Close()
+	} else if j.ln != nil {
+		j.ln.Close()
+	}
+	if j.started {
+		<-j.done
+	}
+}
+
+func workerLoop(cc net.Conn, br *bufio.Reader, w *ctlWriter, id int, conf clusterConf) error {
+	return workerLoopWith(cc, br, dist.NewReassembler(0), w, id, conf)
+}
+
+// workerLoopWith serves jobs until shutdown. It owns the control
+// connection's read side; all writes go through w.
+func workerLoopWith(cc net.Conn, br *bufio.Reader, asm *dist.Reassembler, w *ctlWriter, id int, conf clusterConf) error {
+	if conf.Heartbeat > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			t := time.NewTicker(conf.Heartbeat)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					// A failed ping is not this goroutine's problem: the
+					// read loop sees the connection die and ends the worker.
+					_ = w.send(dist.Frame{Kind: dist.KindPing, From: id, Seq: ctrlSeqPing})
+				case <-stop:
+					return
+				}
+			}
+		}()
 	}
 
+	var cur *workerJob
+	defer func() {
+		if cur != nil {
+			cur.stop()
+		}
+	}()
+	for {
+		msg, err := readCtl(br, asm)
+		if err != nil {
+			return fmt.Errorf("control connection lost: %w", err)
+		}
+		switch msg.Kind {
+		case dist.KindError:
+			return dist.DecodeErr(-1, msg.Payload)
+		case dist.KindShutdown:
+			return nil
+		case dist.KindJobDone:
+			if cur != nil {
+				cur.stop()
+				cur = nil
+			}
+		case dist.KindJob:
+			if cur != nil {
+				// The control stream is ordered, so a new job means the
+				// old one is over for the supervisor, however it ended.
+				cur.stop()
+				cur = nil
+			}
+			js, err := decodeJobSpec(msg.Payload)
+			if err != nil {
+				// The payload still carries which job it was in its
+				// control seq; answer there so the supervisor can fail
+				// the right job instead of hitting a timeout.
+				jobIdx := int((msg.Seq - ctrlSeqJobBase) / ctrlSeqJobStride)
+				reportErr(w, id, jobIdx, err)
+				continue
+			}
+			job, err := prepareJob(cc, id, conf, js)
+			if err != nil {
+				reportErr(w, id, js.jobIdx, err)
+				continue
+			}
+			cur = job
+			err = w.send(dist.Frame{
+				Kind: dist.KindReady, From: id, Seq: ctrlSeqReady(js.jobIdx),
+				Payload: encodeReady(js.jobIdx, job.ln.Addr().String()),
+			})
+			if err != nil {
+				return fmt.Errorf("control connection lost: %w", err)
+			}
+		case dist.KindPeers:
+			jobIdx, _, addrs, err := decodePeers(msg.Payload)
+			if err != nil || cur == nil || jobIdx != cur.spec.jobIdx || len(addrs) != conf.N {
+				continue
+			}
+			if !cur.started {
+				if err := startJob(cur, w, id, conf, addrs); err != nil {
+					reportErr(w, id, jobIdx, err)
+					cur.stop()
+					cur = nil
+				}
+				continue
+			}
+			// A later epoch: a replacement took over a slot; re-point
+			// the peer table (the transport re-dials lazily).
+			for peer, addr := range addrs {
+				if peer != id {
+					cur.tr.UpdatePeer(peer, addr)
+				}
+			}
+		}
+	}
+}
+
+// reportErr announces a job-scoped failure to the supervisor on the
+// job's result stream. Send failures are ignored: a dead control
+// connection surfaces in the read loop.
+func reportErr(w *ctlWriter, id, jobIdx int, err error) {
+	_ = w.send(dist.Frame{
+		Kind: dist.KindError, From: id, Seq: ctrlSeqResult(jobIdx),
+		Payload: dist.EncodeErr(err),
+	})
+}
+
+// prepareJob materializes the job's input for this node and binds the
+// job's data-plane listener on the control connection's local
+// interface (loopback for a local cluster, the routable interface the
+// worker joined over for a remote one).
+func prepareJob(cc net.Conn, id int, conf clusterConf, js jobSpec) (*workerJob, error) {
+	job := &workerJob{spec: js, done: make(chan struct{})}
+	switch js.source {
+	case srcRaw:
+		job.keys, job.cols = js.keys, js.cols
+	case srcSynth:
+		keys, cols, err := js.synth.Materialize()
+		if err != nil {
+			return nil, fmt.Errorf("materializing synthetic source: %w", err)
+		}
+		job.keys, job.cols = sliceRows(keys, cols, conf.N, id)
+	case srcTPCHQ1:
+		keys, cols, err := tpch.Q1Input(tpch.GenLineitemRows(js.rows, js.seed))
+		if err != nil {
+			return nil, fmt.Errorf("materializing tpch source: %w", err)
+		}
+		job.keys, job.cols = sliceRows(keys, cols, conf.N, id)
+	}
+	host, _, err := net.SplitHostPort(cc.LocalAddr().String())
+	if err != nil {
+		host = "127.0.0.1"
+	}
+	job.ln, err = net.Listen("tcp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		return nil, fmt.Errorf("binding data-plane listener: %w", err)
+	}
+	return job, nil
+}
+
+// sliceRows keeps this node's round-robin slice (row i belongs to node
+// i mod n) of a locally materialized dataset. Every node materializes
+// the same rows from the same seeds, so the slices partition the
+// dataset exactly; order-invariant aggregation makes the partitioning
+// invisible in the result bits.
+func sliceRows(keys []uint32, cols [][]float64, n, id int) ([]uint32, [][]float64) {
+	rows := 0
+	if len(cols) > 0 {
+		rows = len(cols[0])
+	}
+	cnt := rows / n
+	if id < rows%n {
+		cnt++
+	}
+	var outKeys []uint32
+	if keys != nil {
+		outKeys = make([]uint32, 0, cnt)
+		for i := id; i < len(keys); i += n {
+			outKeys = append(outKeys, keys[i])
+		}
+	}
+	outCols := make([][]float64, len(cols))
+	for c, col := range cols {
+		out := make([]float64, 0, cnt)
+		for i := id; i < len(col); i += n {
+			out = append(out, col[i])
+		}
+		outCols[c] = out
+	}
+	return outKeys, outCols
+}
+
+// startJob brings the job's data plane up and runs this node's role of
+// the protocol in a goroutine.
+func startJob(job *workerJob, w *ctlWriter, id int, conf clusterConf, addrs []string) error {
+	js := job.spec
+	// The injected faults fire only in a slot's first incarnation: a
+	// substitute must not inherit the suicide it is substituting for.
 	killAfter := 0
-	if conf.KillAfter > 0 && conf.KillNode == id {
+	if conf.KillAfter > 0 && conf.KillNode == id && js.incarnation == 0 {
 		killAfter = conf.KillAfter
 	}
-	nt, err := newNodeTransport(id, theJob.addrs, ln, killAfter)
+	tr, err := newNodeTransport(id, append([]string(nil), addrs...), job.ln, killAfter)
 	if err != nil {
 		return err
 	}
-	defer nt.Close()
-	var tr dist.Transport = nt
+	if conf.DieAfter > 0 && conf.DieNode == id && js.incarnation == 0 {
+		tr.dieAfter = int64(conf.DieAfter)
+		tr.onDie = func() { os.Exit(exitInjectedDeath) }
+	}
+	job.tr = tr
+	var ptr dist.Transport = tr
 	if conf.Faults.Active() {
-		// The fault decorator deliberately does not batch, so injected
-		// faults keep applying per chunk — across processes too.
-		tr = dist.NewFaultTransport(nt, conf.Faults)
+		ptr = dist.NewFaultTransport(tr, conf.Faults)
 	}
+	job.started = true
 	cfg := conf.distConfig()
-
-	type outcome struct {
-		payload []byte
-		err     error
-	}
-	done := make(chan outcome, 1)
 	go func() {
-		switch conf.Op {
-		case opReduce:
-			payload, err := dist.RunReduceNode(id, theJob.cols[0], conf.Workers, conf.Topo, tr, cfg)
-			done <- outcome{payload: payload, err: err}
-		default: // opGroupBy (decodeConf rejected everything else)
-			groups, err := dist.RunGroupByNode(id, theJob.keys, theJob.cols, conf.Workers, conf.Specs, tr, cfg)
-			done <- outcome{payload: dist.EncodeTupleGroups(groups, len(conf.Specs)), err: err}
-		}
-	}()
-
-	// The root's role ends with a result it must report; everyone
-	// else's ends only when the transport closes, so their outcome is
-	// drained after shutdown. Node 0 is the root of every built-in
-	// topology and of the GROUP BY gather.
-	var out outcome
-	haveOut := false
-	if id == 0 {
-		out = <-done
-		haveOut = true
-		rf := dist.Frame{Kind: dist.KindResult, From: id, Seq: ctrlSeqResult, Payload: out.payload}
-		if out.err != nil {
-			rf = dist.Frame{Kind: dist.KindError, From: id, Seq: ctrlSeqResult, Payload: dist.EncodeErr(out.err)}
-		}
-		// Buffered like the supervisor's job dispatch: a chunked result
-		// leaves as few large writes, not one syscall per chunk.
-		bw := bufio.NewWriterSize(cc, sockBufSize)
-		for _, c := range dist.SplitFrame(rf, conf.MaxChunkPayload) {
-			if err := dist.WriteFrame(bw, c); err != nil {
-				return fmt.Errorf("reporting result: %w", err)
+		defer close(job.done)
+		var payload []byte
+		var err error
+		if js.op == opReduce {
+			payload, err = dist.RunReduceNode(id, job.cols[0], js.workers, js.topo, ptr, cfg)
+		} else {
+			var gs []dist.TupleGroup
+			gs, err = dist.RunGroupByNode(id, job.keys, job.cols, js.workers, js.specs, ptr, cfg)
+			if err == nil && id == 0 {
+				payload = dist.EncodeTupleGroups(gs, len(js.specs))
 			}
 		}
-		if err := bw.Flush(); err != nil {
-			return fmt.Errorf("reporting result: %w", err)
+		if errors.Is(err, dist.ErrClosed) {
+			return // deliberate teardown (job done, shutdown, next job)
 		}
-	}
-
-	// Stay up — serving data-plane resends through the protocol
-	// goroutine — until the supervisor says the run is over.
-	clean := false
-	for {
-		f, err := dist.ReadFrame(br)
 		if err != nil {
-			break // supervisor gone: treat as an unclean shutdown
+			reportErr(w, id, js.jobIdx, err)
+			return
 		}
-		if f.Kind == dist.KindShutdown {
-			clean = true
-			break
+		if id == 0 {
+			_ = w.send(dist.Frame{
+				Kind: dist.KindResult, From: id, Seq: ctrlSeqResult(js.jobIdx),
+				Payload: payload,
+			})
 		}
-	}
-	tr.Close() // unblocks the protocol goroutine of non-root nodes
-	if !haveOut {
-		out = <-done
-	}
-	if !clean {
-		if out.err != nil {
-			return fmt.Errorf("control connection lost (node role ended in: %v)", out.err)
-		}
-		return fmt.Errorf("control connection lost before shutdown")
-	}
+	}()
 	return nil
 }

@@ -72,11 +72,13 @@ type Config struct {
 }
 
 // Validate rejects Config values that could only fail later and deeper:
-// negative chunk payloads and reassembly budgets (zero means "default",
-// negative is always a bug — the facade also maps an explicit
-// non-positive option argument here), and negative process-cluster
-// sizes. Returning ErrConfig up front keeps the failure at the call
-// that made the mistake instead of inside a spawned run.
+// negative chunk payloads, reassembly budgets, process-cluster sizes,
+// and straggler deadlines (zero means "default", negative is always a
+// bug — the facade also maps an explicit non-positive option argument
+// here), plus fault plans with out-of-range probabilities or negative
+// delays. Every rejection is an ErrConfig naming the option, so the
+// failure stays at the call that made the mistake instead of inside a
+// spawned run.
 func (c Config) Validate() error {
 	if c.MaxChunkPayload < 0 {
 		return fmt.Errorf("%w: max chunk payload must be a positive byte count (WithMaxChunkPayload requires bytes >= 1)", ErrConfig)
@@ -86,6 +88,17 @@ func (c Config) Validate() error {
 	}
 	if c.Procs < 0 {
 		return fmt.Errorf("%w: process cluster size must be >= 1 worker process (WithProcessCluster requires procs >= 1)", ErrConfig)
+	}
+	if c.ChildDeadline < 0 {
+		return fmt.Errorf("%w: straggler deadline must be a positive duration (WithStragglerDeadline requires d > 0, got %v)", ErrConfig, c.ChildDeadline)
+	}
+	if f := c.Faults; f != nil {
+		if f.DropProb < 0 || f.DropProb > 1 || f.DupProb < 0 || f.DupProb > 1 {
+			return fmt.Errorf("%w: fault probabilities must be in [0, 1] (WithFaults: DropProb %v, DupProb %v)", ErrConfig, f.DropProb, f.DupProb)
+		}
+		if f.MaxDelay < 0 || f.RetryDelay < 0 || f.MaxDrops < 0 {
+			return fmt.Errorf("%w: fault delays and drop caps must be >= 0 (WithFaults: MaxDelay %v, RetryDelay %v, MaxDrops %d)", ErrConfig, f.MaxDelay, f.RetryDelay, f.MaxDrops)
+		}
 	}
 	return nil
 }

@@ -46,21 +46,39 @@ const (
 	// chunking rules for large job specs and results) is identical.
 
 	// KindHello is the worker → supervisor join handshake: frame
-	// version, rsum level count, run-config digest, and the worker's
-	// data-plane listen address. A mismatch is rejected with a
-	// KindError carrying ErrHandshake.
+	// version, rsum level count, spec version, and (for workers that
+	// already hold the cluster config) the run-config digest. A
+	// mismatch is rejected with a KindError carrying ErrHandshake.
 	KindHello
-	// KindJob carries the job spec (peer address table plus the
-	// worker's input shard) from the supervisor to a joined worker.
+	// KindJob carries the job spec (operation, aggregate catalog, and
+	// a declarative input source or raw shard) from the supervisor to
+	// a joined worker.
 	KindJob
 	// KindResult carries the root worker's finalized result back to
 	// the supervisor.
 	KindResult
-	// KindShutdown tells a worker the run is over: close the data
+	// KindShutdown tells a worker the cluster is over: close the data
 	// plane and exit.
 	KindShutdown
+	// KindConf answers a remote joiner's first hello with the
+	// assigned node id and the raw cluster config; the joiner digests
+	// the bytes into a second, full hello.
+	KindConf
+	// KindReady is a worker's per-job acknowledgment: it has
+	// materialized its input and bound a fresh data-plane listener,
+	// whose address rides in the payload.
+	KindReady
+	// KindPeers broadcasts the per-job data-plane address table; a
+	// re-broadcast (higher epoch) re-points peers at a replacement
+	// worker's listener mid-run.
+	KindPeers
+	// KindJobDone tells a worker the current job is over: tear down
+	// the job's data plane and await the next KindJob.
+	KindJobDone
+	// KindPing is the worker → supervisor liveness heartbeat.
+	KindPing
 
-	kindMax = KindShutdown
+	kindMax = KindPing
 )
 
 // Frame is one wire message of the interconnect: a typed payload

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/dist/proc"
 	"repro/internal/engine"
 	"repro/internal/sqlagg"
 )
@@ -43,8 +44,16 @@ type Options struct {
 	Distributed bool
 	// Dist configures the distributed backend's interconnect (transport
 	// factory, chunking, fault plan, …). The in-process transports
-	// only: the process-cluster field (Procs) is rejected by NewServer.
+	// only: the process-cluster field (Procs) is rejected by NewServer
+	// — to serve over worker processes, pass a Cluster handle instead.
 	Dist dist.Config
+	// Cluster, when non-nil, routes distributed GROUP BY queries
+	// through a long-lived multi-process cluster (internal/dist/proc)
+	// instead of the in-process tuple plane: each query ships the
+	// resident shards as one raw-shard job and the cluster's canonical
+	// result bytes are served directly. Implies Distributed. The
+	// cluster is borrowed, not owned: Close leaves it running.
+	Cluster *proc.Cluster
 	// VerifyCache recomputes every cache hit and fails the query if the
 	// cached bytes differ from the recomputation — the determinism
 	// invariant checked at runtime. For tests and debugging; it defeats
@@ -135,7 +144,10 @@ func NewServer(ds *Dataset, opts Options) (*Server, error) {
 		return nil, fmt.Errorf("%w: MaxConcurrent %d", ErrDataset, o.MaxConcurrent)
 	}
 	if o.Dist.Procs != 0 {
-		return nil, fmt.Errorf("%w: the serving layer does not support the process-cluster backend", ErrDataset)
+		return nil, fmt.Errorf("%w: the serving layer spawns no cluster of its own (Dist.Procs); pass a Cluster handle instead", ErrDataset)
+	}
+	if o.Cluster != nil {
+		o.Distributed = true
 	}
 	s := &Server{
 		ds:     ds,
@@ -307,6 +319,22 @@ func (s *Server) admitAndExecute(q Query) ([]byte, error) {
 func (s *Server) execute(q Query) (out []byte, err error) {
 	switch q.Kind {
 	case QueryGroupBy:
+		if s.opt.Cluster != nil {
+			// The cluster's result payload already is the canonical
+			// encoding every other backend produces — serve it as-is.
+			var res *proc.Result
+			s.prof.Measure("exec/groupby/proc", func() {
+				res, err = s.opt.Cluster.Run(proc.Job{
+					Workers: s.opt.Workers,
+					Specs:   q.Specs,
+					Source:  proc.RowShards(s.ds.shardKeys, s.ds.shardCols),
+				})
+			})
+			if err != nil {
+				return nil, fmt.Errorf("serve: group by: %w", err)
+			}
+			return res.Payload, nil
+		}
 		var gs []dist.TupleGroup
 		if s.opt.Distributed {
 			s.prof.Measure("exec/groupby/cluster", func() {

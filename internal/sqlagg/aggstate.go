@@ -275,6 +275,26 @@ func DecodeSpecs(data []byte) ([]AggSpec, error) {
 	return specs, nil
 }
 
+// DecodeSpecsPrefix parses a spec list from the front of data,
+// returning the specs plus the number of bytes the list occupied —
+// for callers embedding a spec list inside a larger payload (the
+// cluster runtime's job specs do).
+func DecodeSpecsPrefix(data []byte) ([]AggSpec, int, error) {
+	if len(data) < 2 {
+		return nil, 0, fmt.Errorf("%w: truncated spec list", ErrBadSpec)
+	}
+	count := int(binary.LittleEndian.Uint16(data))
+	if count == 0 || count > maxSpecs {
+		return nil, 0, fmt.Errorf("%w: spec count %d", ErrBadSpec, count)
+	}
+	n := 2 + count*specWireSize
+	if len(data) < n {
+		return nil, 0, fmt.Errorf("%w: spec list carries %d of %d bytes for %d specs", ErrBadSpec, len(data), n, count)
+	}
+	specs, err := DecodeSpecs(data[:n])
+	return specs, n, err
+}
+
 // ---------------------------------------------------------------------
 // Canonical binary encodings for the composite sqlagg aggregates. The
 // encodings embed rsum state encodings (self-describing via their

@@ -35,6 +35,15 @@ func GenLineitem(sf float64, seed uint64) *engine.Table {
 	if n < 1000 {
 		n = 1000
 	}
+	return GenLineitemRows(n, seed)
+}
+
+// GenLineitemRows generates a lineitem table with exactly rows rows —
+// the row-count-addressed form the cluster runtime's declarative job
+// sources use, so a worker materializing a slice of "rows lineitem
+// rows at seed s" reproduces the supervisor's table bit for bit.
+func GenLineitemRows(rows int, seed uint64) *engine.Table {
+	n := rows
 	r := workload.NewRNG(seed)
 
 	quantity := make(engine.Float64Column, n)

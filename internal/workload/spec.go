@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Spec describes a synthetic dataset declaratively: row count, key
+// distribution, and one or more value columns, each fully determined
+// by a seed and a ValueDist. A Spec is what travels in a cluster job
+// instead of the rows themselves — dispatch cost is the size of this
+// struct, independent of Rows — and every receiver that materializes
+// the same Spec gets bit-identical data, because the generators are
+// pure functions of their seeds.
+type Spec struct {
+	// Rows is the total dataset size (all nodes together).
+	Rows int
+	// Groups is the key domain [0, Groups) of the uniform key column;
+	// 0 means no key column (a reduction input).
+	Groups uint32
+	// KeySeed drives key generation (unused when Groups == 0).
+	KeySeed uint64
+	// Cols describes the value columns, in column order.
+	Cols []ColSpec
+}
+
+// ColSpec describes one value column of a Spec.
+type ColSpec struct {
+	Seed uint64
+	Dist ValueDist
+}
+
+// specVersion versions the canonical Spec encoding.
+const specVersion = 1
+
+// maxSpecCols bounds the column count a decoded Spec may declare,
+// mirroring the job-payload column cap of the cluster runtime.
+const maxSpecCols = 256
+
+// Validate checks the spec's shape.
+func (s Spec) Validate() error {
+	if s.Rows < 0 {
+		return fmt.Errorf("workload: spec declares %d rows", s.Rows)
+	}
+	if len(s.Cols) < 1 || len(s.Cols) > maxSpecCols {
+		return fmt.Errorf("workload: spec declares %d columns, want 1..%d", len(s.Cols), maxSpecCols)
+	}
+	for i, c := range s.Cols {
+		switch c.Dist {
+		case Uniform12, Exp1, MixedMag:
+		default:
+			return fmt.Errorf("workload: spec column %d names unknown distribution %d", i, int(c.Dist))
+		}
+	}
+	return nil
+}
+
+// AppendBinary appends the canonical encoding of s to b: equal specs
+// encode to equal bytes, so the encoding can ride in digested cluster
+// state. Layout (little-endian): version byte, 8B rows, 4B groups,
+// 8B key seed, 2B column count, then per column 8B seed + 1B dist.
+func (s Spec) AppendBinary(b []byte) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return b, err
+	}
+	var tmp [8]byte
+	b = append(b, specVersion)
+	binary.LittleEndian.PutUint64(tmp[:], uint64(int64(s.Rows)))
+	b = append(b, tmp[:]...)
+	binary.LittleEndian.PutUint32(tmp[:4], s.Groups)
+	b = append(b, tmp[:4]...)
+	binary.LittleEndian.PutUint64(tmp[:], s.KeySeed)
+	b = append(b, tmp[:]...)
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(s.Cols)))
+	b = append(b, tmp[:2]...)
+	for _, c := range s.Cols {
+		binary.LittleEndian.PutUint64(tmp[:], c.Seed)
+		b = append(b, tmp[:]...)
+		b = append(b, byte(c.Dist))
+	}
+	return b, nil
+}
+
+// DecodeSpec inverts AppendBinary, consuming exactly len(b) bytes and
+// validating the decoded shape against hostile input.
+func DecodeSpec(b []byte) (Spec, error) {
+	var s Spec
+	if len(b) < 23 {
+		return s, fmt.Errorf("workload: truncated spec encoding (%d bytes)", len(b))
+	}
+	if b[0] != specVersion {
+		return s, fmt.Errorf("workload: spec encoding version %d, this build speaks %d", b[0], specVersion)
+	}
+	s.Rows = int(int64(binary.LittleEndian.Uint64(b[1:])))
+	s.Groups = binary.LittleEndian.Uint32(b[9:])
+	s.KeySeed = binary.LittleEndian.Uint64(b[13:])
+	ncols := int(binary.LittleEndian.Uint16(b[21:]))
+	b = b[23:]
+	if ncols < 1 || ncols > maxSpecCols {
+		return s, fmt.Errorf("workload: spec declares %d columns, want 1..%d", ncols, maxSpecCols)
+	}
+	if len(b) != ncols*9 {
+		return s, fmt.Errorf("workload: spec declares %d columns but carries %d trailing bytes", ncols, len(b))
+	}
+	s.Cols = make([]ColSpec, ncols)
+	for i := range s.Cols {
+		s.Cols[i].Seed = binary.LittleEndian.Uint64(b[i*9:])
+		s.Cols[i].Dist = ValueDist(b[i*9+8])
+	}
+	return s, s.Validate()
+}
+
+// Materialize generates the full dataset the spec describes: the key
+// column (nil when Groups == 0) and every value column. Bit-identical
+// on every machine and every call.
+func (s Spec) Materialize() (keys []uint32, cols [][]float64, err error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if s.Groups > 0 {
+		keys = Keys(s.KeySeed, s.Rows, s.Groups)
+	}
+	cols = make([][]float64, len(s.Cols))
+	for i, c := range s.Cols {
+		cols[i] = Values64(c.Seed, s.Rows, c.Dist)
+	}
+	return keys, cols, nil
+}

@@ -65,8 +65,11 @@ var (
 
 // NewServer starts a query server over ds. Distributed-backend
 // interconnect options (WithTCPTransport, WithFaults, …) apply to
-// every query the server routes through the cluster; the process
-// cluster (WithProcessCluster) is not supported by the serving layer.
+// every query the server routes through the in-process tuple plane.
+// To serve over real worker processes, set ServerOptions.Cluster to a
+// NewCluster handle instead of using WithProcessCluster (which the
+// serving layer rejects): GROUP BY queries then run as cluster jobs
+// and the served bytes are identical to every other backend's.
 func NewServer(ds *ServeDataset, opts ServerOptions, distOpts ...DistOption) (*Server, error) {
 	for _, o := range distOpts {
 		o(&opts.Dist)
