@@ -58,10 +58,10 @@ func load(path string) (report, error) {
 		return r, fmt.Errorf("%s: %w", path, err)
 	}
 	// Schema 2 added the multi-aggregate groupby cells, schema 3 the
-	// serving-layer cells, and schema 4 the cluster dispatch cells; the
-	// cell fields benchdiff reads are unchanged, so all schemas diff the
-	// same way.
-	if r.Schema < 1 || r.Schema > 4 {
+	// serving-layer cells, schema 4 the cluster dispatch cells, and
+	// schema 5 the supervisor journal replay cell; the cell fields
+	// benchdiff reads are unchanged, so all schemas diff the same way.
+	if r.Schema < 1 || r.Schema > 5 {
 		return r, fmt.Errorf("%s: unsupported schema %d", path, r.Schema)
 	}
 	return r, nil

@@ -171,7 +171,8 @@ type benchCell struct {
 // `groupby/.../q1agg` names and the `aggs` cell field); schema 3 added
 // the serving-layer cells (`serve/...` names with the `qps` and
 // `cache_hit` fields); schema 4 added the cluster job-dispatch cells
-// (`dispatch/rows` vs `dispatch/spec`); older-schema files remain
+// (`dispatch/rows` vs `dispatch/spec`); schema 5 added the supervisor
+// journal replay cell (`recovery/replay`); older-schema files remain
 // readable by cmd/benchdiff.
 type benchReport struct {
 	Schema    int         `json:"schema"`
@@ -195,7 +196,7 @@ func runDistBenchJSON(cfg config) {
 		rows = 1 << 17 // bounded: these cells run under testing.Benchmark's ~1s budget each
 	}
 	report := benchReport{
-		Schema:    4,
+		Schema:    5,
 		Generator: "reprobench dist",
 		Go:        runtime.Version(),
 		Rows:      rows,
@@ -384,6 +385,32 @@ func runDistBenchJSON(cfg config) {
 		return err
 	})
 	add("dispatch/spec", "", "", "sum", rows, res)
+
+	// Supervisor recovery (schema 5): replaying a journaled control
+	// plane — read, CRC-check, and fold every record back into state —
+	// which is the fixed cost a crashed supervisor pays before it can
+	// re-bind its address and start re-admitting workers. The cell's
+	// rows count is journal records, so rows/sec reads as records/sec.
+	jdir, jerr := os.MkdirTemp("", "reprobench-journal-")
+	if jerr != nil {
+		fail("journal dir: %v", jerr)
+	}
+	defer os.RemoveAll(jdir)
+	const journalRecords = 4096
+	if _, err := proc.JournalBenchSetup(jdir, journalRecords); err != nil {
+		fail("recovery/replay setup: %v", err)
+	}
+	res = measure("recovery/replay", func() error {
+		n, err := proc.JournalBenchReplay(jdir)
+		if err != nil {
+			return err
+		}
+		if n != journalRecords {
+			return fmt.Errorf("replayed %d records, want %d", n, journalRecords)
+		}
+		return nil
+	})
+	add("recovery/replay", "", "", "", journalRecords, res)
 
 	// Serving layer (schema 3): one GROUP BY answered by a resident
 	// query server — cold cache (every op recomputes) vs warm cache

@@ -36,6 +36,16 @@
 //	                 of the synthetic dataset (0 disables)
 //	-cluster         answer GROUP BY on the distributed backend
 //	-shards          cluster size for -cluster (default 4)
+//	-proc-nodes      answer GROUP BY on a spawned multi-process cluster
+//	                 of this many workers (0 disables; implies -cluster
+//	                 semantics over processes)
+//	-journal         journal directory for the -proc-nodes supervisor:
+//	                 the cluster's control-plane state is logged there,
+//	                 and a restarted reproserve pointed at the same
+//	                 directory recovers it — same control address, same
+//	                 workers re-attached, same result bytes. While such
+//	                 a recovery is in progress, cluster-bound queries
+//	                 answer 503 + Retry-After (cache hits still serve).
 //	-max-concurrent  executing-query cap (default 8)
 //	-max-queue       admission queue depth (default 64)
 //	-queue-timeout   queued-query wait bound (default 2s)
@@ -54,11 +64,16 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/dist/proc"
 	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
 func main() {
+	// A -proc-nodes supervisor re-executes its own binary as the
+	// workers (unless REPROWORKER_BIN points elsewhere); those child
+	// processes divert here and never run the server.
+	proc.MaybeWorkerMain()
 	addr := flag.String("addr", "127.0.0.1:8390", "listen address")
 	rows := flag.Int("rows", 1<<20, "synthetic dataset rows")
 	groups := flag.Uint("groups", 4096, "synthetic distinct-key domain")
@@ -67,6 +82,8 @@ func main() {
 	sf := flag.Float64("sf", 0, "load TPC-H Q1 input at this scale factor instead")
 	cluster := flag.Bool("cluster", false, "answer GROUP BY on the distributed backend")
 	shards := flag.Int("shards", 4, "cluster size for -cluster")
+	procNodes := flag.Int("proc-nodes", 0, "answer GROUP BY on a spawned multi-process cluster of this many workers (0 disables)")
+	journal := flag.String("journal", "", "journal directory for the -proc-nodes supervisor (enables crash-restart recovery)")
 	maxConcurrent := flag.Int("max-concurrent", 8, "executing-query cap")
 	maxQueue := flag.Int("max-queue", 64, "admission queue depth")
 	queueTimeout := flag.Duration("queue-timeout", 2*time.Second, "queued-query wait bound")
@@ -89,6 +106,22 @@ func main() {
 		os.Exit(1)
 	}
 
+	var pc *proc.Cluster
+	if *procNodes > 0 {
+		pc, err = proc.NewCluster(proc.ClusterSpec{
+			Nodes:       *procNodes,
+			ReplaceDead: true,
+			Journal:     *journal,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reproserve:", err)
+			os.Exit(1)
+		}
+		defer pc.Close()
+		log.Printf("reproserve: %d-worker process cluster on %s (journal %q)",
+			*procNodes, pc.Addr(), *journal)
+	}
+
 	srv, err := serve.NewServer(ds, serve.Options{
 		MaxConcurrent: *maxConcurrent,
 		MaxQueue:      *maxQueue,
@@ -96,6 +129,7 @@ func main() {
 		MemoryBudget:  *budget,
 		CacheEntries:  *cache,
 		Distributed:   *cluster,
+		Cluster:       pc,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reproserve:", err)
@@ -105,11 +139,13 @@ func main() {
 
 	log.Printf("reproserve: %d rows × %d cols resident (version %016x), listening on %s",
 		ds.Rows(), ds.Cols(), ds.Version(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, newHandler(srv)))
+	log.Fatal(http.ListenAndServe(*addr, newHandler(srv, pc)))
 }
 
-// newHandler wires the serving endpoints onto srv.
-func newHandler(srv *serve.Server) http.Handler {
+// newHandler wires the serving endpoints onto srv. pc, when non-nil,
+// is the backing process cluster whose durability counters ride along
+// on /stats.
+func newHandler(srv *serve.Server, pc *proc.Cluster) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /query", func(w http.ResponseWriter, r *http.Request) {
 		specs, err := parseAggList(r.URL.Query().Get("aggs"), atoiDefault(r.URL.Query().Get("levels"), 0))
@@ -176,7 +212,16 @@ func newHandler(srv *serve.Server) http.Handler {
 	})
 
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, srv.Stats())
+		if pc == nil {
+			writeJSON(w, srv.Stats())
+			return
+		}
+		cst := pc.Stats()
+		writeJSON(w, struct {
+			serve.Stats
+			Cluster proc.ClusterStats `json:"cluster"`
+			Ready   bool              `json:"cluster_ready"`
+		}{srv.Stats(), cst, pc.Ready()})
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {

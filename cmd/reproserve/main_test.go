@@ -24,7 +24,7 @@ func testServer(t *testing.T, opts serve.Options) *httptest.Server {
 	if err != nil {
 		t.Fatalf("server: %v", err)
 	}
-	ts := httptest.NewServer(newHandler(srv))
+	ts := httptest.NewServer(newHandler(srv, nil))
 	t.Cleanup(func() { ts.Close(); srv.Close() })
 	return ts
 }

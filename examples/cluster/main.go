@@ -106,7 +106,7 @@ func main() {
 	// Job 2 on the healed cluster ships no rows at all: a declarative
 	// source the workers materialize locally — O(1) dispatch.
 	res, err = c.Run(repro.Job{Workers: 2,
-		Specs:  []repro.AggSpec{{Kind: repro.AggSum, Col: 0}, {Kind: repro.AggCount}},
+		Specs: []repro.AggSpec{{Kind: repro.AggSum, Col: 0}, {Kind: repro.AggCount}},
 		Source: repro.SyntheticSource(repro.SyntheticSpec{Rows: rows, Groups: 1024, KeySeed: 7,
 			Cols: []repro.SyntheticColumn{{Seed: 11, Dist: repro.MixedMag}}})})
 	if err != nil {

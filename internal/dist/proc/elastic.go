@@ -59,6 +59,14 @@ type ClusterSpec struct {
 	// Addr is the control listen address (default "127.0.0.1:0").
 	// Bind a routable address to accept joiners from other machines.
 	Addr string
+	// Journal, when non-empty, names a directory for the supervisor's
+	// write-ahead journal: every membership and job transition is
+	// recorded so a crashed supervisor can be restarted against the
+	// same directory and recover — it re-binds the journaled control
+	// address (when Addr is empty), restores slot incarnations and the
+	// fencing epoch, and re-admits its workers as they re-attach
+	// instead of respawning them. Empty disables journaling.
+	Journal string
 	// ReplaceDead keeps a run alive through worker death: the lost
 	// worker's job spec is re-shipped to a promoted standby (or the
 	// next joiner) and the peers re-dial it. False preserves one-shot
@@ -105,6 +113,11 @@ func (s ClusterSpec) Validate() error {
 	}
 	if s.JoinTimeout < 0 {
 		return fmt.Errorf("%w: join timeout must be >= 0 (ClusterSpec.JoinTimeout, got %v)", dist.ErrConfig, s.JoinTimeout)
+	}
+	if s.Journal != "" {
+		if err := probeJournalDir(s.Journal); err != nil {
+			return fmt.Errorf("%w: journal directory is not writable (ClusterSpec.Journal): %v", dist.ErrConfig, err)
+		}
 	}
 	if s.Heartbeat < 0 {
 		return fmt.Errorf("%w: heartbeat interval must be >= 0 (ClusterSpec.Heartbeat, got %v)", dist.ErrConfig, s.Heartbeat)
@@ -259,7 +272,8 @@ type Result struct {
 	Replacements int
 }
 
-// ClusterStats is a point-in-time view of cluster membership.
+// ClusterStats is a point-in-time view of cluster membership and
+// recovery health.
 type ClusterStats struct {
 	// Joined counts every admission ever (formation included).
 	Joined int
@@ -267,6 +281,18 @@ type ClusterStats struct {
 	Replaced int
 	// Standbys is the current parked-joiner count.
 	Standbys int
+	// Epoch is the supervisor's fencing epoch: 0 for an unjournaled
+	// cluster, and bumped every time a journaled supervisor (re)opens
+	// its journal — so epoch > 1 means this cluster has recovered from
+	// a supervisor crash at least once.
+	Epoch uint64
+	// JournalRecords is the current record count of the supervisor
+	// journal (0 when journaling is disabled). It shrinks at snapshot
+	// compaction.
+	JournalRecords int
+	// LastRecovery is when the supervisor last replayed a non-empty
+	// journal at startup (zero if it never has).
+	LastRecovery time.Time
 }
 
 // Cluster is a long-lived handle on an elastic worker cluster. Form
@@ -291,6 +317,13 @@ type Cluster struct {
 	joined       atomic.Int64
 	replaced     atomic.Int64
 	standbyGauge atomic.Int64
+
+	jnl          *journal
+	epochGauge   atomic.Uint64
+	journalRecs  atomic.Int64
+	lastRecovery atomic.Int64 // unix nanos of the last journal replay
+	missingGauge atomic.Int64 // empty node slots (N until formation)
+	recovering   atomic.Bool  // journal replayed, membership not yet whole
 }
 
 // Connection lifecycle phases, owned by the supervisor loop.
@@ -350,6 +383,14 @@ const ctlWriteTimeout = 30 * time.Second
 // NewCluster forms a cluster: binds the control listener, spawns the
 // local workers and standbys, and starts the supervisor loop. It does
 // not wait for formation — Run does, bounded by JoinTimeout.
+//
+// With ClusterSpec.Journal set and a non-empty journal present, this
+// is also the crash-restart recovery path: the journal is replayed,
+// the fencing epoch is bumped, the journaled control address is
+// re-bound, and slots that were admitted before the crash are *not*
+// respawned — their orphaned worker processes are expected to
+// re-attach through the returning-member handshake (a worker that
+// truly died surfaces as a replacement timeout instead).
 func NewCluster(spec ClusterSpec) (*Cluster, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -358,13 +399,55 @@ func NewCluster(spec ClusterSpec) (*Cluster, error) {
 	conf := spec.conf()
 	raw := encodeConf(conf)
 
+	var jnl *journal
+	var rec *journalState
+	if spec.Journal != "" {
+		var err error
+		jnl, rec, err = openJournal(spec.Journal)
+		if err != nil {
+			return nil, err
+		}
+		if len(rec.incs) > conf.N {
+			jnl.close()
+			return nil, fmt.Errorf("%w: journal describes %d node slots but the spec declares %d (ClusterSpec.Journal)",
+				dist.ErrConfig, len(rec.incs), conf.N)
+		}
+	}
+	recovering := rec != nil && rec.records > 0
+
 	addr := spec.Addr
 	if addr == "" {
 		addr = "127.0.0.1:0"
+		if recovering && rec.addr != "" {
+			// Re-bind where the orphaned workers are redialing.
+			addr = rec.addr
+		}
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		if jnl != nil {
+			jnl.close()
+		}
 		return nil, fmt.Errorf("proc: control listener: %w", err)
+	}
+
+	var epoch uint64
+	if jnl != nil {
+		// Each journal open is a new supervisor incarnation; the bumped
+		// epoch fences every hello against stale counterparts.
+		epoch = rec.epoch + 1
+		err := jnl.append(journalRecord{kind: jrEpoch, epoch: epoch})
+		if err == nil {
+			err = jnl.append(journalRecord{kind: jrAddr, addr: ln.Addr().String()})
+		}
+		if err == nil {
+			err = jnl.sync()
+		}
+		if err != nil {
+			ln.Close()
+			jnl.close()
+			return nil, err
+		}
 	}
 
 	c := &Cluster{
@@ -373,21 +456,48 @@ func NewCluster(spec ClusterSpec) (*Cluster, error) {
 		raw:    raw,
 		digest: confDigest(raw),
 		ln:     ln,
+		jnl:    jnl,
 		events: make(chan event, 256),
 		done:   make(chan struct{}),
 		conns:  make(map[net.Conn]struct{}),
 	}
+	c.epochGauge.Store(epoch)
+	c.missingGauge.Store(int64(conf.N))
+	if jnl != nil {
+		c.journalRecs.Store(int64(jnl.records))
+	}
+	if recovering {
+		c.lastRecovery.Store(lastRecoveryClock().UnixNano())
+		c.recovering.Store(true)
+	}
 	l := &clusterLoop{
 		c:            c,
+		epoch:        epoch,
 		members:      make([]*connState, conf.N),
 		incs:         make([]int, conf.N),
 		spawnPending: make(map[*exec.Cmd]int),
 		procs:        make(map[*exec.Cmd]int),
 		reserved:     make(map[int]*connState),
 	}
+	if recovering {
+		// Restore the incarnation counters and job cursor, so any job
+		// that was dispatched-but-unfinished at the crash is re-run at a
+		// bumped incarnation (first-incarnation fault injections do not
+		// re-fire, keeping recovered bytes identical to an undisturbed
+		// run), and job stream ids are never reused on a connection.
+		copy(l.incs, rec.incs)
+		l.nextJob = rec.nextJob
+		l.everFormed = true
+		for _, inc := range l.incs {
+			if inc == 0 {
+				l.everFormed = false
+				break
+			}
+		}
+	}
 
 	spawnN := spec.Nodes - spec.Join
-	if spawnN > 0 || spec.SpawnStandby > 0 {
+	if spawnN > 0 || (!recovering && spec.SpawnStandby > 0) {
 		path, reexec, err := resolveWorker(spec.Options)
 		if err != nil {
 			ln.Close()
@@ -395,6 +505,9 @@ func NewCluster(spec ClusterSpec) (*Cluster, error) {
 		}
 		abort := func(err error) (*Cluster, error) {
 			ln.Close()
+			if jnl != nil {
+				jnl.close()
+			}
 			for cmd := range l.procs {
 				_ = cmd.Process.Kill()
 				_ = cmd.Wait()
@@ -402,9 +515,15 @@ func NewCluster(spec ClusterSpec) (*Cluster, error) {
 			return nil, err
 		}
 		for id := 0; id < spawnN; id++ {
+			if recovering && id < len(rec.incs) && rec.incs[id] > 0 {
+				// Admitted before the crash: its process is presumed alive
+				// and re-attaching. Respawning would race it for the slot.
+				continue
+			}
 			cmd := spawnCmd(path, reexec, spec.Options,
 				"-control", ln.Addr().String(),
 				"-id", fmt.Sprint(id),
+				"-epoch", fmt.Sprint(epoch),
 				"-conf", hex.EncodeToString(raw))
 			if err := cmd.Start(); err != nil {
 				return abort(fmt.Errorf("proc: spawning worker %d (%s): %w", id, path, err))
@@ -412,12 +531,16 @@ func NewCluster(spec ClusterSpec) (*Cluster, error) {
 			l.spawnPending[cmd] = id
 			l.procs[cmd] = id
 		}
-		for s := 0; s < spec.SpawnStandby; s++ {
-			cmd := spawnCmd(path, reexec, spec.Options, "-join", ln.Addr().String())
-			if err := cmd.Start(); err != nil {
-				return abort(fmt.Errorf("proc: spawning standby worker (%s): %w", path, err))
+		if !recovering {
+			// A recovered supervisor's standbys are the previous ones:
+			// parked joiners redial on their own after the crash.
+			for s := 0; s < spec.SpawnStandby; s++ {
+				cmd := spawnCmd(path, reexec, spec.Options, "-join", ln.Addr().String())
+				if err := cmd.Start(); err != nil {
+					return abort(fmt.Errorf("proc: spawning standby worker (%s): %w", path, err))
+				}
+				l.procs[cmd] = -1
 			}
-			l.procs[cmd] = -1
 		}
 	}
 	for cmd := range l.procs {
@@ -443,14 +566,36 @@ func spawnCmd(path string, reexec bool, opt Options, args ...string) *exec.Cmd {
 // Addr is the control address workers join at (reproworker -join).
 func (c *Cluster) Addr() string { return c.ln.Addr().String() }
 
-// Stats reports cluster membership counters.
+// Stats reports cluster membership and recovery counters.
 func (c *Cluster) Stats() ClusterStats {
-	return ClusterStats{
-		Joined:   int(c.joined.Load()),
-		Replaced: int(c.replaced.Load()),
-		Standbys: int(c.standbyGauge.Load()),
+	st := ClusterStats{
+		Joined:         int(c.joined.Load()),
+		Replaced:       int(c.replaced.Load()),
+		Standbys:       int(c.standbyGauge.Load()),
+		Epoch:          c.epochGauge.Load(),
+		JournalRecords: int(c.journalRecs.Load()),
 	}
+	if ns := c.lastRecovery.Load(); ns != 0 {
+		st.LastRecovery = time.Unix(0, ns)
+	}
+	return st
 }
+
+// Ready reports whether every node slot is filled — false during
+// formation and during recovery windows while workers re-attach or
+// replacements are admitted. Serving layers use it to shed load with a
+// retryable error instead of queueing onto a degraded cluster; it
+// flips back to true on its own once the last slot fills.
+func (c *Cluster) Ready() bool { return c.missingGauge.Load() == 0 }
+
+// Recovering reports whether the cluster is inside a crash-recovery
+// window: a journal was replayed at startup and the previous members
+// have not all re-attached yet. Unlike Ready it stays false during
+// first-time formation and during ordinary mid-run replacement, so a
+// serving layer can shed load only when the cluster is provably
+// post-crash — not merely young. It latches false for good once the
+// membership is whole again.
+func (c *Cluster) Recovering() bool { return c.recovering.Load() }
 
 // Run executes one job on the cluster and blocks until its result.
 // Concurrent calls are serialized in submission order.
@@ -751,6 +896,7 @@ func (rs *runState) payloadFor(id, inc int) ([]byte, error) {
 type clusterLoop struct {
 	c *Cluster
 
+	epoch        uint64             // supervisor fencing epoch (0 = unjournaled)
 	members      []*connState       // admitted, by node id
 	incs         []int              // next admission incarnation per slot
 	spawnPending map[*exec.Cmd]int  // spawned, not yet admitted → node id
@@ -775,6 +921,9 @@ type clusterLoop struct {
 
 func (l *clusterLoop) run() {
 	defer close(l.c.done)
+	if l.c.jnl != nil {
+		defer l.c.jnl.close()
+	}
 	l.waitT = time.NewTimer(time.Hour)
 	l.waitT.Stop()
 	var tickC <-chan time.Time
@@ -860,6 +1009,48 @@ func (l *clusterLoop) missingCount() int {
 
 func (l *clusterLoop) allPresent() bool { return l.missingCount() == 0 }
 
+// journal appends one record to the supervisor journal (compacting
+// when due) and keeps the stats gauge fresh. A journal that stops
+// accepting appends breaks the cluster: continuing would leave a hole
+// that a later recovery replays as consistent state.
+func (l *clusterLoop) journal(rec journalRecord) {
+	j := l.c.jnl
+	if j == nil || j.failed {
+		return
+	}
+	if err := j.append(rec); err != nil {
+		l.fatal(err)
+		return
+	}
+	if j.sinceSnap >= journalCompactEvery {
+		if err := j.compact(l.snapshot()); err != nil {
+			l.fatal(err)
+			return
+		}
+	}
+	l.c.journalRecs.Store(int64(j.records))
+}
+
+// snapshot folds the loop's journaled state into one compaction record.
+func (l *clusterLoop) snapshot() journalSnap {
+	snap := journalSnap{
+		epoch:    l.epoch,
+		nextJob:  int64(l.nextJob),
+		inFlight: -1,
+		addr:     l.c.ln.Addr().String(),
+		incs:     make([]int64, len(l.incs)),
+		members:  make([]bool, len(l.members)),
+	}
+	if l.cur != nil {
+		snap.inFlight = int64(l.cur.jobIdx)
+	}
+	for i, inc := range l.incs {
+		snap.incs[i] = int64(inc)
+		snap.members[i] = l.members[i] != nil
+	}
+	return snap
+}
+
 // writeChunked ships one logical control message, chunked like any
 // other large message, under a write deadline so a wedged worker
 // cannot stall the supervisor loop indefinitely.
@@ -916,11 +1107,15 @@ func (l *clusterLoop) handleFirstHello(cs *connState, msg dist.Frame) {
 		return
 	}
 	if h.flags&helloJoin != 0 {
-		l.handleJoinHello(cs, h)
+		l.handleJoinHello(cs, h, msg.From)
 		return
 	}
 	from := msg.From
 	err = verifyHello(h, l.c.digest)
+	if err == nil && h.epoch != l.epoch {
+		err = fmt.Errorf("%w: worker is fenced at supervisor epoch %d, this supervisor is epoch %d",
+			dist.ErrHandshake, h.epoch, l.epoch)
+	}
 	if err == nil && (from < 0 || from >= l.c.conf.N) {
 		err = fmt.Errorf("%w: node id %d outside the %d-node cluster", dist.ErrHandshake, from, l.c.conf.N)
 	}
@@ -946,12 +1141,35 @@ func (l *clusterLoop) handleFirstHello(cs *connState, msg dist.Frame) {
 }
 
 // handleJoinHello admits, reserves, parks, or rejects a remote
-// joiner's first (config-less) hello. Joiner failures are never fatal
-// to the cluster: the control address is a public door.
-func (l *clusterLoop) handleJoinHello(cs *connState, h hello) {
+// joiner's first hello — a config-less fresh joiner, or a returning
+// member re-attaching after a lost conn (helloJoin|helloHasDigest,
+// often against a restarted supervisor). Joiner failures are never
+// fatal to the cluster: the control address is a public door.
+func (l *clusterLoop) handleJoinHello(cs *connState, h hello, from int) {
 	if err := verifyJoinHello(h); err != nil {
 		l.reject(cs, err, false)
 		return
+	}
+	if h.epoch > l.epoch {
+		// The worker has attached to a newer supervisor incarnation than
+		// this one: *we* are the stale side of the fence. Refusing keeps
+		// a superseded supervisor from stealing workers back.
+		l.reject(cs, fmt.Errorf("%w: worker has seen supervisor epoch %d, this supervisor is epoch %d (stale supervisor)",
+			dist.ErrHandshake, h.epoch, l.epoch), false)
+		return
+	}
+	if h.flags&helloHasDigest != 0 {
+		// Returning member: it already holds the config, so its digest is
+		// checkable now, and a journal-recovered supervisor recognizes its
+		// id — hand the recorded slot back when it is still free.
+		if err := verifyHello(h, l.c.digest); err != nil {
+			l.reject(cs, err, false)
+			return
+		}
+		if from >= 0 && from < l.c.conf.N && l.slotFree(from) {
+			l.reserve(cs, from)
+			return
+		}
 	}
 	if id := l.freeSlot(); id >= 0 {
 		l.reserve(cs, id)
@@ -962,10 +1180,25 @@ func (l *clusterLoop) handleJoinHello(cs *connState, h hello) {
 		cs.conn.SetReadDeadline(time.Time{}) // parked indefinitely
 		l.standbys = append(l.standbys, cs)
 		l.c.standbyGauge.Store(int64(len(l.standbys)))
+		l.journal(journalRecord{kind: jrPark})
 		return
 	}
 	l.reject(cs, fmt.Errorf("%w: cluster is full: all %d node slots are taken and %d standbys are parked",
 		dist.ErrHandshake, l.c.conf.N, len(l.standbys)), false)
+}
+
+// slotFree reports whether node slot id is owned by nobody — no
+// member, no reserved joiner, no spawned worker still on its way in.
+func (l *clusterLoop) slotFree(id int) bool {
+	if l.members[id] != nil || l.reserved[id] != nil {
+		return false
+	}
+	for _, pid := range l.spawnPending {
+		if pid == id {
+			return false
+		}
+	}
+	return true
 }
 
 // freeSlot finds the lowest node id not owned by a member, a reserved
@@ -990,7 +1223,7 @@ func (l *clusterLoop) reserve(cs *connState, id int) {
 	cs.id = id
 	cs.conn.SetReadDeadline(time.Now().Add(l.c.spec.JoinTimeout))
 	err := l.writeChunked(cs.conn, dist.Frame{
-		Kind: dist.KindConf, To: id, Seq: ctrlSeqConf, Payload: encodeConfFrame(id, l.c.raw),
+		Kind: dist.KindConf, To: id, Seq: ctrlSeqConf, Payload: encodeConfFrame(id, l.epoch, l.c.raw),
 	})
 	if err != nil {
 		cs.phase = phaseDead
@@ -1008,6 +1241,11 @@ func (l *clusterLoop) handleSecondHello(cs *connState, msg dist.Frame) {
 		err = fmt.Errorf("proc: joiner's second control frame is kind %d, want hello", msg.Kind)
 	} else if h, err = decodeHello(msg.Payload); err == nil {
 		err = verifyHello(h, l.c.digest)
+		if err == nil && h.epoch != l.epoch {
+			// The full hello must echo the epoch the KindConf carried.
+			err = fmt.Errorf("%w: worker is fenced at supervisor epoch %d, this supervisor is epoch %d",
+				dist.ErrHandshake, h.epoch, l.epoch)
+		}
 	}
 	delete(l.reserved, cs.id)
 	if err != nil {
@@ -1026,6 +1264,7 @@ func (l *clusterLoop) fillSlot(id int) {
 		sb := l.standbys[0]
 		l.standbys = l.standbys[1:]
 		l.c.standbyGauge.Store(int64(len(l.standbys)))
+		l.journal(journalRecord{kind: jrPromote, slot: int64(id)})
 		l.reserve(sb, id)
 		return
 	}
@@ -1043,6 +1282,11 @@ func (l *clusterLoop) admit(cs *connState, id int, cmd *exec.Cmd) {
 	cs.conn.SetReadDeadline(time.Time{})
 	l.members[id] = cs
 	l.c.joined.Add(1)
+	l.journal(journalRecord{kind: jrAdmit, slot: int64(id), inc: int64(cs.inc)})
+	l.c.missingGauge.Store(int64(l.missingCount()))
+	if l.missingCount() == 0 {
+		l.c.recovering.Store(false)
+	}
 	if cs.inc > 0 {
 		l.c.replaced.Add(1)
 		if l.cur != nil {
@@ -1106,6 +1350,12 @@ func (l *clusterLoop) handleExit(e evExit) {
 		delete(l.spawnPending, e.cmd)
 		if !l.c.spec.ReplaceDead {
 			l.fatal(fmt.Errorf("proc: worker %d exited during join: %w", pid, exitErr(e.err)))
+		} else {
+			// Not fatal (a joiner can still fill the slot), but not
+			// silent either: an operator watching a cluster that never
+			// forms needs to see its spawned workers dying.
+			fmt.Fprintf(l.c.spec.Options.logWriter(),
+				"proc: worker %d exited during join: %v\n", pid, exitErr(e.err))
 		}
 		return
 	}
@@ -1129,6 +1379,8 @@ func (l *clusterLoop) memberGone(m *connState, cause error) {
 	m.phase = phaseDead
 	m.conn.Close()
 	l.members[m.id] = nil
+	l.journal(journalRecord{kind: jrGone, slot: int64(m.id)})
+	l.c.missingGauge.Store(int64(l.missingCount()))
 	if !l.c.spec.ReplaceDead {
 		l.fatal(cause)
 		return
@@ -1178,6 +1430,7 @@ func (l *clusterLoop) startRun(e evRun) {
 	}
 	l.nextJob++
 	l.cur = rs
+	l.journal(journalRecord{kind: jrJobStart, job: int64(rs.jobIdx)})
 	for _, m := range l.members {
 		if m != nil {
 			l.shipJob(m)
@@ -1287,6 +1540,7 @@ func (l *clusterLoop) failJob(err error) {
 // jobDone tells every member to tear down the job's data plane and
 // await the next job.
 func (l *clusterLoop) jobDone(jobIdx int) {
+	l.journal(journalRecord{kind: jrJobDone, job: int64(jobIdx)})
 	for _, m := range l.members {
 		if m == nil {
 			continue
@@ -1345,8 +1599,8 @@ func (l *clusterLoop) handleTimeout() {
 			l.c.conf.N, l.c.spec.JoinTimeout))
 		return
 	}
-	l.failJob(fmt.Errorf("proc: replacement timeout: %d node slot(s) still empty after %v",
-		missing, l.c.spec.JoinTimeout))
+	l.failJob(fmt.Errorf("%w: replacement timeout: %d node slot(s) still empty after %v",
+		ErrRecovering, missing, l.c.spec.JoinTimeout))
 }
 
 // checkLiveness declares members dead after a full liveness window of

@@ -430,7 +430,7 @@ func TestJoinHandshakeRejection(t *testing.T) {
 		if conf.Kind != dist.KindConf {
 			t.Fatalf("got kind %d, want KindConf", conf.Kind)
 		}
-		id, raw, err := decodeConfFrame(conf.Payload)
+		id, _, raw, err := decodeConfFrame(conf.Payload)
 		if err != nil {
 			t.Fatalf("decodeConfFrame: %v", err)
 		}
@@ -514,7 +514,7 @@ func TestLivenessReplacement(t *testing.T) {
 	if conf.Kind != dist.KindConf {
 		t.Fatalf("got kind %d, want KindConf", conf.Kind)
 	}
-	id, raw, err := decodeConfFrame(conf.Payload)
+	id, _, raw, err := decodeConfFrame(conf.Payload)
 	if err != nil {
 		t.Fatalf("decodeConfFrame: %v", err)
 	}
@@ -526,7 +526,7 @@ func TestLivenessReplacement(t *testing.T) {
 	// standby that will replace the silent fake (runJoiner is the exact
 	// code path of `reproworker -join`, here run in-process).
 	joinErr := make(chan error, 1)
-	go func() { joinErr <- runJoiner(c.Addr()) }()
+	go func() { joinErr <- runJoiner(c.Addr(), "", 30*time.Second) }()
 
 	res, err := c.Run(Job{Workers: 1, Source: ValueShards(shardFloats(vals, 2))})
 	if err != nil {
@@ -580,6 +580,7 @@ func TestClusterSpecValidation(t *testing.T) {
 		{"negative kill frames", func(s *ClusterSpec) { s.Options.KillConnAfter = -1 }, "Options.KillConnAfter"},
 		{"negative option timeout", func(s *ClusterSpec) { s.Options.JoinTimeout = -time.Second }, "Options.JoinTimeout"},
 		{"bad config", func(s *ClusterSpec) { s.Config.MaxChunkPayload = -1 }, "chunk payload"},
+		{"unwritable journal dir", func(s *ClusterSpec) { s.Journal = "/dev/null/journal" }, "ClusterSpec.Journal"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -16,11 +16,14 @@ import (
 	"repro/internal/workload"
 )
 
-// TestMain arms the re-execution path: when the test binary is spawned
-// by a supervisor with the worker marker set, it becomes a cluster
-// worker instead of running the tests.
+// TestMain arms the re-execution paths: when the test binary is
+// spawned by a supervisor with the worker marker set it becomes a
+// cluster worker, and when spawned by the failover test with the
+// supervisor marker set it becomes a journaled supervisor, instead of
+// running the tests.
 func TestMain(m *testing.M) {
 	MaybeWorkerMain()
+	maybeSupervisorMain()
 	os.Exit(m.Run())
 }
 
@@ -438,10 +441,10 @@ func TestSpecRoundTrip(t *testing.T) {
 		t.Error("truncated peers decoded without error")
 	}
 
-	cb := encodeConfFrame(4, raw)
-	cid, craw, err := decodeConfFrame(cb)
-	if err != nil || cid != 4 || !reflect.DeepEqual(craw, raw) {
-		t.Fatalf("conf frame round trip: %d %v", cid, err)
+	cb := encodeConfFrame(4, 9, raw)
+	cid, cepoch, craw, err := decodeConfFrame(cb)
+	if err != nil || cid != 4 || cepoch != 9 || !reflect.DeepEqual(craw, raw) {
+		t.Fatalf("conf frame round trip: %d %d %v", cid, cepoch, err)
 	}
 }
 

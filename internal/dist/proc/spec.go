@@ -12,7 +12,7 @@ import (
 	"repro/internal/workload"
 )
 
-// Wire encodings of the control plane, spec version 3. The cluster
+// Wire encodings of the control plane, spec version 4. The cluster
 // config (clusterConf) is everything a long-lived cluster's members
 // must agree on before any job exists: size, protocol knobs, fault
 // plan, liveness cadence. It is digested into the join handshake, so
@@ -45,8 +45,10 @@ const (
 // before the conf is shipped. Version 2 added the aggregate spec
 // catalog; version 3 split the per-job spec (operation, topology,
 // catalog, input source) out of the cluster config and added remote
-// join, declarative sources, and liveness fields.
-const specVersion = 3
+// join, declarative sources, and liveness fields; version 4 added the
+// supervisor fencing epoch to the hello and KindConf payloads
+// (journaled crash-restart recovery and worker re-attach).
+const specVersion = 4
 
 // maxJobCols bounds the column count a job payload may declare; it
 // matches the aggregate catalog's spec limit, since a catalog can bind
@@ -245,6 +247,12 @@ const (
 	ctrlSeqConf
 	ctrlSeqPing
 	ctrlSeqShutdown
+	// ctrlSeqRejoin carries a returning member's join hello. It must be
+	// a distinct stream from ctrlSeqHello: the full hello that follows
+	// it uses the same From id on the same connection, and two messages
+	// on one (from, seq) stream would make the reassembler swallow the
+	// second as a duplicate. (Fresh joiners dodge this with From=-1.)
+	ctrlSeqRejoin
 
 	ctrlSeqJobBase   uint32 = 1 << 16
 	ctrlSeqJobStride uint32 = 1 << 8
@@ -276,6 +284,7 @@ type hello struct {
 	specver byte   // control-plane spec version the worker speaks
 	flags   byte   // helloHasDigest | helloJoin
 	digest  uint64 // confDigest of the worker's cluster config (full hello)
+	epoch   uint64 // last supervisor epoch the worker attached to (0 = none)
 }
 
 // encodeHello flattens the join handshake payload:
@@ -286,23 +295,26 @@ type hello struct {
 //	2       1     control-plane spec version
 //	3       1     flags (helloHasDigest | helloJoin)
 //	4       8     run-config digest (FNV-64a; zero unless helloHasDigest)
+//	12      8     supervisor fencing epoch the worker last attached to
 func encodeHello(h hello) []byte {
-	b := make([]byte, 0, 12)
+	b := make([]byte, 0, 20)
 	b = append(b, h.version, h.levels, h.specver, h.flags)
-	return appendU64(b, h.digest)
+	b = appendU64(b, h.digest)
+	return appendU64(b, h.epoch)
 }
 
 // decodeHello inverts encodeHello.
 func decodeHello(payload []byte) (hello, error) {
 	var h hello
-	if len(payload) != 12 {
-		return h, fmt.Errorf("proc: hello payload is %d bytes, want 12", len(payload))
+	if len(payload) != 20 {
+		return h, fmt.Errorf("proc: hello payload is %d bytes, want 20", len(payload))
 	}
 	h.version = payload[0]
 	h.levels = payload[1]
 	h.specver = payload[2]
 	h.flags = payload[3]
 	h.digest = binary.LittleEndian.Uint64(payload[4:])
+	h.epoch = binary.LittleEndian.Uint64(payload[12:])
 	if h.flags&(helloHasDigest|helloJoin) == 0 || h.flags&^(helloHasDigest|helloJoin) != 0 {
 		return h, fmt.Errorf("proc: hello carries invalid flags %#x", h.flags)
 	}
@@ -310,19 +322,23 @@ func decodeHello(payload []byte) (hello, error) {
 }
 
 // encodeConfFrame flattens a KindConf payload: the node id the
-// supervisor assigned the joiner, then the raw cluster config.
-func encodeConfFrame(id int, raw []byte) []byte {
-	b := make([]byte, 0, 4+len(raw))
+// supervisor assigned the joiner, the supervisor's fencing epoch, then
+// the raw cluster config.
+func encodeConfFrame(id int, epoch uint64, raw []byte) []byte {
+	b := make([]byte, 0, 12+len(raw))
 	b = appendU32(b, uint32(int32(id)))
+	b = appendU64(b, epoch)
 	return append(b, raw...)
 }
 
 // decodeConfFrame inverts encodeConfFrame.
-func decodeConfFrame(payload []byte) (id int, raw []byte, err error) {
-	if len(payload) < 4 {
-		return 0, nil, fmt.Errorf("proc: truncated conf frame")
+func decodeConfFrame(payload []byte) (id int, epoch uint64, raw []byte, err error) {
+	if len(payload) < 12 {
+		return 0, 0, nil, fmt.Errorf("proc: truncated conf frame")
 	}
-	return int(int32(binary.LittleEndian.Uint32(payload))), payload[4:], nil
+	id = int(int32(binary.LittleEndian.Uint32(payload)))
+	epoch = binary.LittleEndian.Uint64(payload[4:])
+	return id, epoch, payload[12:], nil
 }
 
 // encodeReady flattens a KindReady payload: the job index and the

@@ -6,9 +6,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -37,6 +39,13 @@ import (
 //     re-dials; per-chunk resends recover anything in flight),
 //  5. tears the job's data plane down at KindJobDone and waits for the
 //     next job, until KindShutdown.
+//
+// A worker that loses the supervisor connection does not exit: it
+// tears down the current job, redials with capped exponential backoff
+// + jitter, and re-attaches through the full digest handshake (a
+// returning-member hello carrying its id and last-known fencing
+// epoch) — which is what lets a journaled supervisor be kill -9'd and
+// restarted without restarting its workers.
 
 // workerEnv marks a process as a spawned cluster worker when the
 // supervisor re-executes the current binary (the default when no
@@ -70,8 +79,10 @@ const (
 	ExitFailure = 1
 	// ExitUsage is a command-line usage error.
 	ExitUsage = 2
-	// ExitHandshake means the supervisor rejected the join handshake:
-	// the worker build or its cluster config doesn't match the cluster.
+	// ExitHandshake means the join failed in a way retrying won't fix:
+	// the supervisor rejected the handshake (wrong build or cluster
+	// config), or the control address stayed unreachable through the
+	// whole -join-timeout retry window.
 	ExitHandshake = 3
 	// exitInjectedDeath is the injected-death test hook's exit code,
 	// distinguishable from every deliberate exit above.
@@ -92,26 +103,40 @@ func MaybeWorkerMain() {
 	os.Exit(WorkerMain(os.Args[1:]))
 }
 
-const workerUsage = `usage: reproworker -control <addr> -id <n> -conf <hex>
-       reproworker -join <addr>
+const workerUsage = `usage: reproworker -control <addr> -id <n> -conf <hex> [-epoch <n>]
+       reproworker -join <addr> [-join-timeout <dur>] [-advertise <host[:port]>]
 
 A reproducible-aggregation cluster worker (see internal/dist/proc).
 
-Supervisor-spawned mode (-control/-id/-conf) is what a proc.Cluster
-uses for its own workers; the three flags come from the supervisor and
-are not meant to be crafted by hand.
+Supervisor-spawned mode (-control/-id/-conf/-epoch) is what a
+proc.Cluster uses for its own workers; the flags come from the
+supervisor and are not meant to be crafted by hand.
 
 Join mode (-join) connects to the control address an operator got from
-Cluster.Addr(). The worker announces its build, receives the cluster
+Cluster.Addr(), retrying an unreachable address with capped
+exponential backoff + jitter until -join-timeout (default 30s)
+elapses. The worker announces its build, receives the cluster
 configuration, and completes the digested handshake; the supervisor
 admits it into a free node slot, parks it as a standby for mid-run
 replacement, or rejects it.
+
+-advertise rewrites the data-plane address this worker announces to
+the cluster's peer table, for machines where the bound address is not
+what peers should dial: a bare host keeps the per-job bound port
+(multi-NIC), host:port additionally binds that fixed data-plane port
+(stable NAT or port-forward mappings). Default: the bound address.
+
+A worker that loses its supervisor connection does not exit: it parks,
+redials with the same backoff, and re-attaches through the full digest
+handshake — so a journaled supervisor (ClusterSpec.Journal) can crash
+and restart without its workers being restarted.
 
 exit codes:
   0  clean shutdown
   1  runtime failure
   2  usage error
-  3  join handshake rejected (incompatible build or cluster config)
+  3  join rejected (incompatible build or cluster config), or the
+     control address stayed unreachable for the whole join window
 `
 
 // WorkerMain parses worker flags from args, runs the worker loop, and
@@ -122,7 +147,10 @@ func WorkerMain(args []string) int {
 	control := fs.String("control", "", "supervisor control address (host:port)")
 	id := fs.Int("id", -1, "this worker's cluster node id")
 	confHex := fs.String("conf", "", "hex-encoded cluster config (from the supervisor)")
+	epoch := fs.Uint64("epoch", 0, "supervisor fencing epoch (from the supervisor)")
 	join := fs.String("join", "", "cluster control address to join (from Cluster.Addr())")
+	joinTimeout := fs.Duration("join-timeout", 30*time.Second, "how long -join keeps retrying an unreachable control address")
+	advertise := fs.String("advertise", "", "data-plane address to announce to peers: host or host:port (default: the bound address)")
 	fs.Usage = func() { fmt.Fprint(os.Stderr, workerUsage) }
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -132,17 +160,27 @@ func WorkerMain(args []string) int {
 	}
 	fail := func(err error) int {
 		fmt.Fprintf(os.Stderr, "reproworker: %v\n", err)
-		if errors.Is(err, dist.ErrHandshake) {
+		if errors.Is(err, dist.ErrHandshake) || errors.Is(err, errJoinExhausted) {
 			return ExitHandshake
 		}
 		return ExitFailure
 	}
-	if *join != "" {
-		if *control != "" || *confHex != "" || *id != -1 {
-			fmt.Fprintln(os.Stderr, "reproworker: -join excludes -control, -id, and -conf (the cluster assigns them)")
+	if *advertise != "" && strings.Contains(*advertise, ":") {
+		if _, p, err := net.SplitHostPort(*advertise); err != nil || p == "" {
+			fmt.Fprintln(os.Stderr, "reproworker: -advertise must be a host or host:port (bracket IPv6 hosts)")
 			return ExitUsage
 		}
-		if err := runJoiner(*join); err != nil {
+	}
+	if *join != "" {
+		if *control != "" || *confHex != "" || *id != -1 || *epoch != 0 {
+			fmt.Fprintln(os.Stderr, "reproworker: -join excludes -control, -id, -conf, and -epoch (the cluster assigns them)")
+			return ExitUsage
+		}
+		if *joinTimeout <= 0 {
+			fmt.Fprintln(os.Stderr, "reproworker: -join-timeout must be positive")
+			return ExitUsage
+		}
+		if err := runJoiner(*join, *advertise, *joinTimeout); err != nil {
 			return fail(err)
 		}
 		return ExitOK
@@ -162,7 +200,7 @@ func WorkerMain(args []string) int {
 	if *id < 0 || *id >= conf.N {
 		return fail(fmt.Errorf("node id %d outside the %d-node cluster", *id, conf.N))
 	}
-	if err := runWorker(*control, *id, conf, raw); err != nil {
+	if err := runWorker(*control, *advertise, *id, conf, raw, *epoch); err != nil {
 		return fail(err)
 	}
 	return ExitOK
@@ -212,42 +250,118 @@ func (w *ctlWriter) send(f dist.Frame) error {
 	return w.bw.Flush()
 }
 
+// Dial/re-attach backoff tuning: attempts back off exponentially from
+// backoffBase to backoffCap with ±25% jitter. A detached worker keeps
+// redialing for at most reattachWindow before giving up.
+const (
+	backoffBase    = 100 * time.Millisecond
+	backoffCap     = 2 * time.Second
+	reattachWindow = 60 * time.Second
+)
+
+// backoffDelay is the capped exponential backoff with jitter for dial
+// attempt n (0-based). The jitter keeps a cluster's worth of orphaned
+// workers from redialing a restarting supervisor in lockstep.
+func backoffDelay(n int) time.Duration {
+	d := backoffBase << uint(n)
+	if n > 10 || d <= 0 || d > backoffCap {
+		d = backoffCap
+	}
+	return d*3/4 + time.Duration(rand.Int64N(int64(d)/2))
+}
+
+// errCtlLost marks a lost supervisor connection — the one failure the
+// session layer answers with backoff and re-attach instead of exiting.
+var errCtlLost = errors.New("control connection lost")
+
+// errJoinExhausted means the join retry loop ran its whole window
+// without ever reaching the control address. WorkerMain maps it to
+// ExitHandshake: like a rejection, retrying the same line is pointless.
+var errJoinExhausted = errors.New("join window exhausted")
+
+// dialRetry dials addr with the capped-backoff retry loop, bounded by
+// window.
+func dialRetry(addr string, window time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(window)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		cc, err := net.DialTimeout("tcp", addr, dialTimeout)
+		if err == nil {
+			return cc, nil
+		}
+		lastErr = err
+		d := backoffDelay(attempt)
+		if time.Now().Add(d).After(deadline) {
+			return nil, fmt.Errorf("%w: %s unreachable for %v: %v", errJoinExhausted, addr, window, lastErr)
+		}
+		time.Sleep(d)
+	}
+}
+
+// workerSession is a worker's durable identity across control
+// connections: which supervisor it belongs to, the slot and config it
+// was admitted with, and the last fencing epoch it attached at.
+type workerSession struct {
+	control   string // supervisor control address
+	advertise string // operator's -advertise override, "" for bound
+	id        int
+	conf      clusterConf
+	raw       []byte
+	epoch     uint64
+}
+
 // runWorker is the supervisor-spawned path: dial, full hello, serve.
-func runWorker(control string, id int, conf clusterConf, raw []byte) error {
+func runWorker(control, advertise string, id int, conf clusterConf, raw []byte, epoch uint64) error {
 	cc, err := net.DialTimeout("tcp", control, dialTimeout)
 	if err != nil {
 		return fmt.Errorf("dialing supervisor %s: %w", control, err)
 	}
-	defer cc.Close()
+	s := &workerSession{control: control, advertise: advertise, id: id, conf: conf, raw: raw, epoch: epoch}
 	w := &ctlWriter{conn: cc, bw: bufio.NewWriterSize(cc, sockBufSize), maxChunk: conf.MaxChunkPayload}
-	if err := sendFullHello(w, id, raw); err != nil {
+	if err := sendFullHello(w, id, raw, epoch); err != nil {
 		return err
 	}
-	return workerLoop(cc, bufio.NewReaderSize(cc, sockBufSize), w, id, conf)
+	return s.serve(cc, bufio.NewReaderSize(cc, sockBufSize), dist.NewReassembler(0), w)
 }
 
-// runJoiner is the operator-started path: announce the build with a
-// config-less join hello, receive the assigned node id and cluster
-// config in KindConf, then complete the full handshake and serve. The
+// runJoiner is the operator-started path: dial (with retries), then
+// await admission. A connection lost while parked or mid-handshake is
+// redialed with the re-attach backoff — the supervisor may be
+// restarting — so a standby survives a supervisor crash too.
+func runJoiner(control, advertise string, window time.Duration) error {
+	cc, err := dialRetry(control, window)
+	if err != nil {
+		return err
+	}
+	for {
+		err := awaitAdmission(cc, control, advertise)
+		cc.Close()
+		if !errors.Is(err, errCtlLost) {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "reproworker: %v; redialing %s\n", err, control)
+		if cc, err = dialRetry(control, reattachWindow); err != nil {
+			return err
+		}
+	}
+}
+
+// awaitAdmission announces the build with a config-less join hello,
+// receives the assigned node id, fencing epoch, and cluster config in
+// KindConf, then completes the full handshake and serves. The
 // supervisor may park the worker as a standby first — then KindConf
 // simply arrives later, when a node slot frees up.
-func runJoiner(control string) error {
-	cc, err := net.DialTimeout("tcp", control, dialTimeout)
-	if err != nil {
-		return fmt.Errorf("dialing cluster %s: %w", control, err)
-	}
-	defer cc.Close()
-
+func awaitAdmission(cc net.Conn, control, advertise string) error {
 	version, levels, _ := helloFields(nil)
 	// No cluster config yet: chunk at the codec default (SplitFrame
 	// maps 0 to it) until KindConf establishes the agreed size.
 	w := &ctlWriter{conn: cc, bw: bufio.NewWriterSize(cc, sockBufSize), maxChunk: 0}
-	err = w.send(dist.Frame{
+	err := w.send(dist.Frame{
 		Kind: dist.KindHello, From: -1, Seq: ctrlSeqHello,
 		Payload: encodeHello(hello{version: version, levels: levels, specver: specVersion, flags: helloJoin}),
 	})
 	if err != nil {
-		return fmt.Errorf("sending join hello: %w", err)
+		return fmt.Errorf("%w: sending join hello: %v", errCtlLost, err)
 	}
 
 	br := bufio.NewReaderSize(cc, sockBufSize)
@@ -255,7 +369,7 @@ func runJoiner(control string) error {
 	for {
 		msg, err := readCtl(br, asm)
 		if err != nil {
-			return fmt.Errorf("awaiting admission: %w", err)
+			return fmt.Errorf("%w: awaiting admission: %v", errCtlLost, err)
 		}
 		switch msg.Kind {
 		case dist.KindError:
@@ -263,7 +377,7 @@ func runJoiner(control string) error {
 		case dist.KindShutdown:
 			return nil // the cluster closed while this worker was parked
 		case dist.KindConf:
-			id, raw, err := decodeConfFrame(msg.Payload)
+			id, epoch, raw, err := decodeConfFrame(msg.Payload)
 			if err != nil {
 				return err
 			}
@@ -274,24 +388,140 @@ func runJoiner(control string) error {
 			if id < 0 || id >= conf.N {
 				return fmt.Errorf("assigned node id %d outside the %d-node cluster", id, conf.N)
 			}
+			s := &workerSession{control: control, advertise: advertise, id: id, conf: conf, raw: raw, epoch: epoch}
 			w.maxChunk = conf.MaxChunkPayload
-			if err := sendFullHello(w, id, raw); err != nil {
-				return err
+			if err := sendFullHello(w, id, raw, epoch); err != nil {
+				return fmt.Errorf("%w: %v", errCtlLost, err)
 			}
 			// The same reader carries on: nothing buffered is lost
 			// across the phase change.
-			return workerLoopWith(cc, br, asm, w, id, conf)
+			return s.serve(cc, br, asm, w)
 		}
 	}
 }
 
-func sendFullHello(w *ctlWriter, id int, raw []byte) error {
+// serve runs worker loops over the session's control connection,
+// re-attaching with backoff whenever the connection is lost, until
+// shutdown, a typed rejection, or the re-attach window runs out.
+func (s *workerSession) serve(cc net.Conn, br *bufio.Reader, asm *dist.Reassembler, w *ctlWriter) error {
+	for {
+		err := workerLoopWith(cc, br, asm, w, s)
+		cc.Close()
+		if !errors.Is(err, errCtlLost) {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "reproworker: %v; re-attaching to %s\n", err, s.control)
+		var shutdown bool
+		cc, br, asm, w, shutdown, err = s.reattach()
+		if err != nil {
+			return err
+		}
+		if shutdown {
+			return nil // the cluster closed while this worker was detached
+		}
+	}
+}
+
+// reattach redials the supervisor with capped exponential backoff +
+// jitter and runs the returning-member handshake, for at most
+// reattachWindow. A typed rejection (stale epoch, digest mismatch,
+// cluster full) ends the retries: the verdict won't change.
+func (s *workerSession) reattach() (net.Conn, *bufio.Reader, *dist.Reassembler, *ctlWriter, bool, error) {
+	deadline := time.Now().Add(reattachWindow)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			d := backoffDelay(attempt - 1)
+			if time.Now().Add(d).After(deadline) {
+				return nil, nil, nil, nil, false, fmt.Errorf("supervisor %s unreachable for %v: %v", s.control, reattachWindow, lastErr)
+			}
+			time.Sleep(d)
+		}
+		cc, err := net.DialTimeout("tcp", s.control, dialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		br, asm, w, shutdown, err := s.rejoin(cc)
+		if err == nil {
+			return cc, br, asm, w, shutdown, nil
+		}
+		cc.Close()
+		if !errors.Is(err, errCtlLost) {
+			return nil, nil, nil, nil, false, err
+		}
+		lastErr = err
+	}
+}
+
+// rejoin runs the returning-member handshake on a fresh connection: a
+// join hello carrying this worker's id, digest, and last-known epoch,
+// then — once the supervisor hands a slot back in KindConf — the full
+// hello at the supervisor's (possibly bumped) epoch. A restarted
+// supervisor recognizes the id from its journal and re-admits at the
+// recorded slot; if a replacement took the slot meanwhile, whatever
+// slot the cluster assigns is adopted. The supervisor may also park
+// the worker as a standby first, so the KindConf wait is unbounded.
+func (s *workerSession) rejoin(cc net.Conn) (*bufio.Reader, *dist.Reassembler, *ctlWriter, bool, error) {
+	version, levels, digest := helloFields(s.raw)
+	w := &ctlWriter{conn: cc, bw: bufio.NewWriterSize(cc, sockBufSize), maxChunk: s.conf.MaxChunkPayload}
+	err := w.send(dist.Frame{
+		Kind: dist.KindHello, From: s.id, Seq: ctrlSeqRejoin,
+		Payload: encodeHello(hello{
+			version: version, levels: levels, specver: specVersion,
+			flags: helloJoin | helloHasDigest, digest: digest, epoch: s.epoch,
+		}),
+	})
+	if err != nil {
+		return nil, nil, nil, false, fmt.Errorf("%w: sending re-attach hello: %v", errCtlLost, err)
+	}
+	br := bufio.NewReaderSize(cc, sockBufSize)
+	asm := dist.NewReassembler(0)
+	for {
+		msg, err := readCtl(br, asm)
+		if err != nil {
+			return nil, nil, nil, false, fmt.Errorf("%w: awaiting re-admission: %v", errCtlLost, err)
+		}
+		switch msg.Kind {
+		case dist.KindError:
+			return nil, nil, nil, false, dist.DecodeErr(-1, msg.Payload)
+		case dist.KindShutdown:
+			return nil, nil, nil, true, nil
+		case dist.KindConf:
+			id, epoch, raw, err := decodeConfFrame(msg.Payload)
+			if err != nil {
+				return nil, nil, nil, false, err
+			}
+			if epoch < s.epoch {
+				// The fence, worker side: a supervisor from an older
+				// incarnation must not win this worker back.
+				return nil, nil, nil, false, fmt.Errorf("%w: supervisor is at stale epoch %d, this worker has seen %d",
+					dist.ErrHandshake, epoch, s.epoch)
+			}
+			conf, err := decodeConf(raw)
+			if err != nil {
+				return nil, nil, nil, false, err
+			}
+			if id < 0 || id >= conf.N {
+				return nil, nil, nil, false, fmt.Errorf("assigned node id %d outside the %d-node cluster", id, conf.N)
+			}
+			s.id, s.epoch, s.conf, s.raw = id, epoch, conf, raw
+			w.maxChunk = conf.MaxChunkPayload
+			if err := sendFullHello(w, s.id, s.raw, s.epoch); err != nil {
+				return nil, nil, nil, false, fmt.Errorf("%w: %v", errCtlLost, err)
+			}
+			return br, asm, w, false, nil
+		}
+	}
+}
+
+func sendFullHello(w *ctlWriter, id int, raw []byte, epoch uint64) error {
 	version, levels, digest := helloFields(raw)
 	err := w.send(dist.Frame{
 		Kind: dist.KindHello, From: id, Seq: ctrlSeqHello,
 		Payload: encodeHello(hello{
 			version: version, levels: levels, specver: specVersion,
-			flags: helloHasDigest, digest: digest,
+			flags: helloHasDigest, digest: digest, epoch: epoch,
 		}),
 	})
 	if err != nil {
@@ -342,13 +572,12 @@ func (j *workerJob) stop() {
 	}
 }
 
-func workerLoop(cc net.Conn, br *bufio.Reader, w *ctlWriter, id int, conf clusterConf) error {
-	return workerLoopWith(cc, br, dist.NewReassembler(0), w, id, conf)
-}
-
 // workerLoopWith serves jobs until shutdown. It owns the control
-// connection's read side; all writes go through w.
-func workerLoopWith(cc net.Conn, br *bufio.Reader, asm *dist.Reassembler, w *ctlWriter, id int, conf clusterConf) error {
+// connection's read side; all writes go through w. A lost connection
+// is returned wrapped in errCtlLost, which the session layer answers
+// with re-attach instead of exit.
+func workerLoopWith(cc net.Conn, br *bufio.Reader, asm *dist.Reassembler, w *ctlWriter, s *workerSession) error {
+	id, conf := s.id, s.conf
 	if conf.Heartbeat > 0 {
 		stop := make(chan struct{})
 		defer close(stop)
@@ -377,7 +606,7 @@ func workerLoopWith(cc net.Conn, br *bufio.Reader, asm *dist.Reassembler, w *ctl
 	for {
 		msg, err := readCtl(br, asm)
 		if err != nil {
-			return fmt.Errorf("control connection lost: %w", err)
+			return fmt.Errorf("%w: %v", errCtlLost, err)
 		}
 		switch msg.Kind {
 		case dist.KindError:
@@ -405,7 +634,7 @@ func workerLoopWith(cc net.Conn, br *bufio.Reader, asm *dist.Reassembler, w *ctl
 				reportErr(w, id, jobIdx, err)
 				continue
 			}
-			job, err := prepareJob(cc, id, conf, js)
+			job, announce, err := prepareJob(cc, id, conf, js, s.advertise)
 			if err != nil {
 				reportErr(w, id, js.jobIdx, err)
 				continue
@@ -413,10 +642,10 @@ func workerLoopWith(cc net.Conn, br *bufio.Reader, asm *dist.Reassembler, w *ctl
 			cur = job
 			err = w.send(dist.Frame{
 				Kind: dist.KindReady, From: id, Seq: ctrlSeqReady(js.jobIdx),
-				Payload: encodeReady(js.jobIdx, job.ln.Addr().String()),
+				Payload: encodeReady(js.jobIdx, announce),
 			})
 			if err != nil {
-				return fmt.Errorf("control connection lost: %w", err)
+				return fmt.Errorf("%w: %v", errCtlLost, err)
 			}
 		case dist.KindPeers:
 			jobIdx, _, addrs, err := decodePeers(msg.Payload)
@@ -455,8 +684,11 @@ func reportErr(w *ctlWriter, id, jobIdx int, err error) {
 // prepareJob materializes the job's input for this node and binds the
 // job's data-plane listener on the control connection's local
 // interface (loopback for a local cluster, the routable interface the
-// worker joined over for a remote one).
-func prepareJob(cc net.Conn, id int, conf clusterConf, js jobSpec) (*workerJob, error) {
+// worker joined over for a remote one). It returns the address to
+// announce to the peer table: the bound address by default, rewritten
+// by -advertise for multi-NIC or NAT'd machines — a bare host keeps
+// the bound port, host:port also pins the listener to that port.
+func prepareJob(cc net.Conn, id int, conf clusterConf, js jobSpec, advertise string) (*workerJob, string, error) {
 	job := &workerJob{spec: js, done: make(chan struct{})}
 	switch js.source {
 	case srcRaw:
@@ -464,13 +696,13 @@ func prepareJob(cc net.Conn, id int, conf clusterConf, js jobSpec) (*workerJob, 
 	case srcSynth:
 		keys, cols, err := js.synth.Materialize()
 		if err != nil {
-			return nil, fmt.Errorf("materializing synthetic source: %w", err)
+			return nil, "", fmt.Errorf("materializing synthetic source: %w", err)
 		}
 		job.keys, job.cols = sliceRows(keys, cols, conf.N, id)
 	case srcTPCHQ1:
 		keys, cols, err := tpch.Q1Input(tpch.GenLineitemRows(js.rows, js.seed))
 		if err != nil {
-			return nil, fmt.Errorf("materializing tpch source: %w", err)
+			return nil, "", fmt.Errorf("materializing tpch source: %w", err)
 		}
 		job.keys, job.cols = sliceRows(keys, cols, conf.N, id)
 	}
@@ -478,11 +710,28 @@ func prepareJob(cc net.Conn, id int, conf clusterConf, js jobSpec) (*workerJob, 
 	if err != nil {
 		host = "127.0.0.1"
 	}
-	job.ln, err = net.Listen("tcp", net.JoinHostPort(host, "0"))
-	if err != nil {
-		return nil, fmt.Errorf("binding data-plane listener: %w", err)
+	bindPort, advHost := "0", ""
+	if advertise != "" {
+		if h, p, err := net.SplitHostPort(advertise); err == nil {
+			advHost, bindPort = h, p
+		} else {
+			advHost = advertise
+		}
 	}
-	return job, nil
+	job.ln, err = net.Listen("tcp", net.JoinHostPort(host, bindPort))
+	if err != nil {
+		return nil, "", fmt.Errorf("binding data-plane listener: %w", err)
+	}
+	announce := job.ln.Addr().String()
+	if advHost != "" {
+		_, boundPort, err := net.SplitHostPort(announce)
+		if err != nil {
+			job.ln.Close()
+			return nil, "", fmt.Errorf("binding data-plane listener: %w", err)
+		}
+		announce = net.JoinHostPort(advHost, boundPort)
+	}
+	return job, announce, nil
 }
 
 // sliceRows keeps this node's round-robin slice (row i belongs to node

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -96,6 +97,11 @@ type Stats struct {
 	RejectedBudget  uint64
 	RejectedQueue   uint64
 	RejectedTimeout uint64
+	// RejectedRecovering counts queries turned away (ErrOverloaded)
+	// because the backing cluster was inside a recovery window —
+	// replaying its journal or waiting for workers to re-attach. Cache
+	// hits are still served through such a window.
+	RejectedRecovering uint64
 	// Inflight is the number of queries executing right now;
 	// PeakInflight the highest concurrency the server has sustained.
 	Inflight     int64
@@ -123,6 +129,7 @@ type Server struct {
 
 	served, hits, misses          atomic.Uint64
 	rejBudget, rejQueue, rejTimer atomic.Uint64
+	rejRecover                    atomic.Uint64
 	inflight, peakInflight        atomic.Int64
 
 	closed    chan struct{}
@@ -168,14 +175,15 @@ func (s *Server) Dataset() *Dataset { return s.ds }
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Served:          s.served.Load(),
-		CacheHits:       s.hits.Load(),
-		CacheMisses:     s.misses.Load(),
-		RejectedBudget:  s.rejBudget.Load(),
-		RejectedQueue:   s.rejQueue.Load(),
-		RejectedTimeout: s.rejTimer.Load(),
-		Inflight:        s.inflight.Load(),
-		PeakInflight:    s.peakInflight.Load(),
+		Served:             s.served.Load(),
+		CacheHits:          s.hits.Load(),
+		CacheMisses:        s.misses.Load(),
+		RejectedBudget:     s.rejBudget.Load(),
+		RejectedQueue:      s.rejQueue.Load(),
+		RejectedTimeout:    s.rejTimer.Load(),
+		RejectedRecovering: s.rejRecover.Load(),
+		Inflight:           s.inflight.Load(),
+		PeakInflight:       s.peakInflight.Load(),
 	}
 	if s.cache != nil {
 		st.CacheEntries = s.cache.len()
@@ -257,8 +265,27 @@ func (s *Server) Do(q Query) (*Result, error) {
 		}
 	}
 
+	// Graceful degradation: while the backing cluster is inside a
+	// recovery window (journal replay, workers re-attaching after a
+	// supervisor restart) new cluster-bound work is turned away as
+	// overloaded — retryable, the HTTP layer answers 503 + Retry-After —
+	// rather than queued into a replacement timeout. Cache hits were
+	// already served above; the gate lifts on its own once the previous
+	// members have all re-attached. Recovering (not !Ready) is the
+	// predicate on purpose: a cluster that is merely still forming for
+	// the first time should queue normally, not shed.
+	if q.Kind == QueryGroupBy && s.opt.Cluster != nil && s.opt.Cluster.Recovering() {
+		s.rejRecover.Add(1)
+		return nil, fmt.Errorf("%w: cluster recovering, workers re-attaching", ErrOverloaded)
+	}
+
 	out, err := s.admitAndExecute(q)
 	if err != nil {
+		if q.Kind == QueryGroupBy && s.opt.Cluster != nil && errors.Is(err, proc.ErrRecovering) {
+			// The recovery window opened mid-flight: same retryable verdict.
+			s.rejRecover.Add(1)
+			return nil, fmt.Errorf("%w: %v", ErrOverloaded, err)
+		}
 		return nil, err
 	}
 	if s.cache != nil {
