@@ -58,10 +58,11 @@ func load(path string) (report, error) {
 		return r, fmt.Errorf("%s: %w", path, err)
 	}
 	// Schema 2 added the multi-aggregate groupby cells, schema 3 the
-	// serving-layer cells, schema 4 the cluster dispatch cells, and
-	// schema 5 the supervisor journal replay cell; the cell fields
-	// benchdiff reads are unchanged, so all schemas diff the same way.
-	if r.Schema < 1 || r.Schema > 5 {
+	// serving-layer cells, schema 4 the cluster dispatch cells, schema
+	// 5 the supervisor journal replay cell, and schema 6 the metric
+	// record-path micro cell; the cell fields benchdiff reads are
+	// unchanged, so all schemas diff the same way.
+	if r.Schema < 1 || r.Schema > 6 {
 		return r, fmt.Errorf("%s: unsupported schema %d", path, r.Schema)
 	}
 	return r, nil

@@ -14,6 +14,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/dist"
 	"repro/internal/dist/proc"
+	"repro/internal/obs"
 	"repro/internal/rsum"
 	"repro/internal/serve"
 	"repro/internal/sqlagg"
@@ -172,7 +173,8 @@ type benchCell struct {
 // the serving-layer cells (`serve/...` names with the `qps` and
 // `cache_hit` fields); schema 4 added the cluster job-dispatch cells
 // (`dispatch/rows` vs `dispatch/spec`); schema 5 added the supervisor
-// journal replay cell (`recovery/replay`); older-schema files remain
+// journal replay cell (`recovery/replay`); schema 6 added the metric
+// record-path micro cell (`metrics/record`); older-schema files remain
 // readable by cmd/benchdiff.
 type benchReport struct {
 	Schema    int         `json:"schema"`
@@ -196,7 +198,7 @@ func runDistBenchJSON(cfg config) {
 		rows = 1 << 17 // bounded: these cells run under testing.Benchmark's ~1s budget each
 	}
 	report := benchReport{
-		Schema:    5,
+		Schema:    6,
 		Generator: "reprobench dist",
 		Go:        runtime.Version(),
 		Rows:      rows,
@@ -357,6 +359,26 @@ func runDistBenchJSON(cfg config) {
 		return nil
 	})
 	add("state_encode/marshal", "", "", "", states, res)
+
+	// Metric record path (schema 6): the obs hot path that now
+	// instruments the shuffle and the serving layer — a counter add, a
+	// gauge high-water update, and a histogram observation per record —
+	// so the baseline pins its cost and allocation profile (expected
+	// zero allocs) alongside the paths it measures.
+	mreg := obs.NewRegistry()
+	mCnt := mreg.Counter("bench_records_total", "benchmark counter")
+	mPeak := mreg.Gauge("bench_peak", "benchmark high-water gauge")
+	mLat := mreg.Histogram("bench_latency_seconds", "benchmark histogram", nil)
+	const records = 4096
+	res = measure("metrics/record", func() error {
+		for i := 0; i < records; i++ {
+			mCnt.Add(1)
+			mPeak.Max(int64(i & 63))
+			mLat.Observe(float64(i&1023) * 0.001)
+		}
+		return nil
+	})
+	add("metrics/record", "", "", "", records, res)
 
 	// Cluster job dispatch (schema 4): the control-plane bytes the
 	// supervisor encodes into one KindJob frame for one node of a
@@ -564,14 +586,14 @@ func runDistChunked(cfg config, vals []float64) {
 			var ns [2]float64
 			var maxChunks uint32
 			for ti, tr := range transports {
-				obs := &chunkObserver{}
+				co := &chunkObserver{}
 				factory := func(n int) (dist.Transport, error) {
 					inner, err := tr.factory(n)
 					if err != nil {
 						return nil, err
 					}
-					obs.Transport = inner
-					return obs, nil
+					co.Transport = inner
+					return co, nil
 				}
 				dcfg := dist.Config{NewTransport: factory, Faults: p.plan,
 					MaxChunkPayload: chunkPayload, ChildDeadline: 5 * time.Millisecond, MaxResend: -1}
@@ -592,7 +614,7 @@ func runDistChunked(cfg config, vals []float64) {
 						fail("%d nodes, %s, %s: group %d broke bit-reproducibility", nodes, p.name, tr.name, out[i].Key)
 					}
 				}
-				peak := obs.peak()
+				peak := co.peak()
 				if peak < 3 {
 					fail("%d nodes, %s, %s: peaked at %d chunks per message, want ≥3 — sweep no longer exercises reassembly", nodes, p.name, tr.name, peak)
 				}

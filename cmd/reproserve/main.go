@@ -19,7 +19,17 @@
 //	                                           SUM(col) OVER (PARTITION
 //	                                           BY key); limit caps the
 //	                                           rows echoed back
-//	GET /stats                                 serving counters
+//	GET /stats                                 serving counters, build
+//	                                           and version info, uptime
+//	GET /metrics                               Prometheus text: the
+//	                                           server's registry plus
+//	                                           the process-global wire
+//	                                           and cluster counters
+//	GET /trace/{id}                            one query's recorded
+//	                                           trace (span names,
+//	                                           timings, hop digests);
+//	                                           ids come from query
+//	                                           responses' trace_id
 //	GET /healthz                               liveness probe
 //
 // Admission failures map to HTTP status codes: over budget → 413,
@@ -62,9 +72,14 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/dist/proc"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/workload"
 )
@@ -142,10 +157,36 @@ func main() {
 	log.Fatal(http.ListenAndServe(*addr, newHandler(srv, pc)))
 }
 
+// buildInfo is the version block /stats reports: which build answered,
+// down to the wire and control-plane encodings it speaks — the first
+// things to compare when two deployments disagree about bytes.
+type buildInfo struct {
+	GoVersion          string `json:"go_version"`
+	ModuleVersion      string `json:"module_version"`
+	WireFrameVersion   int    `json:"wire_frame_version"`
+	ControlSpecVersion int    `json:"control_spec_version"`
+	UptimeSeconds      int64  `json:"uptime_seconds"`
+}
+
+func newBuildInfo(start time.Time) buildInfo {
+	b := buildInfo{
+		GoVersion:          runtime.Version(),
+		ModuleVersion:      "(devel)",
+		WireFrameVersion:   int(dist.FrameVersion),
+		ControlSpecVersion: proc.ControlSpecVersion,
+		UptimeSeconds:      int64(time.Since(start).Seconds()),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		b.ModuleVersion = bi.Main.Version
+	}
+	return b
+}
+
 // newHandler wires the serving endpoints onto srv. pc, when non-nil,
 // is the backing process cluster whose durability counters ride along
 // on /stats.
 func newHandler(srv *serve.Server, pc *proc.Cluster) http.Handler {
+	start := time.Now()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /query", func(w http.ResponseWriter, r *http.Request) {
 		specs, err := parseAggList(r.URL.Query().Get("aggs"), atoiDefault(r.URL.Query().Get("levels"), 0))
@@ -171,11 +212,13 @@ func newHandler(srv *serve.Server, pc *proc.Cluster) http.Handler {
 			Version  string `json:"data_version"`
 			Digest   string `json:"result_digest"`
 			CacheHit bool   `json:"cache_hit"`
+			TraceID  uint64 `json:"trace_id,omitempty"`
 			Groups   []row  `json:"groups"`
 		}{
 			Version:  fmt.Sprintf("%016x", res.Version),
 			Digest:   resultDigest(res.Bytes),
 			CacheHit: res.CacheHit,
+			TraceID:  res.TraceID,
 			Groups:   make([]row, len(gs)),
 		}
 		for i, g := range gs {
@@ -206,14 +249,18 @@ func newHandler(srv *serve.Server, pc *proc.Cluster) http.Handler {
 			Version  string    `json:"data_version"`
 			Digest   string    `json:"result_digest"`
 			CacheHit bool      `json:"cache_hit"`
+			TraceID  uint64    `json:"trace_id,omitempty"`
 			Rows     int       `json:"rows"`
 			Totals   []float64 `json:"totals"`
-		}{fmt.Sprintf("%016x", res.Version), resultDigest(res.Bytes), res.CacheHit, len(totals), shown})
+		}{fmt.Sprintf("%016x", res.Version), resultDigest(res.Bytes), res.CacheHit, res.TraceID, len(totals), shown})
 	})
 
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		if pc == nil {
-			writeJSON(w, srv.Stats())
+			writeJSON(w, struct {
+				serve.Stats
+				Build buildInfo `json:"build"`
+			}{srv.Stats(), newBuildInfo(start)})
 			return
 		}
 		cst := pc.Stats()
@@ -221,7 +268,27 @@ func newHandler(srv *serve.Server, pc *proc.Cluster) http.Handler {
 			serve.Stats
 			Cluster proc.ClusterStats `json:"cluster"`
 			Ready   bool              `json:"cluster_ready"`
-		}{srv.Stats(), cst, pc.Ready()})
+			Build   buildInfo         `json:"build"`
+		}{srv.Stats(), cst, pc.Ready(), newBuildInfo(start)})
+	})
+
+	// /metrics unions the server's private registry with the
+	// process-global one (data-plane wire counters, cluster control
+	// plane) into a single Prometheus text exposition.
+	mux.Handle("GET /metrics", obs.Handler(srv.Registry(), obs.Default))
+
+	mux.HandleFunc("GET /trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			http.Error(w, "trace id must be a decimal integer", http.StatusBadRequest)
+			return
+		}
+		tr := srv.Trace(id)
+		if tr == nil {
+			http.Error(w, "no such trace (never assigned, evicted, or tracing disabled)", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, tr.View())
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -44,6 +44,7 @@ func splitFrame(f Frame, maxChunk int) []Frame {
 		}
 		chunks[i] = c
 	}
+	mChunksSplit.Add(uint64(n))
 	return chunks
 }
 
@@ -71,10 +72,12 @@ func sendChunks(tr Transport, chunks []Frame) {
 // make us send frames we never produced).
 func serveResend(tr Transport, chunks []Frame, req Frame) {
 	if req.Chunks == 0 {
+		mRetransmits.Add(uint64(len(chunks)))
 		sendChunks(tr, chunks)
 		return
 	}
 	if int64(req.Chunk) < int64(len(chunks)) {
+		mRetransmits.Inc()
 		_ = tr.Send(chunks[req.Chunk])
 	}
 }
@@ -200,6 +203,7 @@ func (r *reassembler) accept(f Frame) (msg Frame, complete, fresh bool, err erro
 		}
 		full := int64(stride) * int64(p.total)
 		if full > int64(r.budget) {
+			mReasmRejects.Inc()
 			return Frame{}, false, false, fmt.Errorf(
 				"%w: %d-chunk stream of %d-byte chunks from node %d could never fit budget %d",
 				ErrChunkBudget, p.total, stride, f.From, r.budget)
@@ -207,6 +211,7 @@ func (r *reassembler) accept(f Frame) (msg Frame, complete, fresh bool, err erro
 		// The stash charge (p.bytes) is refunded: its bytes move into
 		// the buffer the full charge covers.
 		if r.used-p.bytes+int(full) > r.budget {
+			mReasmRejects.Inc()
 			return Frame{}, false, false, fmt.Errorf(
 				"%w: %d buffered + %d-byte stream buffer from node %d exceeds budget %d",
 				ErrChunkBudget, r.used-p.bytes, int(full), f.From, r.budget)
@@ -232,6 +237,7 @@ func (r *reassembler) accept(f Frame) (msg Frame, complete, fresh bool, err erro
 			return Frame{}, false, false, nil // duplicate final chunk
 		}
 		if r.used+len(f.Payload) > r.budget {
+			mReasmRejects.Inc()
 			return Frame{}, false, false, fmt.Errorf(
 				"%w: %d buffered + %d-byte chunk from node %d exceeds budget %d",
 				ErrChunkBudget, r.used, len(f.Payload), f.From, r.budget)
@@ -322,12 +328,14 @@ const maxChunkRequests = 64
 func requestMissing(tr Transport, r *reassembler, id, peer int, seq uint32) {
 	idx := r.missing(peer, seq)
 	if idx == nil {
+		mResendReqs.Inc()
 		_ = tr.Send(Frame{Kind: KindResend, From: id, To: peer, Seq: seq})
 		return
 	}
 	if len(idx) > maxChunkRequests {
 		idx = idx[:maxChunkRequests]
 	}
+	mResendReqs.Add(uint64(len(idx)))
 	for _, i := range idx {
 		_ = tr.Send(Frame{Kind: KindResend, From: id, To: peer, Seq: seq, Chunk: i, Chunks: 1})
 	}

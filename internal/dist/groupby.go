@@ -9,6 +9,7 @@ import (
 	"slices"
 
 	"repro/internal/hashagg"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/rsum"
 	"repro/internal/sqlagg"
@@ -398,6 +399,11 @@ func RunGroupByNode(id int, keys []uint32, cols [][]float64, workers int, specs 
 		wantGathers = n - 1 // every other owner's finalized groups
 	}
 	resends := 0
+	// Root-side hop digests for Config.Trace: per-sender payload
+	// digests folded order-invariantly (XOR), so a reordering
+	// transport reports the same digest for the same bytes.
+	var shuffleDigest, gatherDigest uint64
+	traceHops := cfg.Trace != nil && id == 0
 	for ownErr == nil && (len(shuffleHeard) < n || len(gatherHeard) < wantGathers) {
 		f, rerr := tr.Recv(id, cfg.childDeadline())
 		switch {
@@ -449,6 +455,9 @@ func RunGroupByNode(id int, keys []uint32, cols [][]float64, workers int, specs 
 				// Chunk buffered (or duplicate absorbed); keep collecting.
 			case msg.Seq == seqShuffle && msg.Kind == KindGroups:
 				shuffleHeard[msg.From] = true
+				if traceHops {
+					shuffleDigest ^= obs.FNV64a(msg.Payload)
+				}
 				ownErr = walkFrame(msg.Payload, func(key uint32, enc []byte) error {
 					if e := plan.mergeTuple(states.Upsert(key), enc); e != nil {
 						return fmt.Errorf("dist: node %d merging group %d from node %d: %w", id, key, msg.From, e)
@@ -460,6 +469,9 @@ func RunGroupByNode(id int, keys []uint32, cols [][]float64, workers int, specs 
 				ownErr = decodeErr(msg.From, msg.Payload)
 			case msg.Seq == seqGather && msg.Kind == KindGather && id == 0:
 				gatherHeard[msg.From] = true
+				if traceHops {
+					gatherDigest ^= obs.FNV64a(msg.Payload)
+				}
 				gathers = append(gathers, msg.Payload)
 			case msg.Seq == seqGather && msg.Kind == KindError && id == 0:
 				gatherHeard[msg.From] = true
@@ -514,6 +526,10 @@ func RunGroupByNode(id int, keys []uint32, cols [][]float64, workers int, specs 
 	// and-sort re-sorted every group on every query).
 	if ownErr != nil {
 		return nil, ownErr
+	}
+	if traceHops {
+		cfg.Trace("shuffle", shuffleDigest)
+		cfg.Trace("gather", gatherDigest)
 	}
 	runs := make([][]TupleGroup, 0, len(gathers)+1)
 	runs = append(runs, local)

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/rsum"
 	"repro/internal/sqlagg"
 	"repro/internal/workload"
@@ -293,6 +294,22 @@ type ClusterStats struct {
 	// LastRecovery is when the supervisor last replayed a non-empty
 	// journal at startup (zero if it never has).
 	LastRecovery time.Time
+	// Jobs counts jobs dispatched to the cluster.
+	Jobs int
+	// Heartbeats counts stat-carrying pings received from workers.
+	Heartbeats uint64
+	// HeartbeatRTT is the most recent worker-measured heartbeat round
+	// trip (zero until a worker has completed a ping/pong cycle). The
+	// worker measures it against its own clock from the supervisor's
+	// echo, so it is immune to clock skew between the machines.
+	HeartbeatRTT time.Duration
+	// Events is the cluster event log's last sequence number; the log
+	// itself is available from Cluster.Events.
+	Events uint64
+	// Worker aggregates the data-plane wire counters every worker
+	// reports in its heartbeat pings (deltas merged supervisor-side, so
+	// mid-run replacements don't double-count).
+	Worker dist.WireStats
 }
 
 // Cluster is a long-lived handle on an elastic worker cluster. Form
@@ -324,6 +341,17 @@ type Cluster struct {
 	lastRecovery atomic.Int64 // unix nanos of the last journal replay
 	missingGauge atomic.Int64 // empty node slots (N until formation)
 	recovering   atomic.Bool  // journal replayed, membership not yet whole
+
+	// Observability plane: the structured event log (see Events) and
+	// the heartbeat-telemetry aggregates Stats folds in. workerWire
+	// accumulates the per-ping deltas of every worker's reported wire
+	// counters; the supervisor loop writes it, Stats reads it.
+	elog        *obs.EventLog
+	heartbeats  atomic.Uint64
+	lastRTT     atomic.Int64 // nanos, latest worker-measured heartbeat RTT
+	jobsStarted atomic.Int64
+	wireMu      sync.Mutex
+	workerWire  dist.WireStats
 }
 
 // Connection lifecycle phases, owned by the supervisor loop.
@@ -460,15 +488,19 @@ func NewCluster(spec ClusterSpec) (*Cluster, error) {
 		events: make(chan event, 256),
 		done:   make(chan struct{}),
 		conns:  make(map[net.Conn]struct{}),
+		elog:   obs.NewEventLog(512),
 	}
 	c.epochGauge.Store(epoch)
 	c.missingGauge.Store(int64(conf.N))
 	if jnl != nil {
 		c.journalRecs.Store(int64(jnl.records))
+		c.elog.Append("epoch", -1, fmt.Sprintf("fencing epoch %d (journal opened)", epoch))
+		mEpochBumps.Inc()
 	}
 	if recovering {
 		c.lastRecovery.Store(lastRecoveryClock().UnixNano())
 		c.recovering.Store(true)
+		c.elog.Append("replay", -1, fmt.Sprintf("journal replayed: %d records, next job %d", rec.records, rec.nextJob))
 	}
 	l := &clusterLoop{
 		c:            c,
@@ -478,6 +510,7 @@ func NewCluster(spec ClusterSpec) (*Cluster, error) {
 		spawnPending: make(map[*exec.Cmd]int),
 		procs:        make(map[*exec.Cmd]int),
 		reserved:     make(map[int]*connState),
+		prevWire:     make(map[int]dist.WireStats),
 	}
 	if recovering {
 		// Restore the incarnation counters and job cursor, so any job
@@ -578,8 +611,21 @@ func (c *Cluster) Stats() ClusterStats {
 	if ns := c.lastRecovery.Load(); ns != 0 {
 		st.LastRecovery = time.Unix(0, ns)
 	}
+	st.Jobs = int(c.jobsStarted.Load())
+	st.Heartbeats = c.heartbeats.Load()
+	st.HeartbeatRTT = time.Duration(c.lastRTT.Load())
+	st.Events = c.elog.LastSeq()
+	c.wireMu.Lock()
+	st.Worker = c.workerWire
+	c.wireMu.Unlock()
 	return st
 }
+
+// Events snapshots the cluster's structured event log: admissions,
+// departures, standby promotions, re-attaches, epoch bumps, journal
+// replays, and job dispatches, each with a monotonic sequence number —
+// the ordered story Stats' counters only summarize.
+func (c *Cluster) Events() []obs.Event { return c.elog.Events() }
 
 // Ready reports whether every node slot is filled — false during
 // formation and during recovery windows while workers re-attach or
@@ -896,13 +942,14 @@ func (rs *runState) payloadFor(id, inc int) ([]byte, error) {
 type clusterLoop struct {
 	c *Cluster
 
-	epoch        uint64             // supervisor fencing epoch (0 = unjournaled)
-	members      []*connState       // admitted, by node id
-	incs         []int              // next admission incarnation per slot
-	spawnPending map[*exec.Cmd]int  // spawned, not yet admitted → node id
-	procs        map[*exec.Cmd]int  // every live spawned process → id (-1 standby)
-	standbys     []*connState       // parked joiners, promotion order
-	reserved     map[int]*connState // slot id → joiner awaiting its full hello
+	epoch        uint64                 // supervisor fencing epoch (0 = unjournaled)
+	members      []*connState           // admitted, by node id
+	incs         []int                  // next admission incarnation per slot
+	spawnPending map[*exec.Cmd]int      // spawned, not yet admitted → node id
+	procs        map[*exec.Cmd]int      // every live spawned process → id (-1 standby)
+	standbys     []*connState           // parked joiners, promotion order
+	reserved     map[int]*connState     // slot id → joiner awaiting its full hello
+	prevWire     map[int]dist.WireStats // last ping-reported wire counters per slot
 
 	everFormed bool  // all slots were filled at least once
 	broken     error // fatal formation error: the cluster cannot run
@@ -1167,6 +1214,7 @@ func (l *clusterLoop) handleJoinHello(cs *connState, h hello, from int) {
 			return
 		}
 		if from >= 0 && from < l.c.conf.N && l.slotFree(from) {
+			l.c.elog.Append("re-attach", from, "returning member reserved its recorded slot")
 			l.reserve(cs, from)
 			return
 		}
@@ -1180,6 +1228,7 @@ func (l *clusterLoop) handleJoinHello(cs *connState, h hello, from int) {
 		cs.conn.SetReadDeadline(time.Time{}) // parked indefinitely
 		l.standbys = append(l.standbys, cs)
 		l.c.standbyGauge.Store(int64(len(l.standbys)))
+		l.c.elog.Append("park", -1, fmt.Sprintf("joiner parked as standby (%d on the bench)", len(l.standbys)))
 		l.journal(journalRecord{kind: jrPark})
 		return
 	}
@@ -1264,6 +1313,8 @@ func (l *clusterLoop) fillSlot(id int) {
 		sb := l.standbys[0]
 		l.standbys = l.standbys[1:]
 		l.c.standbyGauge.Store(int64(len(l.standbys)))
+		mPromotions.Inc()
+		l.c.elog.Append("promote", id, "standby promoted into empty slot")
 		l.journal(journalRecord{kind: jrPromote, slot: int64(id)})
 		l.reserve(sb, id)
 		return
@@ -1282,10 +1333,16 @@ func (l *clusterLoop) admit(cs *connState, id int, cmd *exec.Cmd) {
 	cs.conn.SetReadDeadline(time.Time{})
 	l.members[id] = cs
 	l.c.joined.Add(1)
+	mJoins.Inc()
+	l.c.elog.Append("join", id, fmt.Sprintf("incarnation %d admitted", cs.inc))
 	l.journal(journalRecord{kind: jrAdmit, slot: int64(id), inc: int64(cs.inc)})
 	l.c.missingGauge.Store(int64(l.missingCount()))
-	if l.missingCount() == 0 {
-		l.c.recovering.Store(false)
+	if l.missingCount() == 0 && l.c.recovering.CompareAndSwap(true, false) {
+		if ns := l.c.lastRecovery.Load(); ns != 0 {
+			d := time.Since(time.Unix(0, ns))
+			mRecoverySecs.Observe(d.Seconds())
+			l.c.elog.Append("recovered", -1, fmt.Sprintf("membership whole %v after journal replay", d.Round(time.Millisecond)))
+		}
 	}
 	if cs.inc > 0 {
 		l.c.replaced.Add(1)
@@ -1379,6 +1436,8 @@ func (l *clusterLoop) memberGone(m *connState, cause error) {
 	m.phase = phaseDead
 	m.conn.Close()
 	l.members[m.id] = nil
+	mDeparts.Inc()
+	l.c.elog.Append("depart", m.id, cause.Error())
 	l.journal(journalRecord{kind: jrGone, slot: int64(m.id)})
 	l.c.missingGauge.Store(int64(l.missingCount()))
 	if !l.c.spec.ReplaceDead {
@@ -1430,6 +1489,9 @@ func (l *clusterLoop) startRun(e evRun) {
 	}
 	l.nextJob++
 	l.cur = rs
+	mJobsStarted.Inc()
+	l.c.jobsStarted.Add(1)
+	l.c.elog.Append("job", -1, fmt.Sprintf("job %d dispatched", rs.jobIdx))
 	l.journal(journalRecord{kind: jrJobStart, job: int64(rs.jobIdx)})
 	for _, m := range l.members {
 		if m != nil {
@@ -1466,7 +1528,29 @@ func (l *clusterLoop) handleMemberMsg(cs *connState, msg dist.Frame) {
 	cs.lastSeen = time.Now()
 	switch msg.Kind {
 	case dist.KindPing:
-		// lastSeen is the message.
+		// lastSeen is the message. A spec-5 ping also carries the
+		// worker's telemetry: its cumulative wire counters (merged as
+		// deltas, keyed by slot, clamped on restart), jobs run, and the
+		// RTT it measured from the previous echo. The payload is echoed
+		// straight back so the worker times the round trip against its
+		// own clock — no cross-machine clock arithmetic. Echo failures
+		// are left to the reader: a dead connection surfaces there.
+		if p, ok := decodePingStats(msg.Payload); ok {
+			mHeartbeats.Inc()
+			l.c.heartbeats.Add(1)
+			if p.rttNanos > 0 {
+				l.c.lastRTT.Store(p.rttNanos)
+				mHeartbeatRTT.Observe(float64(p.rttNanos) / 1e9)
+			}
+			delta := p.wire.Sub(l.prevWire[cs.id])
+			l.prevWire[cs.id] = p.wire
+			l.c.wireMu.Lock()
+			l.c.workerWire.Add(delta)
+			l.c.wireMu.Unlock()
+			_ = l.writeChunked(cs.conn, dist.Frame{
+				Kind: dist.KindPing, To: cs.id, Seq: ctrlSeqPing, Payload: msg.Payload,
+			})
+		}
 	case dist.KindReady:
 		jobIdx, addr, err := decodeReady(msg.Payload)
 		if err != nil || l.cur == nil || jobIdx != l.cur.jobIdx || l.cur.ready[cs.id] {
@@ -1609,6 +1693,7 @@ func (l *clusterLoop) checkLiveness() {
 	now := time.Now()
 	for _, m := range l.members {
 		if m != nil && now.Sub(m.lastSeen) > l.c.spec.Liveness {
+			mLivenessMisses.Inc()
 			l.memberGone(m, fmt.Errorf("proc: worker %d missed the liveness window (silent for %v)",
 				m.id, now.Sub(m.lastSeen).Round(time.Millisecond)))
 		}

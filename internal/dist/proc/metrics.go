@@ -1,0 +1,80 @@
+package proc
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// Control-plane counters on the process-global obs.Default registry.
+// In a supervisor process these describe the cluster it runs; in a
+// worker process (reproworker -metrics-addr) only the per-peer data
+// plane series below are active. Handles are package-level so the
+// supervisor loop and the transports record through pre-resolved
+// atomics.
+var (
+	mHeartbeats = obs.Default.Counter("repro_proc_heartbeats_total",
+		"Stat-carrying heartbeat pings received from workers.")
+	mLivenessMisses = obs.Default.Counter("repro_proc_liveness_misses_total",
+		"Members declared dead after a full liveness window of silence.")
+	mJoins = obs.Default.Counter("repro_proc_joins_total",
+		"Admissions into node slots (formation, joiners, replacements).")
+	mDeparts = obs.Default.Counter("repro_proc_departs_total",
+		"Members lost (connection error, process exit, liveness miss).")
+	mPromotions = obs.Default.Counter("repro_proc_promotions_total",
+		"Parked standbys promoted into empty node slots.")
+	mEpochBumps = obs.Default.Counter("repro_proc_epoch_bumps_total",
+		"Supervisor fencing-epoch bumps (journal opens).")
+	mJobsStarted = obs.Default.Counter("repro_proc_jobs_total",
+		"Jobs dispatched to the cluster.")
+	mHeartbeatRTT = obs.Default.Histogram("repro_proc_heartbeat_rtt_seconds",
+		"Worker-measured heartbeat round-trip time.", nil)
+	mRecoverySecs = obs.Default.Histogram("repro_proc_recovery_seconds",
+		"Journal-replay crash-recovery window durations (replay to whole membership).", nil)
+)
+
+// peerCounters is a node transport's pre-resolved per-peer data-plane
+// series: frames and payload bytes exchanged with each peer id, as
+// repro_proc_peer_*_total{peer="N"}. Resolved once at transport
+// construction so the send/receive paths touch only atomics.
+type peerCounters struct {
+	framesOut []*obs.Counter
+	bytesOut  []*obs.Counter
+	framesIn  []*obs.Counter
+	bytesIn   []*obs.Counter
+}
+
+func newPeerCounters(n int) *peerCounters {
+	pc := &peerCounters{
+		framesOut: make([]*obs.Counter, n),
+		bytesOut:  make([]*obs.Counter, n),
+		framesIn:  make([]*obs.Counter, n),
+		bytesIn:   make([]*obs.Counter, n),
+	}
+	for id := 0; id < n; id++ {
+		peer := `{peer="` + strconv.Itoa(id) + `"}`
+		pc.framesOut[id] = obs.Default.Counter("repro_proc_peer_frames_out_total"+peer,
+			"Data-plane frames sent to each peer id.")
+		pc.bytesOut[id] = obs.Default.Counter("repro_proc_peer_payload_bytes_out_total"+peer,
+			"Data-plane payload bytes sent to each peer id.")
+		pc.framesIn[id] = obs.Default.Counter("repro_proc_peer_frames_in_total"+peer,
+			"Data-plane frames received from each peer id.")
+		pc.bytesIn[id] = obs.Default.Counter("repro_proc_peer_payload_bytes_in_total"+peer,
+			"Data-plane payload bytes received from each peer id.")
+	}
+	return pc
+}
+
+func (pc *peerCounters) sent(to int, payloadLen int) {
+	if pc != nil && to >= 0 && to < len(pc.framesOut) {
+		pc.framesOut[to].Inc()
+		pc.bytesOut[to].Add(uint64(payloadLen))
+	}
+}
+
+func (pc *peerCounters) received(from int, payloadLen int) {
+	if pc != nil && from >= 0 && from < len(pc.framesIn) {
+		pc.framesIn[from].Inc()
+		pc.bytesIn[from].Add(uint64(payloadLen))
+	}
+}

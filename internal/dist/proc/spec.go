@@ -12,7 +12,7 @@ import (
 	"repro/internal/workload"
 )
 
-// Wire encodings of the control plane, spec version 4. The cluster
+// Wire encodings of the control plane, spec version 5. The cluster
 // config (clusterConf) is everything a long-lived cluster's members
 // must agree on before any job exists: size, protocol knobs, fault
 // plan, liveness cadence. It is digested into the join handshake, so
@@ -47,8 +47,15 @@ const (
 // catalog, input source) out of the cluster config and added remote
 // join, declarative sources, and liveness fields; version 4 added the
 // supervisor fencing epoch to the hello and KindConf payloads
-// (journaled crash-restart recovery and worker re-attach).
-const specVersion = 4
+// (journaled crash-restart recovery and worker re-attach); version 5
+// added the versioned heartbeat payload (worker wire counters, ping
+// RTT, jobs run) piggybacked on KindPing frames.
+const specVersion = 5
+
+// ControlSpecVersion exposes the control-plane spec version for status
+// surfaces (reproserve /stats); the unexported name stays the one the
+// codecs use.
+const ControlSpecVersion = specVersion
 
 // maxJobCols bounds the column count a job payload may declare; it
 // matches the aggregate catalog's spec limit, since a catalog can bind
@@ -319,6 +326,72 @@ func decodeHello(payload []byte) (hello, error) {
 		return h, fmt.Errorf("proc: hello carries invalid flags %#x", h.flags)
 	}
 	return h, nil
+}
+
+// pingStats is the decoded KindPing payload (spec version 5+). A
+// heartbeat doubles as the worker's telemetry report: its data-plane
+// wire counters (cumulative since process start), the RTT it measured
+// on its previous ping from the supervisor's echo, and the number of
+// jobs it has run. An empty ping payload is valid — it is what spec-4
+// workers and the supervisor's pong echo's first round send — and
+// decodes to ok=false.
+type pingStats struct {
+	sentNanos int64 // sender's send timestamp (echoed back in the pong)
+	rttNanos  int64 // RTT the worker measured from the previous echo (0 = none yet)
+	jobsRun   uint64
+	wire      dist.WireStats
+}
+
+// encodePingStats flattens a heartbeat payload:
+//
+//	offset  size  field
+//	0       1     control-plane spec version
+//	1       8     sentNanos
+//	9       8     rttNanos
+//	17      8     jobsRun
+//	25      9×8   WireStats fields, declaration order
+func encodePingStats(p pingStats) []byte {
+	b := make([]byte, 0, 1+3*8+9*8)
+	b = append(b, specVersion)
+	b = appendU64(b, uint64(p.sentNanos))
+	b = appendU64(b, uint64(p.rttNanos))
+	b = appendU64(b, p.jobsRun)
+	for _, v := range [...]uint64{
+		p.wire.FramesOut, p.wire.FramesIn,
+		p.wire.BytesOut, p.wire.BytesIn,
+		p.wire.ChanFrames, p.wire.ChunksSplit,
+		p.wire.Retransmits, p.wire.ResendRequests,
+		p.wire.ReassemblyRejects,
+	} {
+		b = appendU64(b, v)
+	}
+	return b
+}
+
+// decodePingStats inverts encodePingStats. Empty and unknown-version
+// payloads are not errors — liveness must keep working across a spec
+// skew — they just carry no stats (ok=false).
+func decodePingStats(payload []byte) (pingStats, bool) {
+	var p pingStats
+	if len(payload) != 1+3*8+9*8 || payload[0] != specVersion {
+		return p, false
+	}
+	u := func(off int) uint64 { return binary.LittleEndian.Uint64(payload[off:]) }
+	p.sentNanos = int64(u(1))
+	p.rttNanos = int64(u(9))
+	p.jobsRun = u(17)
+	p.wire = dist.WireStats{
+		FramesOut:         u(25),
+		FramesIn:          u(33),
+		BytesOut:          u(41),
+		BytesIn:           u(49),
+		ChanFrames:        u(57),
+		ChunksSplit:       u(65),
+		Retransmits:       u(73),
+		ResendRequests:    u(81),
+		ReassemblyRejects: u(89),
+	}
+	return p, true
 }
 
 // encodeConfFrame flattens a KindConf payload: the node id the

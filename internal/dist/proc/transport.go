@@ -25,6 +25,7 @@ type nodeTransport struct {
 	addrs []string // data-plane listen addresses, indexed by node id
 	mb    *dist.Mailboxes
 	ln    net.Listener
+	peers *peerCounters // per-peer frame/byte series, resolved once
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -81,6 +82,7 @@ func newNodeTransport(id int, addrs []string, ln net.Listener, killAfter int) (*
 		addrs:     addrs,
 		mb:        dist.NewMailboxes(len(addrs)),
 		ln:        ln,
+		peers:     newPeerCounters(len(addrs)),
 		closed:    make(chan struct{}),
 		pipes:     make(map[int]*pipe),
 		live:      make(map[net.Conn]struct{}),
@@ -134,6 +136,7 @@ func (t *nodeTransport) readLoop(c net.Conn) {
 		if f.To != t.id {
 			continue // misrouted frame: drop at the trust boundary
 		}
+		t.peers.received(f.From, len(f.Payload))
 		if t.mb.Deliver(dist.RetainPayload(f)) != nil {
 			return // transport closed
 		}
@@ -200,6 +203,7 @@ func (t *nodeTransport) sendRun(fs []dist.Frame) error {
 			t.resetLocked(p)
 			return t.sendErr(err)
 		}
+		t.peers.sent(to, len(fs[i].Payload))
 	}
 	if err := p.w.Flush(); err != nil {
 		t.resetLocked(p)

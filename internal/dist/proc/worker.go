@@ -8,14 +8,17 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/tpch"
 )
 
@@ -105,6 +108,7 @@ func MaybeWorkerMain() {
 
 const workerUsage = `usage: reproworker -control <addr> -id <n> -conf <hex> [-epoch <n>]
        reproworker -join <addr> [-join-timeout <dur>] [-advertise <host[:port]>]
+                   [-metrics-addr <addr>]
 
 A reproducible-aggregation cluster worker (see internal/dist/proc).
 
@@ -131,6 +135,11 @@ redials with the same backoff, and re-attaches through the full digest
 handshake — so a journaled supervisor (ClusterSpec.Journal) can crash
 and restart without its workers being restarted.
 
+-metrics-addr serves this worker's own process metrics (wire frame and
+chunk counters, see internal/obs) as Prometheus text on
+<addr>/metrics. The same counters also ride each heartbeat ping to the
+supervisor, so the flag is for direct scraping, not cluster health.
+
 exit codes:
   0  clean shutdown
   1  runtime failure
@@ -151,12 +160,24 @@ func WorkerMain(args []string) int {
 	join := fs.String("join", "", "cluster control address to join (from Cluster.Addr())")
 	joinTimeout := fs.Duration("join-timeout", 30*time.Second, "how long -join keeps retrying an unreachable control address")
 	advertise := fs.String("advertise", "", "data-plane address to announce to peers: host or host:port (default: the bound address)")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus-text /metrics on this address (default: off)")
 	fs.Usage = func() { fmt.Fprint(os.Stderr, workerUsage) }
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return ExitOK
 		}
 		return ExitUsage
+	}
+	if *metricsAddr != "" {
+		// Best-effort observability sidecar: a worker whose metrics port
+		// is taken still does its job, it just says so.
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler())
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "reproworker: metrics listener: %v\n", err)
+			}
+		}()
 	}
 	fail := func(err error) int {
 		fmt.Fprintf(os.Stderr, "reproworker: %v\n", err)
@@ -308,6 +329,13 @@ type workerSession struct {
 	conf      clusterConf
 	raw       []byte
 	epoch     uint64
+
+	// Telemetry shipped in heartbeat pings (spec version 5). lastRTT is
+	// the round trip the worker measured from the supervisor's last pong
+	// echo; jobsRun counts jobs this worker accepted. Atomics: the
+	// heartbeat ticker goroutine reads them while the main loop writes.
+	lastRTT atomic.Int64
+	jobsRun atomic.Uint64
 }
 
 // runWorker is the supervisor-spawned path: dial, full hello, serve.
@@ -537,6 +565,13 @@ func readCtl(br *bufio.Reader, asm *dist.Reassembler) (dist.Frame, error) {
 		if err != nil {
 			return dist.Frame{}, err
 		}
+		if f.Kind == dist.KindPing {
+			// Pong echoes reuse one (from, seq) stream forever; the
+			// reassembler would swallow every echo after the first as a
+			// completed-stream duplicate. They are single-frame by
+			// construction (mirrors the supervisor's readConn bypass).
+			return f, nil
+		}
 		msg, complete, _, aerr := asm.Accept(f)
 		if aerr != nil {
 			return dist.Frame{}, aerr
@@ -589,7 +624,18 @@ func workerLoopWith(cc net.Conn, br *bufio.Reader, asm *dist.Reassembler, w *ctl
 				case <-t.C:
 					// A failed ping is not this goroutine's problem: the
 					// read loop sees the connection die and ends the worker.
-					_ = w.send(dist.Frame{Kind: dist.KindPing, From: id, Seq: ctrlSeqPing})
+					// The payload doubles as the worker's telemetry report:
+					// wire counters, jobs run, and the RTT measured from the
+					// supervisor's previous pong echo.
+					_ = w.send(dist.Frame{
+						Kind: dist.KindPing, From: id, Seq: ctrlSeqPing,
+						Payload: encodePingStats(pingStats{
+							sentNanos: time.Now().UnixNano(),
+							rttNanos:  s.lastRTT.Load(),
+							jobsRun:   s.jobsRun.Load(),
+							wire:      dist.ReadWireStats(),
+						}),
+					})
 				case <-stop:
 					return
 				}
@@ -613,6 +659,15 @@ func workerLoopWith(cc net.Conn, br *bufio.Reader, asm *dist.Reassembler, w *ctl
 			return dist.DecodeErr(-1, msg.Payload)
 		case dist.KindShutdown:
 			return nil
+		case dist.KindPing:
+			// The supervisor's pong echoes this worker's ping payload;
+			// the echoed send timestamp yields an honest worker-measured
+			// RTT, shipped back in the next heartbeat.
+			if p, ok := decodePingStats(msg.Payload); ok && p.sentNanos > 0 {
+				if rtt := time.Now().UnixNano() - p.sentNanos; rtt > 0 {
+					s.lastRTT.Store(rtt)
+				}
+			}
 		case dist.KindJobDone:
 			if cur != nil {
 				cur.stop()
@@ -640,6 +695,7 @@ func workerLoopWith(cc net.Conn, br *bufio.Reader, asm *dist.Reassembler, w *ctl
 				continue
 			}
 			cur = job
+			s.jobsRun.Add(1)
 			err = w.send(dist.Frame{
 				Kind: dist.KindReady, From: id, Seq: ctrlSeqReady(js.jobIdx),
 				Payload: encodeReady(js.jobIdx, announce),

@@ -68,6 +68,18 @@ type Config struct {
 	// run-config digest of the join handshake.
 	Procs int
 
+	// Trace, when non-nil, receives the root node's per-hop digests
+	// during a GROUP BY run: "shuffle" (an order-invariant FNV-64a
+	// fold over the complete shuffle payloads the root received),
+	// then "gather" (the same fold over the gather payloads). The
+	// serving layer threads a per-query trace through here, which is
+	// what localizes a cross-backend divergence to the first hop
+	// whose digest disagrees. Called from the root node's protocol
+	// goroutine; implementations must be safe for that. It does not
+	// enter the run-config digest (it is host-local observability,
+	// not cluster configuration).
+	Trace func(hop string, digest uint64)
+
 	gate *sendGate // test hook forcing a global send order
 }
 

@@ -313,6 +313,10 @@ func WriteFrame(w io.Writer, f Frame) error {
 	bp := getFrameBuf()
 	*bp = AppendFrame((*bp)[:0], f)
 	_, err := w.Write(*bp)
+	if err == nil {
+		mFramesOut.Inc()
+		mBytesOut.Add(uint64(len(*bp)))
+	}
 	putFrameBuf(bp)
 	return err
 }
@@ -362,6 +366,10 @@ func ReadFrameBuf(r io.Reader, buf []byte) (Frame, []byte, error) {
 		return Frame{}, buf, fmt.Errorf("%w: %v", ErrBadFrame, err)
 	}
 	f, _, err := DecodeFrame(buf)
+	if err == nil {
+		mFramesIn.Inc()
+		mBytesIn.Add(uint64(total))
+	}
 	return f, buf, err
 }
 
@@ -473,6 +481,7 @@ func (m *mailboxes) deliver(f Frame) error {
 	case b.sig <- struct{}{}:
 	default:
 	}
+	mChanFrames.Inc()
 	return nil
 }
 
@@ -497,6 +506,7 @@ func (m *mailboxes) deliverBatch(fs []Frame) error {
 	case b.sig <- struct{}{}:
 	default:
 	}
+	mChanFrames.Add(uint64(len(fs)))
 	return nil
 }
 

@@ -11,8 +11,9 @@ package engine
 
 import (
 	"fmt"
-	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Column is a typed column of a table.
@@ -154,20 +155,21 @@ func (t *Table) Columns() []string {
 // splits query time into "Aggregations" and "Other"; operators report
 // under a label and the query harness groups them. A Profiler is safe
 // for concurrent use: a long-lived query server shares one profiler
-// across every in-flight query, and operators running in parallel
-// charge their labels under the profiler's lock. (The fn passed to
-// Measure runs outside the lock, so profiled operators never serialize
-// on each other.)
+// across every in-flight query. It is backed by a private obs.Registry
+// of nanosecond counters — a charge to an already-known label is one
+// short registry lookup plus an atomic add, and parallel operators
+// never serialize on each other's timings.
 type Profiler struct {
-	mu     sync.Mutex
-	labels []string
-	times  []time.Duration
-	index  map[string]int
+	reg *obs.Registry
 }
+
+// profHelp documents every profiler counter (the registry stores
+// nanoseconds; the Profiler API speaks time.Duration).
+const profHelp = "Accumulated nanoseconds charged to this operator label."
 
 // NewProfiler returns an empty profiler.
 func NewProfiler() *Profiler {
-	return &Profiler{index: make(map[string]int)}
+	return &Profiler{reg: obs.NewRegistry()}
 }
 
 // Measure runs fn and charges its wall time to label. (Single-threaded
@@ -180,42 +182,31 @@ func (p *Profiler) Measure(label string, fn func()) {
 
 // Addt charges a duration to label.
 func (p *Profiler) Addt(label string, d time.Duration) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	i, ok := p.index[label]
-	if !ok {
-		i = len(p.labels)
-		p.index[label] = i
-		p.labels = append(p.labels, label)
-		p.times = append(p.times, 0)
+	if d < 0 {
+		d = 0
 	}
-	p.times[i] += d
+	p.reg.Counter(label, profHelp).Add(uint64(d))
 }
 
-// Get returns the accumulated time for label.
+// Get returns the accumulated time for label. Asking about a label
+// that was never charged returns zero without registering it.
 func (p *Profiler) Get(label string) time.Duration {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if i, ok := p.index[label]; ok {
-		return p.times[i]
+	if _, ok := p.reg.Value(label); !ok {
+		return 0
 	}
-	return 0
+	return time.Duration(p.reg.Counter(label, profHelp).Value())
 }
 
 // Total returns the total accumulated time.
 func (p *Profiler) Total() time.Duration {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var t time.Duration
-	for _, d := range p.times {
-		t += d
+	for _, label := range p.reg.Names() {
+		t += p.Get(label)
 	}
 	return t
 }
 
 // Labels returns the labels in first-use order.
 func (p *Profiler) Labels() []string {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return append([]string(nil), p.labels...)
+	return p.reg.Names()
 }

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one structured entry of an EventLog: a cluster membership
+// transition (join, depart, promote, re-attach, epoch bump, journal
+// replay, …) stamped with a monotonic sequence number.
+type Event struct {
+	// Seq is the log-assigned sequence number, strictly increasing
+	// from 1 for the log's lifetime — gaps in a retained window mean
+	// older events were evicted, never reordered.
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	// Kind names the transition ("join", "depart", "promote", …).
+	Kind string `json:"kind"`
+	// Node is the affected node slot, -1 when no slot applies.
+	Node int `json:"node,omitempty"`
+	// Detail is free-form context (incarnation, epoch, cause).
+	Detail string `json:"detail,omitempty"`
+}
+
+// EventLog is a bounded, concurrency-safe ring of Events. Appends are
+// cheap (one mutex, no allocation growth past the capacity); readers
+// get a snapshot copy.
+type EventLog struct {
+	mu  sync.Mutex
+	cap int
+	seq uint64
+	buf []Event
+}
+
+// NewEventLog returns a log retaining the most recent capacity events
+// (minimum 1).
+func NewEventLog(capacity int) *EventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventLog{cap: capacity}
+}
+
+// Append records an event and returns its sequence number. A nil log
+// discards the event (returns 0), so emitters need no nil checks.
+func (l *EventLog) Append(kind string, node int, detail string) uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e := Event{Seq: l.seq, Time: time.Now(), Kind: kind, Node: node, Detail: detail}
+	if len(l.buf) >= l.cap {
+		copy(l.buf, l.buf[1:])
+		l.buf[len(l.buf)-1] = e
+	} else {
+		l.buf = append(l.buf, e)
+	}
+	return l.seq
+}
+
+// Events returns the retained events in sequence order.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.buf...)
+}
+
+// LastSeq returns the most recently assigned sequence number (the
+// total number of events ever appended).
+func (l *EventLog) LastSeq() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}

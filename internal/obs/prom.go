@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format (version 0.0.4), sorted by sample name. Metrics
+// sharing a base name (label variants of one family) emit one
+// HELP/TYPE header.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var lastBase string
+	for _, m := range r.sortedMetrics() {
+		base, labels := splitName(m.name)
+		if base != lastBase {
+			lastBase = base
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, m.help); err != nil {
+					return err
+				}
+			}
+			typ := "counter"
+			switch {
+			case m.g != nil:
+				typ = "gauge"
+			case m.h != nil:
+				typ = "histogram"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, typ); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch {
+		case m.c != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.c.Value())
+		case m.g != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.g.Value())
+		default:
+			err = writeHistogram(w, base, labels, m.h)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram emits the cumulative _bucket series plus _sum and
+// _count, merging the le label into any static label set.
+func writeHistogram(w io.Writer, base, labels string, h *Histogram) error {
+	withLE := func(le string) string {
+		if labels == "" {
+			return base + `_bucket{le="` + le + `"}`
+		}
+		return base + "_bucket{" + labels + `,le="` + le + `"}`
+	}
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		le := strconv.FormatFloat(bound, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s %d\n", withLE(le), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s %d\n", withLE("+Inf"), cum); err != nil {
+		return err
+	}
+	sum := strconv.FormatFloat(h.Sum(), 'g', -1, 64)
+	if _, err := fmt.Fprintf(w, "%s %s\n", joinName(base+"_sum", labels), sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", joinName(base+"_count", labels), h.count.Load())
+	return err
+}
+
+// Handler returns an http.Handler serving the given registries (the
+// Default registry when none are passed) as one Prometheus text page —
+// the /metrics endpoint of reproserve and reproworker.
+func Handler(regs ...*Registry) http.Handler {
+	if len(regs) == 0 {
+		regs = []*Registry{Default}
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var sb strings.Builder
+		for _, r := range regs {
+			if err := r.WritePrometheus(&sb); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+		io.WriteString(w, sb.String())
+	})
+}

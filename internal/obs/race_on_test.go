@@ -1,0 +1,7 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports that this build runs under the race detector,
+// whose instrumented allocator makes AllocsPerRun pins meaningless.
+const raceEnabled = true

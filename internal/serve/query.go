@@ -167,6 +167,9 @@ type Result struct {
 	Bytes []byte
 	// CacheHit reports whether Bytes came from the result cache.
 	CacheHit bool
+	// TraceID identifies this query's recorded trace (Server.Trace /
+	// reproserve /trace/<id>); zero when tracing is disabled.
+	TraceID uint64
 }
 
 // Groups decodes a GROUP BY result into key-sorted tuple rows.

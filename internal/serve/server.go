@@ -13,6 +13,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/dist/proc"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/sqlagg"
 )
 
@@ -60,6 +61,10 @@ type Options struct {
 	// invariant checked at runtime. For tests and debugging; it defeats
 	// the cache's purpose (hits pay a full execution).
 	VerifyCache bool
+	// TraceEntries caps the ring of retained per-query traces (default
+	// 256). Negative disables tracing: queries record no spans and
+	// Result.TraceID stays zero.
+	TraceEntries int
 }
 
 func (o Options) withDefaults() Options {
@@ -80,6 +85,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers == 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.TraceEntries == 0 {
+		o.TraceEntries = 256
 	}
 	return o
 }
@@ -127,10 +135,13 @@ type Server struct {
 	// goroutine-safe).
 	prof *engine.Profiler
 
-	served, hits, misses          atomic.Uint64
-	rejBudget, rejQueue, rejTimer atomic.Uint64
-	rejRecover                    atomic.Uint64
-	inflight, peakInflight        atomic.Int64
+	// reg is this server's private metric registry (see Registry):
+	// per-server, because one process may run many servers and their
+	// counts must not bleed into each other. met holds the pre-resolved
+	// handles the hot path records through.
+	reg    *obs.Registry
+	met    serveMetrics
+	traces *obs.TraceStore // nil when tracing is disabled
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -138,6 +149,61 @@ type Server struct {
 	// execGate, when non-nil, runs at the top of every admitted
 	// execution — a test hook for holding queries in flight.
 	execGate func()
+}
+
+// Query outcome labels. Every Do call ends in exactly one of them, so
+// serve_queries_total always equals the serve_queries_outcome_total
+// family's sum — the consistency invariant the metrics tests (and the
+// nightly sweep's /metrics scrape) check under full concurrency.
+const (
+	outHit           = "hit"
+	outExecuted      = "executed"
+	outRejBudget     = "rejected_budget"
+	outRejOverload   = "rejected_overload"
+	outRejTimeout    = "rejected_timeout"
+	outRejRecovering = "rejected_recovering"
+	outError         = "error"
+	outClosed        = "closed"
+	outInvalid       = "invalid"
+)
+
+var outcomeNames = []string{
+	outHit, outExecuted, outRejBudget, outRejOverload, outRejTimeout,
+	outRejRecovering, outError, outClosed, outInvalid,
+}
+
+// serveMetrics is a server's pre-resolved handles into its registry.
+type serveMetrics struct {
+	queries     *obs.Counter
+	outcomes    map[string]*obs.Counter
+	cacheMisses *obs.Counter
+	queueWait   *obs.Histogram
+	execSecs    *obs.Histogram
+	inflight    *obs.Gauge
+	peak        *obs.Gauge
+}
+
+func newServeMetrics(r *obs.Registry) serveMetrics {
+	m := serveMetrics{
+		queries: r.Counter("serve_queries_total",
+			"Queries received by Do, whatever their fate."),
+		outcomes: make(map[string]*obs.Counter, len(outcomeNames)),
+		cacheMisses: r.Counter("serve_cache_misses_total",
+			"Executed queries whose result filled the cache."),
+		queueWait: r.Histogram("serve_queue_wait_seconds",
+			"Admission wait from arrival at the gate to holding an execution slot.", nil),
+		execSecs: r.Histogram("serve_exec_seconds",
+			"Backend execution latency of admitted queries.", nil),
+		inflight: r.Gauge("serve_inflight",
+			"Queries executing right now."),
+		peak: r.Gauge("serve_inflight_peak",
+			"Highest execution concurrency this server has sustained."),
+	}
+	for _, o := range outcomeNames {
+		m.outcomes[o] = r.Counter(`serve_queries_outcome_total{outcome="`+o+`"}`,
+			"Queries by final outcome; the family sums to serve_queries_total.")
+	}
+	return m
 }
 
 // NewServer starts a server over ds. The dataset must outlive the
@@ -156,12 +222,18 @@ func NewServer(ds *Dataset, opts Options) (*Server, error) {
 	if o.Cluster != nil {
 		o.Distributed = true
 	}
+	reg := obs.NewRegistry()
 	s := &Server{
 		ds:     ds,
 		opt:    o,
 		slots:  make(chan struct{}, o.MaxConcurrent),
 		prof:   engine.NewProfiler(),
+		reg:    reg,
+		met:    newServeMetrics(reg),
 		closed: make(chan struct{}),
+	}
+	if o.TraceEntries > 0 {
+		s.traces = obs.NewTraceStore(o.TraceEntries)
 	}
 	if o.CacheEntries > 0 {
 		s.cache = newResultCache(o.CacheEntries)
@@ -172,23 +244,40 @@ func NewServer(ds *Dataset, opts Options) (*Server, error) {
 // Dataset returns the server's resident data.
 func (s *Server) Dataset() *Dataset { return s.ds }
 
-// Stats returns a snapshot of the server's counters.
+// Stats returns a snapshot of the server's counters. They are read
+// from the same registry Registry exposes; Stats is the typed view,
+// the registry the enumerable one.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Served:             s.served.Load(),
-		CacheHits:          s.hits.Load(),
-		CacheMisses:        s.misses.Load(),
-		RejectedBudget:     s.rejBudget.Load(),
-		RejectedQueue:      s.rejQueue.Load(),
-		RejectedTimeout:    s.rejTimer.Load(),
-		RejectedRecovering: s.rejRecover.Load(),
-		Inflight:           s.inflight.Load(),
-		PeakInflight:       s.peakInflight.Load(),
+		Served:             s.met.outcomes[outHit].Value() + s.met.outcomes[outExecuted].Value(),
+		CacheHits:          s.met.outcomes[outHit].Value(),
+		CacheMisses:        s.met.cacheMisses.Value(),
+		RejectedBudget:     s.met.outcomes[outRejBudget].Value(),
+		RejectedQueue:      s.met.outcomes[outRejOverload].Value(),
+		RejectedTimeout:    s.met.outcomes[outRejTimeout].Value(),
+		RejectedRecovering: s.met.outcomes[outRejRecovering].Value(),
+		Inflight:           s.met.inflight.Value(),
+		PeakInflight:       s.met.peak.Value(),
 	}
 	if s.cache != nil {
 		st.CacheEntries = s.cache.len()
 	}
 	return st
+}
+
+// Registry exposes the server's private metric registry: the outcome
+// counters, latency histograms, and inflight gauges behind Stats, in
+// scrapeable form (obs.Handler serves it as Prometheus text).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Trace returns the recorded trace behind a Result.TraceID, or nil if
+// tracing is disabled, the ID was never assigned, or the ring evicted
+// it.
+func (s *Server) Trace(id uint64) *obs.Trace {
+	if s.traces == nil {
+		return nil
+	}
+	return s.traces.Get(id)
 }
 
 // Profile returns the accumulated per-phase serving time, in
@@ -220,49 +309,113 @@ func (s *Server) Close() error {
 // no data work, so making it wait behind executing queries would only
 // add latency. Budget pricing still runs first — whether a query is
 // answerable is a property of the query, not of the cache's mood.
+//
+// Every call ends in exactly one outcome counter (the do return value
+// names it), which is what makes the metrics sum-consistent under any
+// concurrency; the per-query trace records the same pipeline as spans
+// with the digest of the canonical bytes each hop observed.
 func (s *Server) Do(q Query) (*Result, error) {
+	s.met.queries.Inc()
+	var tr *obs.Trace
+	if s.traces != nil {
+		tr = s.traces.NewTrace(traceName(q))
+	}
+	res, outcome, err := s.do(q, tr)
+	s.met.outcomes[outcome].Inc()
+	if tr != nil {
+		tr.SetOutcome(outcome)
+		if res != nil {
+			res.TraceID = tr.ID
+		}
+	}
+	return res, err
+}
+
+// traceName labels a query's trace by its kind.
+func traceName(q Query) string {
+	switch q.Kind {
+	case QueryGroupBy:
+		return "groupby"
+	case QueryWindowTotals:
+		return "window"
+	default:
+		return "unknown"
+	}
+}
+
+// execOutcome classifies an admission/execution error into its outcome
+// label.
+func execOutcome(err error) string {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return outRejOverload
+	case errors.Is(err, ErrQueueTimeout):
+		return outRejTimeout
+	case errors.Is(err, ErrServerClosed):
+		return outClosed
+	default:
+		return outError
+	}
+}
+
+// do is Do's single-exit-classified body: every return names the
+// query's final outcome. tr may be nil (span recording no-ops).
+func (s *Server) do(q Query, tr *obs.Trace) (*Result, string, error) {
 	select {
 	case <-s.closed:
-		return nil, ErrServerClosed
+		return nil, outClosed, ErrServerClosed
 	default:
 	}
 
+	adm := tr.Start("admission")
 	if err := q.validate(s.ds.Cols()); err != nil {
-		return nil, err
+		adm.End("", err.Error())
+		return nil, outInvalid, err
 	}
 	enc, err := q.Encode()
 	if err != nil {
-		return nil, err
+		adm.End("", err.Error())
+		return nil, outInvalid, err
 	}
+	// The admission digest fingerprints the canonical query encoding:
+	// two traces of the same query anchor at the same digest, so a
+	// later divergence is provably downstream of admission.
+	adm.End(obs.DigestOf(enc), "")
 
 	if s.opt.MemoryBudget >= 0 {
+		sp := tr.Start("budget")
 		est, err := s.ds.EstimateBytes(q)
 		if err != nil {
-			return nil, err
+			sp.End("", err.Error())
+			return nil, outInvalid, err
 		}
 		if est > s.opt.MemoryBudget {
-			s.rejBudget.Add(1)
-			return nil, fmt.Errorf("%w: estimated %d bytes over budget %d (distinct-key bound %d)",
+			sp.End("", fmt.Sprintf("estimate %d bytes over budget %d", est, s.opt.MemoryBudget))
+			return nil, outRejBudget, fmt.Errorf("%w: estimated %d bytes over budget %d (distinct-key bound %d)",
 				ErrOverBudget, est, s.opt.MemoryBudget, s.ds.distinctBound)
 		}
+		sp.End("", fmt.Sprintf("estimate %d bytes", est))
 	}
 
 	key := cacheKey(s.ds.version, enc)
 	if s.cache != nil {
+		sp := tr.Start("cache")
 		if cached, ok := s.cache.get(key); ok {
 			if s.opt.VerifyCache {
-				fresh, err := s.admitAndExecute(q)
+				fresh, err := s.admitAndExecute(q, tr)
 				if err != nil {
-					return nil, err
+					sp.End("", err.Error())
+					return nil, execOutcome(err), err
 				}
 				if !bytes.Equal(cached, fresh) {
-					return nil, fmt.Errorf("serve: cache hit diverged from recomputation for query %x — determinism invariant broken", enc)
+					sp.End(obs.DigestOf(cached), "verify diverged")
+					return nil, outError, fmt.Errorf("serve: cache hit diverged from recomputation for query %x — determinism invariant broken", enc)
 				}
 			}
-			s.hits.Add(1)
-			s.served.Add(1)
-			return &Result{Query: q, Version: s.ds.version, Bytes: cached, CacheHit: true}, nil
+			sp.End(obs.DigestOf(cached), "hit")
+			return &Result{Query: q, Version: s.ds.version, Bytes: cached, CacheHit: true}, outHit, nil
 		}
+		sp.End("", "miss")
 	}
 
 	// Graceful degradation: while the backing cluster is inside a
@@ -275,30 +428,31 @@ func (s *Server) Do(q Query) (*Result, error) {
 	// predicate on purpose: a cluster that is merely still forming for
 	// the first time should queue normally, not shed.
 	if q.Kind == QueryGroupBy && s.opt.Cluster != nil && s.opt.Cluster.Recovering() {
-		s.rejRecover.Add(1)
-		return nil, fmt.Errorf("%w: cluster recovering, workers re-attaching", ErrOverloaded)
+		return nil, outRejRecovering, fmt.Errorf("%w: cluster recovering, workers re-attaching", ErrOverloaded)
 	}
 
-	out, err := s.admitAndExecute(q)
+	out, err := s.admitAndExecute(q, tr)
 	if err != nil {
 		if q.Kind == QueryGroupBy && s.opt.Cluster != nil && errors.Is(err, proc.ErrRecovering) {
 			// The recovery window opened mid-flight: same retryable verdict.
-			s.rejRecover.Add(1)
-			return nil, fmt.Errorf("%w: %v", ErrOverloaded, err)
+			return nil, outRejRecovering, fmt.Errorf("%w: %v", ErrOverloaded, err)
 		}
-		return nil, err
+		return nil, execOutcome(err), err
 	}
 	if s.cache != nil {
+		sp := tr.Start("cache-fill")
 		s.cache.put(key, out)
-		s.misses.Add(1)
+		s.met.cacheMisses.Inc()
+		sp.End(obs.DigestOf(out), "")
 	}
-	s.served.Add(1)
-	return &Result{Query: q, Version: s.ds.version, Bytes: out}, nil
+	return &Result{Query: q, Version: s.ds.version, Bytes: out}, outExecuted, nil
 }
 
 // admitAndExecute runs the admission gate, then executes q on the
 // configured backend and returns the canonical result bytes.
-func (s *Server) admitAndExecute(q Query) ([]byte, error) {
+func (s *Server) admitAndExecute(q Query, tr *obs.Trace) ([]byte, error) {
+	wait := tr.Start("queue")
+	waitStart := time.Now()
 	select {
 	case s.slots <- struct{}{}:
 		// Free slot: start immediately.
@@ -306,7 +460,7 @@ func (s *Server) admitAndExecute(q Query) ([]byte, error) {
 		// All slots busy: join the bounded wait queue.
 		if s.queued.Add(1) > int64(s.opt.MaxQueue) {
 			s.queued.Add(-1)
-			s.rejQueue.Add(1)
+			wait.End("", "queue full")
 			return nil, fmt.Errorf("%w: %d executing, %d queued", ErrOverloaded, s.opt.MaxConcurrent, s.opt.MaxQueue)
 		}
 		timer := time.NewTimer(s.opt.QueueTimeout)
@@ -316,34 +470,46 @@ func (s *Server) admitAndExecute(q Query) ([]byte, error) {
 			timer.Stop()
 		case <-timer.C:
 			s.queued.Add(-1)
-			s.rejTimer.Add(1)
+			wait.End("", "timed out")
 			return nil, fmt.Errorf("%w after %v", ErrQueueTimeout, s.opt.QueueTimeout)
 		case <-s.closed:
 			s.queued.Add(-1)
 			timer.Stop()
+			wait.End("", "server closed")
 			return nil, ErrServerClosed
 		}
 	}
 	defer func() { <-s.slots }()
+	s.met.queueWait.Observe(time.Since(waitStart).Seconds())
+	wait.End("", "")
 
-	cur := s.inflight.Add(1)
-	for {
-		peak := s.peakInflight.Load()
-		if cur <= peak || s.peakInflight.CompareAndSwap(peak, cur) {
-			break
-		}
-	}
-	defer s.inflight.Add(-1)
+	cur := s.met.inflight.Add(1)
+	s.met.peak.Max(cur)
+	defer s.met.inflight.Add(-1)
 
 	if s.execGate != nil {
 		s.execGate()
 	}
-	return s.execute(q)
+	sp := tr.Start("execute")
+	execStart := time.Now()
+	out, err := s.execute(q, tr)
+	s.met.execSecs.Observe(time.Since(execStart).Seconds())
+	if err != nil {
+		sp.End("", err.Error())
+		return nil, err
+	}
+	sp.End(obs.DigestOf(out), "")
+	return out, nil
 }
 
 // execute runs q on the selected backend. Every path ends in the same
 // canonical encoding, so backends are interchangeable bit for bit.
-func (s *Server) execute(q Query) (out []byte, err error) {
+// The trace (nil-safe) receives the backend's hop digests: the dist
+// plane reports "shuffle" and "gather" from the root node, and every
+// GROUP BY path records "merge" over the final canonical bytes — so
+// two traces of the same query localize a divergence to the first hop
+// whose digest disagrees (obs.FirstDivergence).
+func (s *Server) execute(q Query, tr *obs.Trace) (out []byte, err error) {
 	switch q.Kind {
 	case QueryGroupBy:
 		if s.opt.Cluster != nil {
@@ -360,12 +526,17 @@ func (s *Server) execute(q Query) (out []byte, err error) {
 			if err != nil {
 				return nil, fmt.Errorf("serve: group by: %w", err)
 			}
+			tr.Hop("merge", obs.FNV64a(res.Payload))
 			return res.Payload, nil
 		}
 		var gs []dist.TupleGroup
 		if s.opt.Distributed {
+			cfg := s.opt.Dist
+			if tr != nil {
+				cfg.Trace = func(hop string, digest uint64) { tr.Hop(hop, digest) }
+			}
 			s.prof.Measure("exec/groupby/cluster", func() {
-				gs, err = dist.AggregateTuplesConfig(s.ds.shardKeys, s.ds.shardCols, s.opt.Workers, q.Specs, s.opt.Dist)
+				gs, err = dist.AggregateTuplesConfig(s.ds.shardKeys, s.ds.shardCols, s.opt.Workers, q.Specs, cfg)
 			})
 		} else {
 			s.prof.Measure("exec/groupby/local", func() {
@@ -378,6 +549,7 @@ func (s *Server) execute(q Query) (out []byte, err error) {
 		s.prof.Measure("encode/groups", func() {
 			out = dist.EncodeTupleGroups(gs, len(q.Specs))
 		})
+		tr.Hop("merge", obs.FNV64a(out))
 		return out, nil
 	case QueryWindowTotals:
 		// Window totals run on the serving node for every backend: the
